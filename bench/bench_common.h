@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ */
+
+#ifndef QZZ_BENCH_BENCH_COMMON_H
+#define QZZ_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "qzz.h"
+
+namespace qzz::bench {
+
+/** The lambda/2pi sweep (MHz) used by Figs. 16-19. */
+inline std::vector<double>
+lambdaSweepMhz()
+{
+    return {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0};
+}
+
+/** Clamp infidelities to the paper's 1e-8 display precision. */
+inline double
+clampInfidelity(double x)
+{
+    return x < 1e-8 ? 1e-8 : x;
+}
+
+/** Scientific-notation cell. */
+inline std::string
+sci(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+    return std::string(buf);
+}
+
+/** Banner printed by every figure bench. */
+inline void
+banner(const std::string &figure, const std::string &description)
+{
+    std::cout << "==================================================\n"
+              << figure << ": " << description << "\n"
+              << "==================================================\n";
+}
+
+} // namespace qzz::bench
+
+#endif // QZZ_BENCH_BENCH_COMMON_H

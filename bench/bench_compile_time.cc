@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Compilation-speed microbenchmarks (google-benchmark): the paper
+ * reports < 0.25 s per benchmark for the whole co-optimizing compile
+ * (Sec. 7.3).  Measures routing + lowering + ZZXSched, and the inner
+ * alpha-optimal suppression queries.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "qzz.h"
+
+using namespace qzz;
+
+namespace {
+
+dev::Device
+makeDevice(int rows, int cols)
+{
+    Rng rng(2);
+    return dev::Device(graph::gridTopology(rows, cols),
+                       dev::DeviceParams{}, rng);
+}
+
+void
+BM_ZzxCompileQft9(benchmark::State &state)
+{
+    auto device = makeDevice(3, 3);
+    auto circuit = ckt::qft(9);
+    for (auto _ : state) {
+        auto native = ckt::decomposeToNative(
+            ckt::routeCircuit(circuit, device.graph()).circuit);
+        auto sched = core::zzxSchedule(native, device,
+                                       core::GateDurations{});
+        benchmark::DoNotOptimize(sched.layers.size());
+    }
+}
+BENCHMARK(BM_ZzxCompileQft9)->Unit(benchmark::kMillisecond);
+
+void
+BM_ZzxCompileGrc12(benchmark::State &state)
+{
+    auto device = makeDevice(3, 4);
+    Rng rng(3);
+    auto circuit = ckt::googleRandom(12, 6, rng);
+    for (auto _ : state) {
+        auto native = ckt::decomposeToNative(
+            ckt::routeCircuit(circuit, device.graph()).circuit);
+        auto sched = core::zzxSchedule(native, device,
+                                       core::GateDurations{});
+        benchmark::DoNotOptimize(sched.layers.size());
+    }
+}
+BENCHMARK(BM_ZzxCompileGrc12)->Unit(benchmark::kMillisecond);
+
+void
+BM_ParCompileGrc12(benchmark::State &state)
+{
+    auto device = makeDevice(3, 4);
+    Rng rng(3);
+    auto circuit = ckt::googleRandom(12, 6, rng);
+    for (auto _ : state) {
+        auto native = ckt::decomposeToNative(
+            ckt::routeCircuit(circuit, device.graph()).circuit);
+        auto sched = core::parSchedule(native, device,
+                                       core::GateDurations{});
+        benchmark::DoNotOptimize(sched.layers.size());
+    }
+}
+BENCHMARK(BM_ParCompileGrc12)->Unit(benchmark::kMillisecond);
+
+void
+BM_AlphaOptimalSuppression(benchmark::State &state)
+{
+    core::SuppressionSolver solver(graph::gridTopology(3, 4));
+    for (auto _ : state) {
+        auto res = solver.solve({5, 6});
+        benchmark::DoNotOptimize(res.metrics.nc);
+    }
+}
+BENCHMARK(BM_AlphaOptimalSuppression)->Unit(benchmark::kMicrosecond);
+
+void
+BM_DualGraphConstruction(benchmark::State &state)
+{
+    auto topo = graph::gridTopology(5, 5);
+    for (auto _ : state) {
+        auto emb = topo.embedding();
+        auto dual = graph::buildDual(emb);
+        benchmark::DoNotOptimize(dual.g.numEdges());
+    }
+}
+BENCHMARK(BM_DualGraphConstruction)->Unit(benchmark::kMicrosecond);
+
+void
+BM_PulseLayerStep12Qubits(benchmark::State &state)
+{
+    auto device = makeDevice(3, 4);
+    pulse::PulseLibrary lib = pulse::PulseLibrary::gaussian();
+    ckt::QuantumCircuit c(12);
+    for (int q = 0; q < 12; ++q)
+        c.sx(q);
+    auto sched =
+        core::parSchedule(c, device, core::GateDurations{});
+    sim::PulseScheduleSimulator sim(device, lib);
+    for (auto _ : state) {
+        auto psi = sim.run(sched);
+        benchmark::DoNotOptimize(psi.norm());
+    }
+}
+BENCHMARK(BM_PulseLayerStep12Qubits)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 17: robustness of the Pert Rx(pi/2) pulse to drive noise —
+ * (a) carrier frequency detuning, (b) amplitude fluctuation.
+ */
+
+#include "bench_common.h"
+
+using namespace qzz;
+
+int
+main()
+{
+    bench::banner("Figure 17",
+                  "Pert Rx(pi/2) robustness to drive noise");
+    const la::CMatrix target = la::expPauli(kPi / 4.0, 0.0, 0.0);
+    const pulse::PulseProgram pert =
+        core::getPulseLibrary(core::PulseMethod::Pert)
+            .get(pulse::PulseGate::SX);
+
+    {
+        Table table({"lambda/2pi (MHz)", "df=0", "df=0.1 MHz",
+                     "df=0.5 MHz", "df=1 MHz"});
+        table.setTitle("(a) frequency detuning");
+        for (double l_mhz : bench::lambdaSweepMhz()) {
+            std::vector<std::string> row{formatF(l_mhz, 2)};
+            for (double df : {0.0, 0.1, 0.5, 1.0}) {
+                core::DriveNoise noise;
+                noise.detuning = mhz(df);
+                const double infid =
+                    core::oneQubitCrosstalkInfidelity(
+                        pert, target, mhz(l_mhz), noise, 0.01);
+                row.push_back(
+                    bench::sci(bench::clampInfidelity(infid)));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table({"lambda/2pi (MHz)", "no amp noise", "0.01%",
+                     "0.05%", "0.1%"});
+        table.setTitle("(b) amplitude fluctuation");
+        for (double l_mhz : bench::lambdaSweepMhz()) {
+            std::vector<std::string> row{formatF(l_mhz, 2)};
+            for (double pct : {0.0, 0.01, 0.05, 0.1}) {
+                core::DriveNoise noise;
+                noise.amplitude_error = pct / 100.0;
+                const double infid =
+                    core::oneQubitCrosstalkInfidelity(
+                        pert, target, mhz(l_mhz), noise, 0.01);
+                row.push_back(
+                    bench::sci(bench::clampInfidelity(infid)));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+    }
+    std::cout << "\nExpected shape: suppression survives typical"
+                 " drive noise (detuning < 0.1 MHz,\namplitude error"
+                 " < 0.1%); large detuning lifts the floor.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 23: 6-qubit benchmarks under ZZ crosstalk *and* decoherence
+ * (T1 = T2 in {100, 200, 500, 1000} us), density-matrix simulation.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace qzz;
+
+int
+main()
+{
+    bench::banner("Figure 23",
+                  "6-qubit benchmarks under ZZ + decoherence (T1=T2)");
+    exp::SuiteConfig scfg;
+    scfg.max_qubits = 6;
+    auto suite = exp::buildSuite(scfg);
+
+    const core::CompileOptions configs[] = {
+        {core::PulseMethod::Gaussian, core::SchedPolicy::Par, {}},
+        {core::PulseMethod::OptCtrl, core::SchedPolicy::Zzx, {}},
+        {core::PulseMethod::Pert, core::SchedPolicy::Zzx, {}},
+    };
+    const char *config_names[] = {"Gau+ParSched", "OptCtrl+ZZXSched",
+                                  "Pert+ZZXSched"};
+
+    sim::PulseSimOptions sopt;
+    sopt.dt = 0.1; // density-matrix runs are heavier
+
+    for (const auto &entry : suite) {
+        if (entry.circuit.numQubits() != 6)
+            continue;
+        Table table({"T1=T2 (us)", config_names[0], config_names[1],
+                     config_names[2], "improvement"});
+        table.setTitle(entry.label);
+        for (double t_us : {100.0, 200.0, 500.0, 1000.0}) {
+            dev::Device device = entry.device; // copy, set coherence
+            device.setCoherence(us(t_us), us(t_us));
+            double fid[3];
+            for (int i = 0; i < 3; ++i)
+                fid[i] = exp::evaluateFidelityWithDecoherence(
+                             entry.circuit, device, configs[i], sopt)
+                             .fidelity;
+            table.addRow({formatF(t_us, 0), formatF(fid[0], 4),
+                          formatF(fid[1], 4), formatF(fid[2], 4),
+                          formatX(fid[2] / std::max(fid[0], 1e-6))});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+        std::cerr << "[fig23] " << entry.label << " done\n";
+    }
+    std::cout << "Expected shape: improvements stay stable across"
+                 " T1/T2 — decoherence does not\nwash out the"
+                 " crosstalk-suppression gain.\n";
+    return 0;
+}

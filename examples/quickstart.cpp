@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: compile a small circuit with pulse & scheduling
+ * co-optimization and compare its fidelity against the baseline.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "qzz.h"
+
+int
+main()
+{
+    using namespace qzz;
+
+    // 1. A device: 2x3 grid with ZZ couplings ~ N(200 kHz, 50 kHz).
+    Rng rng(42);
+    dev::Device device(graph::gridTopology(2, 3), dev::DeviceParams{},
+                       rng);
+
+    // 2. A circuit: 6-qubit GHZ state.
+    ckt::QuantumCircuit circuit(6, "GHZ-6");
+    circuit.h(0);
+    for (int q = 0; q + 1 < 6; ++q)
+        circuit.cx(q, q + 1);
+
+    // 3. Compile + simulate under both policies.
+    Table table({"configuration", "fidelity", "exec time (ns)",
+                 "layers", "mean NC"});
+    for (auto [pulse, sched] :
+         {std::pair{core::PulseMethod::Gaussian, core::SchedPolicy::Par},
+          {core::PulseMethod::Pert, core::SchedPolicy::Zzx}}) {
+        core::CompileOptions opt;
+        opt.pulse = pulse;
+        opt.sched = sched;
+        exp::FidelityResult res =
+            exp::evaluateFidelity(circuit, device, opt);
+        table.addRow({exp::configName(opt), formatF(res.fidelity, 4),
+                      formatF(res.execution_time, 0),
+                      std::to_string(res.physical_layers),
+                      formatF(res.mean_nc, 2)});
+    }
+    table.setTitle("GHZ-6 under always-on ZZ crosstalk");
+    table.print(std::cout);
+
+    std::cout << "\nThe Pert+ZZXSched row shows the paper's"
+                 " co-optimization: optimized pulses suppress\n"
+                 "cross-region crosstalk and the scheduler shapes each"
+                 " layer into a low-NC cut.\n";
+    return 0;
+}

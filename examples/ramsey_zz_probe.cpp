@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Domain example: measuring effective ZZ strength with Ramsey
+ * experiments on a simulated 3-qubit chain (Sec. 7.4 of the paper).
+ */
+
+#include <iostream>
+
+#include "qzz.h"
+
+int
+main()
+{
+    using namespace qzz;
+
+    const pulse::PulseLibrary gaussian = pulse::PulseLibrary::gaussian();
+    const pulse::PulseLibrary dcg = core::dcgLibrary();
+
+    sim::RamseyConfig base;
+    base.lambda12 = khz(50.0);
+    base.lambda23 = khz(50.0);
+    base.segments = 400;
+
+    Table table({"circuit", "pulses", "probe", "f(|0>) MHz",
+                 "f(|1>) MHz", "effective ZZ (kHz)"});
+
+    struct Case
+    {
+        sim::RamseyCircuit circuit;
+        const pulse::PulseLibrary *lib;
+        const char *name;
+    };
+    const Case cases[] = {
+        {sim::RamseyCircuit::A, &gaussian, "A (idle)"},
+        {sim::RamseyCircuit::B, &dcg, "B (DCG I on Q2)"},
+        {sim::RamseyCircuit::C, &dcg, "C (DCG I on Q1,Q3)"},
+    };
+
+    for (const Case &c : cases) {
+        sim::RamseyConfig cfg = base;
+        cfg.circuit = c.circuit;
+        cfg.library = c.lib;
+        sim::ZzMeasurement zz = measureEffectiveZz(cfg, true, false);
+        table.addRow({c.name, c.lib->name(), "Q1",
+                      formatF(zz.f_ground * 1e3, 4),
+                      formatF(zz.f_excited * 1e3, 4),
+                      formatF(zz.zz_khz, 1)});
+    }
+    table.setTitle(
+        "Ramsey probe of Q2-Q1 coupling (paper: ~200 kHz -> <11 kHz)");
+    table.print(std::cout);
+
+    std::cout << "\nCompiled circuit B tiles the wait time with"
+                 " ZZ-suppressing identity pulses on Q2;\ncircuit C"
+                 " protects from the neighbor side instead.\n";
+    return 0;
+}

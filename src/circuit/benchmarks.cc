@@ -1,0 +1,242 @@
+#include "circuit/benchmarks.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::ckt {
+
+QuantumCircuit
+hiddenShift(int n, Rng &rng)
+{
+    require(n >= 2 && n % 2 == 0, "hiddenShift: n must be even");
+    QuantumCircuit c(n, "HS-" + std::to_string(n));
+    std::vector<int> shift(static_cast<size_t>(n), 0);
+    for (int q = 0; q < n; ++q)
+        shift[q] = rng.uniformInt(0, 1);
+
+    auto oracle = [&]() {
+        for (int i = 0; i + 1 < n; i += 2)
+            c.cz(i, i + 1);
+    };
+
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int q = 0; q < n; ++q)
+        if (shift[q])
+            c.x(q);
+    oracle();
+    for (int q = 0; q < n; ++q)
+        if (shift[q])
+            c.x(q);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    oracle();
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    return c;
+}
+
+QuantumCircuit
+qft(int n)
+{
+    require(n >= 1, "qft: bad size");
+    QuantumCircuit c(n, "QFT-" + std::to_string(n));
+    for (int i = 0; i < n; ++i) {
+        c.h(i);
+        for (int j = i + 1; j < n; ++j)
+            c.cp(j, i, kPi / double(1 << (j - i)));
+    }
+    for (int i = 0; i < n / 2; ++i)
+        c.swap(i, n - 1 - i);
+    return c;
+}
+
+QuantumCircuit
+qpe(int n)
+{
+    require(n >= 2, "qpe: need a counting register and a target");
+    QuantumCircuit c(n, "QPE-" + std::to_string(n));
+    const int t = n - 1;      // counting qubits 0..t-1
+    const int target = n - 1; // eigenstate qubit
+    const double phase = kTwoPi * 5.0 / 16.0;
+
+    c.x(target); // |1> is the RZ eigenstate with eigenphase e^{i a/2}
+    for (int k = 0; k < t; ++k)
+        c.h(k);
+    // Counting qubit k controls U^{2^{t-1-k}} so that qubit 0 is the
+    // most significant phase bit.
+    for (int k = 0; k < t; ++k)
+        c.cp(k, target, phase * double(1 << (t - 1 - k)));
+
+    // Inverse QFT on the counting register: the exact dagger of the
+    // qft() circuit (swaps first, then the reversed H/CP ladder).
+    const QuantumCircuit fwd = qft(t);
+    for (auto it = fwd.gates().rbegin(); it != fwd.gates().rend();
+         ++it) {
+        Gate g = *it;
+        if (g.kind == GateKind::CP)
+            g.params[0] = -g.params[0];
+        c.add(std::move(g)); // H and SWAP are self-inverse
+    }
+    return c;
+}
+
+QuantumCircuit
+qaoaMaxCut(int n, int p, Rng &rng)
+{
+    require(n >= 3 && p >= 1, "qaoaMaxCut: bad parameters");
+    QuantumCircuit c(n, "QAOA-" + std::to_string(n));
+
+    // Problem graph: ring plus ~n/2 random chords (deduplicated).
+    std::set<std::pair<int, int>> edges;
+    for (int v = 0; v < n; ++v)
+        edges.insert({std::min(v, (v + 1) % n), std::max(v, (v + 1) % n)});
+    int chords = n / 2;
+    for (int attempt = 0; attempt < 20 * chords && chords > 0; ++attempt) {
+        int a = rng.uniformInt(0, n - 1), b = rng.uniformInt(0, n - 1);
+        if (a == b)
+            continue;
+        auto e = std::make_pair(std::min(a, b), std::max(a, b));
+        if (edges.insert(e).second)
+            --chords;
+    }
+
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int round = 0; round < p; ++round) {
+        const double gamma = rng.uniform(0.2, 1.2);
+        const double beta = rng.uniform(0.2, 1.2);
+        for (const auto &[a, b] : edges)
+            c.rzz(a, b, 2.0 * gamma);
+        for (int q = 0; q < n; ++q)
+            c.rx(q, 2.0 * beta);
+    }
+    return c;
+}
+
+QuantumCircuit
+isingChain(int n, int steps)
+{
+    require(n >= 2 && steps >= 1, "isingChain: bad parameters");
+    QuantumCircuit c(n, "Ising-" + std::to_string(n));
+    const double j_coupling = 1.0, field = 1.0, dt = 0.2;
+    for (int q = 0; q < n; ++q)
+        c.h(q); // start from |+...+>
+    for (int s = 0; s < steps; ++s) {
+        for (int q = 0; q + 1 < n; ++q)
+            c.rzz(q, q + 1, 2.0 * j_coupling * dt);
+        for (int q = 0; q < n; ++q)
+            c.rx(q, 2.0 * field * dt);
+    }
+    return c;
+}
+
+QuantumCircuit
+googleRandom(int n, int depth, Rng &rng)
+{
+    require(n >= 2 && depth >= 1, "googleRandom: bad parameters");
+    QuantumCircuit c(n, "GRC-" + std::to_string(n));
+    // Random 1q gates never repeat on the same qubit in consecutive
+    // layers (the GRC rule); entanglers are CZ on alternating pairs.
+    std::vector<int> last(size_t(n), -1);
+    for (int layer = 0; layer < depth; ++layer) {
+        for (int q = 0; q < n; ++q) {
+            int pick = rng.uniformInt(0, 2);
+            if (pick == last[q])
+                pick = (pick + 1) % 3;
+            last[q] = pick;
+            switch (pick) {
+              case 0:
+                c.sx(q);
+                break;
+              case 1:
+                c.ry(q, kPi / 2.0);
+                break;
+              default:
+                c.t(q);
+                break;
+            }
+        }
+        for (int i = layer % 2; i + 1 < n; i += 2)
+            c.cz(i, i + 1);
+    }
+    return c;
+}
+
+QuantumCircuit
+quantumVolume(int n, int depth, Rng &rng)
+{
+    require(n >= 2 && depth >= 1, "quantumVolume: bad parameters");
+    QuantumCircuit c(n, "QV-" + std::to_string(n));
+    auto random_u3 = [&](int q) {
+        c.u3(q, rng.uniform(0.0, kPi), rng.uniform(0.0, kTwoPi),
+             rng.uniform(0.0, kTwoPi));
+    };
+    for (int layer = 0; layer < depth; ++layer) {
+        std::vector<int> order(static_cast<size_t>(n), 0);
+        for (int q = 0; q < n; ++q)
+            order[q] = q;
+        rng.shuffle(order);
+        for (int i = 0; i + 1 < n; i += 2) {
+            const int a = order[i], b = order[i + 1];
+            // A generic (QV-style) SU(4) block: 3 CX + local U3s.
+            random_u3(a);
+            random_u3(b);
+            for (int rep = 0; rep < 3; ++rep) {
+                c.cx(a, b);
+                random_u3(a);
+                random_u3(b);
+            }
+        }
+    }
+    return c;
+}
+
+namespace {
+
+void
+addSized(std::vector<BenchmarkInstance> &out, const std::string &family,
+         const std::vector<int> &sizes, Rng &rng,
+         const std::function<QuantumCircuit(int, Rng &)> &gen)
+{
+    for (int n : sizes) {
+        Rng child = rng.split();
+        out.push_back({family + "-" + std::to_string(n), gen(n, child)});
+    }
+}
+
+} // namespace
+
+std::vector<BenchmarkInstance>
+paperBenchmarkSuite(Rng &rng)
+{
+    std::vector<BenchmarkInstance> out;
+    addSized(out, "HS", {4, 6, 12}, rng,
+             [](int n, Rng &r) { return hiddenShift(n, r); });
+    addSized(out, "QFT", {4, 6, 9}, rng,
+             [](int n, Rng &) { return qft(n); });
+    addSized(out, "QPE", {4, 6, 9}, rng,
+             [](int n, Rng &) { return qpe(n); });
+    addSized(out, "QAOA", {4, 6, 9, 12}, rng,
+             [](int n, Rng &r) { return qaoaMaxCut(n, 1, r); });
+    addSized(out, "Ising", {4, 6, 9, 12}, rng,
+             [](int n, Rng &) { return isingChain(n, 2); });
+    addSized(out, "GRC", {4, 6, 9, 12}, rng,
+             [](int n, Rng &r) { return googleRandom(n, 6, r); });
+    return out;
+}
+
+std::vector<BenchmarkInstance>
+paperBenchmarkSuiteWithQv(Rng &rng)
+{
+    std::vector<BenchmarkInstance> out = paperBenchmarkSuite(rng);
+    addSized(out, "QV", {4, 6, 9, 12}, rng,
+             [](int n, Rng &r) { return quantumVolume(n, 2, r); });
+    return out;
+}
+
+} // namespace qzz::ckt

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The paper's benchmark circuits (Sec. 7.3): Hidden Shift, QFT, QPE,
+ * QAOA, Ising-model simulation, Google Random Circuits, and (for the
+ * tunable-coupler study, Fig. 25) Quantum Volume.
+ *
+ * Generators emit high-level logical circuits; the router + native
+ * decomposition adapt them to a device.  All randomness flows through
+ * an explicit Rng so suites are reproducible.
+ */
+
+#ifndef QZZ_CIRCUIT_BENCHMARKS_H
+#define QZZ_CIRCUIT_BENCHMARKS_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+
+namespace qzz::ckt {
+
+/** Hidden Shift over a bent function f(x) = sum x_{2i} x_{2i+1};
+ *  ideal output is the computational basis state |shift>.
+ *  @param n even qubit count. */
+QuantumCircuit hiddenShift(int n, Rng &rng);
+
+/** Textbook quantum Fourier transform with final qubit reversal. */
+QuantumCircuit qft(int n);
+
+/** Quantum phase estimation of an RZ phase using n-1 counting qubits
+ *  and one eigenstate qubit. */
+QuantumCircuit qpe(int n);
+
+/** p-round QAOA for MaxCut on a ring plus random chords. */
+QuantumCircuit qaoaMaxCut(int n, int p, Rng &rng);
+
+/** First-order Trotterized transverse-field Ising chain. */
+QuantumCircuit isingChain(int n, int steps);
+
+/** Google-random-circuit style layers: random 1q gates + patterned
+ *  CZ entanglers. */
+QuantumCircuit googleRandom(int n, int depth, Rng &rng);
+
+/** Quantum-volume style layers of random paired SU(4) blocks. */
+QuantumCircuit quantumVolume(int n, int depth, Rng &rng);
+
+/** A named benchmark instance. */
+struct BenchmarkInstance
+{
+    std::string label; ///< e.g. "QFT-6"
+    QuantumCircuit circuit;
+};
+
+/** The 21 instances of Figs. 20-24:
+ *  HS-{4,6,12}, QFT-{4,6,9}, QPE-{4,6,9}, QAOA/Ising/GRC-{4,6,9,12}. */
+std::vector<BenchmarkInstance> paperBenchmarkSuite(Rng &rng);
+
+/** The Fig. 25 suite: the above plus QV-{4,6,9,12}. */
+std::vector<BenchmarkInstance> paperBenchmarkSuiteWithQv(Rng &rng);
+
+} // namespace qzz::ckt
+
+#endif // QZZ_CIRCUIT_BENCHMARKS_H

@@ -1,0 +1,71 @@
+#include "circuit/dag.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qzz::ckt {
+
+DagFrontier::DagFrontier(const QuantumCircuit &circuit) : circuit_(circuit)
+{
+    timeline_.resize(size_t(circuit.numQubits()));
+    cursor_.assign(size_t(circuit.numQubits()), 0);
+    is_scheduled_.assign(circuit.size(), 0);
+    for (int i = 0; i < int(circuit.size()); ++i) {
+        order_.push_back(i);
+        for (int q : circuit.gates()[i].qubits)
+            timeline_[q].push_back(i);
+    }
+}
+
+bool
+DagFrontier::isSchedulable(int gate_index) const
+{
+    if (is_scheduled_[gate_index])
+        return false;
+    for (int q : circuit_.gates()[gate_index].qubits) {
+        const auto &tl = timeline_[q];
+        const size_t cur = cursor_[q];
+        if (cur >= tl.size() || tl[cur] != gate_index)
+            return false;
+    }
+    return true;
+}
+
+std::vector<int>
+DagFrontier::schedulable() const
+{
+    std::vector<int> out;
+    // The frontier contains at most one gate per qubit; scan qubit
+    // cursors and de-duplicate two-qubit gates.
+    for (int q = 0; q < circuit_.numQubits(); ++q) {
+        if (cursor_[q] >= timeline_[q].size())
+            continue;
+        const int gi = timeline_[q][cursor_[q]];
+        if (isSchedulable(gi)) {
+            bool seen = false;
+            for (int o : out)
+                if (o == gi)
+                    seen = true;
+            if (!seen)
+                out.push_back(gi);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+DagFrontier::markScheduled(int gate_index)
+{
+    require(gate_index >= 0 && gate_index < int(circuit_.size()),
+            "DagFrontier::markScheduled: index out of range");
+    require(isSchedulable(gate_index),
+            "DagFrontier::markScheduled: gate is not schedulable");
+    is_scheduled_[gate_index] = 1;
+    ++scheduled_count_;
+    for (int q : circuit_.gates()[gate_index].qubits)
+        ++cursor_[q];
+}
+
+} // namespace qzz::ckt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dependency tracking over a circuit: the schedulable-gate frontier.
+ *
+ * A gate is *schedulable* once every earlier gate sharing a qubit with
+ * it has been scheduled (footnote 2 of the paper).  Both schedulers
+ * (ParSched and ZZXSched) iterate this frontier.
+ */
+
+#ifndef QZZ_CIRCUIT_DAG_H
+#define QZZ_CIRCUIT_DAG_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qzz::ckt {
+
+/** Tracks which gates of a circuit are currently schedulable. */
+class DagFrontier
+{
+  public:
+    explicit DagFrontier(const QuantumCircuit &circuit);
+
+    /** Indices (into circuit.gates()) of schedulable gates, in
+     *  program order. */
+    std::vector<int> schedulable() const;
+
+    /** Mark a schedulable gate as scheduled; fatal() if it is not
+     *  currently schedulable. */
+    void markScheduled(int gate_index);
+
+    /** True once every gate has been scheduled. */
+    bool done() const { return scheduled_count_ == int(order_.size()); }
+
+    /** Number of gates scheduled so far. */
+    int scheduledCount() const { return scheduled_count_; }
+
+  private:
+    const QuantumCircuit &circuit_;
+    /** Per-qubit timeline of gate indices. */
+    std::vector<std::vector<int>> timeline_;
+    /** Per-qubit cursor into the timeline. */
+    std::vector<size_t> cursor_;
+    /** All gate indices in order (for done()). */
+    std::vector<int> order_;
+    std::vector<char> is_scheduled_;
+    int scheduled_count_ = 0;
+
+    bool isSchedulable(int gate_index) const;
+};
+
+} // namespace qzz::ckt
+
+#endif // QZZ_CIRCUIT_DAG_H

@@ -1,0 +1,181 @@
+#include "circuit/decompose.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::ckt {
+
+namespace {
+
+/** Wrap an angle to (-pi, pi] for tidy RZ parameters. */
+double
+wrapAngle(double a)
+{
+    while (a > kPi)
+        a -= kTwoPi;
+    while (a <= -kPi)
+        a += kTwoPi;
+    return a;
+}
+
+/** Emit U3(theta, phi, lambda) as RZ/SX natives (ZXZXZ identity). */
+void
+emitU3(int q, double theta, double phi, double lambda, QuantumCircuit &out)
+{
+    // U3(theta, phi, lambda) ~ RZ(phi + pi) SX RZ(theta + pi) SX
+    //                          RZ(lambda)   (right-to-left operators)
+    // i.e. circuit order: RZ(lambda), SX, RZ(theta+pi), SX, RZ(phi+pi).
+    out.rz(q, wrapAngle(lambda));
+    out.sx(q);
+    out.rz(q, wrapAngle(theta + kPi));
+    out.sx(q);
+    out.rz(q, wrapAngle(phi + kPi));
+}
+
+/** Emit CX(c, t) through the native RZX(pi/2). */
+void
+emitCx(int c, int t, QuantumCircuit &out)
+{
+    // CX = (RZ(-pi/2)_c (x) [RZ(pi) SX RZ(pi)]_t) . RZX(pi/2)
+    // up to global phase; circuit order below.
+    out.rzx(c, t, kPi / 2.0);
+    out.rz(t, kPi);
+    out.sx(t);
+    out.rz(t, kPi);
+    out.rz(c, -kPi / 2.0);
+}
+
+} // namespace
+
+void
+emitNative(const Gate &g, QuantumCircuit &out)
+{
+    const int q0 = g.qubits[0];
+    const int q1 = g.qubits.size() > 1 ? g.qubits[1] : -1;
+    auto p = [&](size_t i) { return g.params[i]; };
+
+    switch (g.kind) {
+      case GateKind::SX:
+      case GateKind::I:
+      case GateKind::RZ:
+        out.add(g);
+        return;
+      case GateKind::RZX:
+        require(std::abs(p(0) - kPi / 2.0) < 1e-12,
+                "emitNative: only RZX(pi/2) is native");
+        out.add(g);
+        return;
+
+      case GateKind::Z:
+        out.rz(q0, kPi);
+        return;
+      case GateKind::S:
+        out.rz(q0, kPi / 2.0);
+        return;
+      case GateKind::SDG:
+        out.rz(q0, -kPi / 2.0);
+        return;
+      case GateKind::T:
+        out.rz(q0, kPi / 4.0);
+        return;
+      case GateKind::TDG:
+        out.rz(q0, -kPi / 4.0);
+        return;
+
+      case GateKind::X:
+        out.sx(q0);
+        out.sx(q0);
+        return;
+      case GateKind::Y:
+        emitU3(q0, kPi, kPi / 2.0, kPi / 2.0, out);
+        return;
+      case GateKind::H:
+        // H ~ RZ(pi/2) SX RZ(pi/2) up to global phase.
+        out.rz(q0, kPi / 2.0);
+        out.sx(q0);
+        out.rz(q0, kPi / 2.0);
+        return;
+      case GateKind::RX:
+        emitU3(q0, p(0), -kPi / 2.0, kPi / 2.0, out);
+        return;
+      case GateKind::RY:
+        emitU3(q0, p(0), 0.0, 0.0, out);
+        return;
+      case GateKind::U3:
+        emitU3(q0, p(0), p(1), p(2), out);
+        return;
+
+      case GateKind::CX:
+        emitCx(q0, q1, out);
+        return;
+      case GateKind::CZ:
+        // CZ = (I (x) H) CX (I (x) H).
+        emitNative({GateKind::H, {q1}}, out);
+        emitCx(q0, q1, out);
+        emitNative({GateKind::H, {q1}}, out);
+        return;
+      case GateKind::CP: {
+        // CP(th) ~ RZ(th/2)_a RZ(th/2)_b CX (I (x) RZ(-th/2)) CX.
+        const double th = p(0);
+        emitCx(q0, q1, out);
+        out.rz(q1, wrapAngle(-th / 2.0));
+        emitCx(q0, q1, out);
+        out.rz(q0, wrapAngle(th / 2.0));
+        out.rz(q1, wrapAngle(th / 2.0));
+        return;
+      }
+      case GateKind::RZZ: {
+        const double th = p(0);
+        emitCx(q0, q1, out);
+        out.rz(q1, wrapAngle(th));
+        emitCx(q0, q1, out);
+        return;
+      }
+      case GateKind::SWAP:
+        emitCx(q0, q1, out);
+        emitCx(q1, q0, out);
+        emitCx(q0, q1, out);
+        return;
+    }
+    panic("emitNative: unhandled gate kind");
+}
+
+QuantumCircuit
+decomposeToNative(const QuantumCircuit &circuit)
+{
+    QuantumCircuit out(circuit.numQubits(), circuit.name());
+    for (const Gate &g : circuit.gates())
+        emitNative(g, out);
+    return mergeRz(out);
+}
+
+QuantumCircuit
+mergeRz(const QuantumCircuit &circuit)
+{
+    QuantumCircuit out(circuit.numQubits(), circuit.name());
+    // Pending RZ angle per qubit, flushed before any non-RZ gate that
+    // touches the qubit.
+    std::vector<double> pending(size_t(circuit.numQubits()), 0.0);
+    auto flush = [&](int q) {
+        const double a = wrapAngle(pending[q]);
+        if (std::abs(a) > 1e-12)
+            out.rz(q, a);
+        pending[q] = 0.0;
+    };
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::RZ) {
+            pending[g.qubits[0]] += g.params[0];
+            continue;
+        }
+        for (int q : g.qubits)
+            flush(q);
+        out.add(g);
+    }
+    for (int q = 0; q < circuit.numQubits(); ++q)
+        flush(q);
+    return out;
+}
+
+} // namespace qzz::ckt

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Lowering to the native gate set {RZ(theta), SX, RZX(pi/2), I}.
+ *
+ * Follows the IBMQ basis the paper compiles to (Sec. 7.1.2).  Every
+ * high-level gate is rewritten into natives; a peephole pass then
+ * merges consecutive RZ rotations on the same qubit and drops
+ * zero-angle rotations.  All identities hold up to global phase and
+ * are locked in by tests/circuit/decompose_test.cc.
+ */
+
+#ifndef QZZ_CIRCUIT_DECOMPOSE_H
+#define QZZ_CIRCUIT_DECOMPOSE_H
+
+#include "circuit/circuit.h"
+
+namespace qzz::ckt {
+
+/** Lower a circuit to the native set. */
+QuantumCircuit decomposeToNative(const QuantumCircuit &circuit);
+
+/** Merge consecutive RZ gates per qubit and drop RZ(0). */
+QuantumCircuit mergeRz(const QuantumCircuit &circuit);
+
+/**
+ * Append the native expansion of @p g to @p out.
+ * Exposed for reuse by the router (SWAP lowering).
+ */
+void emitNative(const Gate &g, QuantumCircuit &out);
+
+} // namespace qzz::ckt
+
+#endif // QZZ_CIRCUIT_DECOMPOSE_H

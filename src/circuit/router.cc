@@ -1,0 +1,94 @@
+#include "circuit/router.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/shortest_paths.h"
+
+namespace qzz::ckt {
+
+RoutedCircuit
+routeCircuit(const QuantumCircuit &circuit, const graph::Graph &topo,
+             const std::vector<int> &initial)
+{
+    require(circuit.numQubits() <= topo.numVertices(),
+            "routeCircuit: circuit larger than device");
+
+    // layout[logical] = physical.
+    std::vector<int> layout(initial);
+    if (layout.empty()) {
+        layout.resize(size_t(circuit.numQubits()));
+        for (int i = 0; i < circuit.numQubits(); ++i)
+            layout[i] = i;
+    }
+    require(int(layout.size()) == circuit.numQubits(),
+            "routeCircuit: bad initial layout size");
+    // phys_to_logical for swap bookkeeping (-1 = no logical qubit).
+    std::vector<int> phys_owner(size_t(topo.numVertices()), -1);
+    for (int l = 0; l < int(layout.size()); ++l) {
+        require(layout[l] >= 0 && layout[l] < topo.numVertices(),
+                "routeCircuit: layout entry out of range");
+        require(phys_owner[layout[l]] == -1,
+                "routeCircuit: layout is not injective");
+        phys_owner[layout[l]] = l;
+    }
+
+    RoutedCircuit out;
+    out.circuit = QuantumCircuit(topo.numVertices(), circuit.name());
+
+    auto do_swap = [&](int pa, int pb) {
+        out.circuit.swap(pa, pb);
+        ++out.swaps_inserted;
+        const int la = phys_owner[pa], lb = phys_owner[pb];
+        phys_owner[pa] = lb;
+        phys_owner[pb] = la;
+        if (la != -1)
+            layout[la] = pb;
+        if (lb != -1)
+            layout[lb] = pa;
+    };
+
+    for (const Gate &g : circuit.gates()) {
+        if (!g.isTwoQubit()) {
+            Gate mapped = g;
+            mapped.qubits[0] = layout[g.qubits[0]];
+            out.circuit.add(std::move(mapped));
+            continue;
+        }
+        int pa = layout[g.qubits[0]];
+        int pb = layout[g.qubits[1]];
+        if (topo.findEdge(pa, pb) < 0) {
+            auto path = graph::shortestPath(topo, pa, pb);
+            require(path.has_value(),
+                    "routeCircuit: device graph is disconnected");
+            // Walk the first endpoint along the path until adjacent.
+            for (size_t i = 0; i + 2 < path->vertices.size(); ++i)
+                do_swap(path->vertices[i], path->vertices[i + 1]);
+            pa = layout[g.qubits[0]];
+            pb = layout[g.qubits[1]];
+            ensure(topo.findEdge(pa, pb) >= 0,
+                   "routeCircuit: SWAP walk failed to merge operands");
+        }
+        Gate mapped = g;
+        mapped.qubits = {pa, pb};
+        out.circuit.add(std::move(mapped));
+    }
+
+    out.final_layout = layout;
+    return out;
+}
+
+bool
+respectsConnectivity(const QuantumCircuit &circuit,
+                     const graph::Graph &topo)
+{
+    for (const Gate &g : circuit.gates()) {
+        if (!g.isTwoQubit())
+            continue;
+        if (topo.findEdge(g.qubits[0], g.qubits[1]) < 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace qzz::ckt

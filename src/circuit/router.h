@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Topology-aware routing.
+ *
+ * Greedy shortest-path router: gates are processed in program order;
+ * whenever a two-qubit gate's operands are not adjacent on the device,
+ * SWAPs are inserted along a shortest path until they are.  Simple,
+ * deterministic, and always correct; the resulting circuit references
+ * *physical* qubits and touches only coupled pairs.  Both scheduling
+ * policies consume the same routed circuit, so comparisons stay fair.
+ */
+
+#ifndef QZZ_CIRCUIT_ROUTER_H
+#define QZZ_CIRCUIT_ROUTER_H
+
+#include "circuit/circuit.h"
+#include "graph/graph.h"
+
+namespace qzz::ckt {
+
+/** Result of routing a circuit onto a topology. */
+struct RoutedCircuit
+{
+    /** The rewritten circuit over physical qubits (may contain SWAPs;
+     *  run decomposeToNative() afterwards). */
+    QuantumCircuit circuit;
+    /** final_layout[logical] = physical qubit holding it at the end. */
+    std::vector<int> final_layout;
+    /** Number of SWAP gates inserted. */
+    int swaps_inserted = 0;
+};
+
+/**
+ * Route @p circuit onto @p topo.
+ *
+ * @param circuit logical circuit; needs numQubits() <= vertices.
+ * @param topo    device coupling graph.
+ * @param initial optional initial layout (logical -> physical);
+ *                identity when empty.
+ */
+RoutedCircuit routeCircuit(const QuantumCircuit &circuit,
+                           const graph::Graph &topo,
+                           const std::vector<int> &initial = {});
+
+/** True if every two-qubit gate acts on a coupled pair. */
+bool respectsConnectivity(const QuantumCircuit &circuit,
+                          const graph::Graph &topo);
+
+} // namespace qzz::ckt
+
+#endif // QZZ_CIRCUIT_ROUTER_H

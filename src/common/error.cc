@@ -1,0 +1,17 @@
+#include "common/error.h"
+
+namespace qzz {
+
+void
+fatal(const std::string &msg)
+{
+    throw UserError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw InternalError("qzz internal error: " + msg);
+}
+
+} // namespace qzz

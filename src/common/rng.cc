@@ -1,0 +1,57 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+namespace qzz {
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double
+Rng::truncatedNormal(double mean, double stddev, double lo, double hi)
+{
+    require(lo < hi, "truncatedNormal: empty interval");
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        double x = normal(mean, stddev);
+        if (x >= lo && x <= hi)
+            return x;
+    }
+    // Pathological parameters; clamp deterministically rather than spin.
+    double x = normal(mean, stddev);
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+
+Rng
+Rng::split()
+{
+    uint64_t child_seed = engine_();
+    // Decorrelate from the parent stream (splitmix64 finalizer).
+    child_seed += 0x9e3779b97f4a7c15ull;
+    child_seed = (child_seed ^ (child_seed >> 30)) * 0xbf58476d1ce4e5b9ull;
+    child_seed = (child_seed ^ (child_seed >> 27)) * 0x94d049bb133111ebull;
+    child_seed ^= child_seed >> 31;
+    return Rng(child_seed);
+}
+
+} // namespace qzz

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic pieces of qzz (crosstalk-strength sampling, random
+ * circuit generation, optimizer restarts) draw from an explicitly
+ * seeded Rng so that every experiment in the repository is exactly
+ * reproducible.
+ */
+
+#ifndef QZZ_COMMON_RNG_H
+#define QZZ_COMMON_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace qzz {
+
+/** A seeded, splittable random source wrapping std::mt19937_64. */
+class Rng
+{
+  public:
+    /** Construct from an explicit 64-bit seed. */
+    explicit Rng(uint64_t seed) : engine_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi);
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Normal variate truncated to [lo, hi] by resampling.
+     * Used for coupling strengths, which must stay positive.
+     */
+    double truncatedNormal(double mean, double stddev, double lo, double hi);
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniformInt(0, int(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /**
+     * Derive an independent child generator.  Successive calls produce
+     * distinct streams; used to give sub-experiments their own seeds.
+     */
+    Rng split();
+
+    /** Access to the raw engine, for std distributions. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace qzz
+
+#endif // QZZ_COMMON_RNG_H

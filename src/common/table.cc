@@ -1,0 +1,91 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace qzz {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    require(!headers_.empty(), "Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    require(cells.size() == headers_.size(),
+            "Table::addRow: cell count does not match header count");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(int(width[c]) + 2) << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(width[c], '-') + "  ";
+    os << rule << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+formatG(double v, int digits)
+{
+    std::ostringstream ss;
+    ss << std::setprecision(digits) << v;
+    return ss.str();
+}
+
+std::string
+formatF(double v, int digits)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(digits) << v;
+    return ss.str();
+}
+
+std::string
+formatX(double v, int digits)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(digits) << v << "x";
+    return ss.str();
+}
+
+} // namespace qzz

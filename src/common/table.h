@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal aligned-table / CSV reporter used by the benchmark harnesses
+ * to print the rows and series of each paper figure.
+ */
+
+#ifndef QZZ_COMMON_TABLE_H
+#define QZZ_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qzz {
+
+/** A column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Set a title printed above the table. */
+    void setTitle(const std::string &title) { title_ = title; }
+
+    /** Append a fully formed row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits significant digits. */
+std::string formatG(double v, int digits = 5);
+
+/** Format a double in fixed notation with @p digits decimals. */
+std::string formatF(double v, int digits = 3);
+
+/** Format a ratio as e.g. "12.3x". */
+std::string formatX(double v, int digits = 1);
+
+} // namespace qzz
+
+#endif // QZZ_COMMON_TABLE_H

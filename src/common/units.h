@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Physical unit conventions used throughout qzz.
+ *
+ * Everything is expressed in the (ns, rad/ns) system with hbar = 1:
+ *  - time            : nanoseconds
+ *  - angular frequency: rad/ns
+ *  - ordinary frequency f relates to angular frequency w by w = 2*pi*f,
+ *    with f measured in GHz (cycles per ns).
+ *
+ * The paper quotes crosstalk strengths as "lambda/2pi in MHz"; the
+ * helpers below convert such quotes to rad/ns, e.g.
+ * `mhz(0.2)` is the angular strength of a 200 kHz coupling.
+ */
+
+#ifndef QZZ_COMMON_UNITS_H
+#define QZZ_COMMON_UNITS_H
+
+#include <numbers>
+
+namespace qzz {
+
+/** 2*pi, used pervasively when converting cyclic to angular frequency. */
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/** pi. */
+inline constexpr double kPi = std::numbers::pi;
+
+/** Convert a frequency quoted in MHz to angular frequency in rad/ns. */
+constexpr double
+mhz(double f_mhz)
+{
+    return kTwoPi * f_mhz * 1e-3;
+}
+
+/** Convert a frequency quoted in kHz to angular frequency in rad/ns. */
+constexpr double
+khz(double f_khz)
+{
+    return kTwoPi * f_khz * 1e-6;
+}
+
+/** Convert a frequency quoted in GHz to angular frequency in rad/ns. */
+constexpr double
+ghz(double f_ghz)
+{
+    return kTwoPi * f_ghz;
+}
+
+/** Convert an angular frequency (rad/ns) back to MHz. */
+constexpr double
+toMhz(double w)
+{
+    return w / kTwoPi * 1e3;
+}
+
+/** Convert an angular frequency (rad/ns) back to kHz. */
+constexpr double
+toKhz(double w)
+{
+    return w / kTwoPi * 1e6;
+}
+
+/** Convert a duration quoted in microseconds to ns. */
+constexpr double
+us(double t_us)
+{
+    return t_us * 1e3;
+}
+
+} // namespace qzz
+
+#endif // QZZ_COMMON_UNITS_H

@@ -1,0 +1,38 @@
+#include "core/cut.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qzz::core {
+
+SuppressionMetrics
+evaluateCut(const graph::Graph &g, const std::vector<int> &side)
+{
+    require(int(side.size()) == g.numVertices(),
+            "evaluateCut: side vector size mismatch");
+    SuppressionMetrics m;
+    m.unsuppressed_edge.assign(size_t(g.numEdges()), 0);
+    for (const graph::Edge &e : g.edges()) {
+        if (side[e.u] == side[e.v]) {
+            m.unsuppressed_edge[e.id] = 1;
+            ++m.nc;
+        }
+    }
+    m.region_of = g.componentsOfEdgeSubset(m.unsuppressed_edge);
+    const std::vector<int> sizes = graph::Graph::componentSizes(m.region_of);
+    m.nq = sizes.empty() ? 0
+                         : *std::max_element(sizes.begin(), sizes.end());
+    return m;
+}
+
+bool
+sameSide(const std::vector<int> &side, const std::vector<int> &q)
+{
+    for (size_t i = 1; i < q.size(); ++i)
+        if (side[q[i]] != side[q[0]])
+            return false;
+    return true;
+}
+
+} // namespace qzz::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cuts of a device topology and the paper's suppression metrics.
+ *
+ * A layer's qubits split into S (pulses applied) and T (idle).  The
+ * couplings with both endpoints on the same side carry *unsuppressed*
+ * ZZ crosstalk; those form the remaining-set of the cut (S, T).  The
+ * two quality metrics of Sec. 2.1:
+ *   NC = #couplings with unsuppressed crosstalk  (= |remaining-set|)
+ *   NQ = #qubits in the largest same-status region
+ */
+
+#ifndef QZZ_CORE_CUT_H
+#define QZZ_CORE_CUT_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qzz::core {
+
+/** NQ/NC metrics plus the supporting region structure. */
+struct SuppressionMetrics
+{
+    /** #couplings with unsuppressed crosstalk. */
+    int nc = 0;
+    /** #qubits in the largest region. */
+    int nq = 0;
+    /** Per-edge flag: true if crosstalk on the edge is unsuppressed. */
+    std::vector<char> unsuppressed_edge;
+    /** Region (same-status connected component) id per vertex. */
+    std::vector<int> region_of;
+
+    /** The combined objective alpha * NQ + NC. */
+    double
+    objective(double alpha) const
+    {
+        return alpha * double(nq) + double(nc);
+    }
+};
+
+/**
+ * Evaluate the metrics of a vertex 2-coloring (cut) of @p g.
+ *
+ * @param g    the topology.
+ * @param side 0/1 per vertex.
+ */
+SuppressionMetrics evaluateCut(const graph::Graph &g,
+                               const std::vector<int> &side);
+
+/** True when all vertices of @p q share one side value. */
+bool sameSide(const std::vector<int> &side, const std::vector<int> &q);
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_CUT_H

@@ -1,0 +1,57 @@
+#include "core/dcg.h"
+
+#include "common/units.h"
+
+namespace qzz::core {
+
+using pulse::GaussianWaveform;
+using pulse::PulseProgram;
+using pulse::SequenceWaveform;
+using pulse::WaveformPtr;
+
+namespace {
+
+/** A Gaussian x-rotation segment of the given angle and duration. */
+WaveformPtr
+segment(double angle, double duration)
+{
+    // Rotation angle theta = 2 * area.
+    return std::make_shared<GaussianWaveform>(GaussianWaveform::withArea(
+        angle / 2.0, duration, duration / 4.0));
+}
+
+} // namespace
+
+PulseProgram
+dcgIdentity(double t_seg)
+{
+    auto seq = std::make_shared<SequenceWaveform>(std::vector<WaveformPtr>{
+        segment(kPi, t_seg),
+        segment(kPi, t_seg),
+    });
+    return PulseProgram::singleQubit(seq, nullptr);
+}
+
+PulseProgram
+dcgSx(double t_seg)
+{
+    auto seq = std::make_shared<SequenceWaveform>(std::vector<WaveformPtr>{
+        segment(kPi, t_seg),
+        segment(kPi / 2.0, t_seg),
+        segment(-kPi / 2.0, t_seg),
+        segment(kPi, t_seg),
+        segment(kPi / 2.0, 2.0 * t_seg),
+    });
+    return PulseProgram::singleQubit(seq, nullptr);
+}
+
+pulse::PulseLibrary
+dcgLibrary(double t_seg)
+{
+    pulse::PulseLibrary lib("DCG");
+    lib.set(pulse::PulseGate::SX, dcgSx(t_seg));
+    lib.set(pulse::PulseGate::Identity, dcgIdentity(t_seg));
+    return lib;
+}
+
+} // namespace qzz::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Dynamically corrected gates (DCG) assembled from Gaussian
+ * primitives (Sec. 7.1.1 method 3 and Appendix A of the paper).
+ *
+ * DCG does not optimize pulses numerically; it concatenates standard
+ * Gaussian segments so that first-order ZZ crosstalk echoes away:
+ *  - identity: X(pi) X(pi), 2 x 20 ns = 40 ns;
+ *  - Rx(pi/2): X(pi) | X(pi/2) X(-pi/2) | X(pi) | X(pi/2, 40 ns),
+ *    total 120 ns (Fig. 28c).
+ * The price is duration: 2-6x longer than the optimized 20 ns pulses,
+ * which is why DCG accumulates more residual error (Fig. 16).
+ */
+
+#ifndef QZZ_CORE_DCG_H
+#define QZZ_CORE_DCG_H
+
+#include "pulse/library.h"
+
+namespace qzz::core {
+
+/** The DCG identity sequence (duration 2 * @p t_seg). */
+pulse::PulseProgram dcgIdentity(double t_seg = 20.0);
+
+/** The DCG Rx(pi/2) sequence (duration 6 * @p t_seg). */
+pulse::PulseProgram dcgSx(double t_seg = 20.0);
+
+/**
+ * The DCG pulse library: SX and Identity only.  Two-qubit DCG
+ * sequences are omitted, as in the paper ("its sequence for two-qubit
+ * gates is too complicated and too long in practice").
+ */
+pulse::PulseLibrary dcgLibrary(double t_seg = 20.0);
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_DCG_H

@@ -1,0 +1,79 @@
+#include "core/framework.h"
+
+#include "circuit/decompose.h"
+#include "common/error.h"
+
+namespace qzz::core {
+
+std::string
+schedPolicyName(SchedPolicy p)
+{
+    return p == SchedPolicy::Par ? "ParSched" : "ZZXSched";
+}
+
+CompiledProgram
+compileForDevice(const ckt::QuantumCircuit &logical,
+                 const dev::Device &dev, const CompileOptions &opt)
+{
+    return compileSegmentsForDevice({logical}, dev, opt);
+}
+
+CompiledProgram
+compileSegmentsForDevice(
+    const std::vector<ckt::QuantumCircuit> &segments,
+    const dev::Device &dev, const CompileOptions &opt)
+{
+    require(!segments.empty(),
+            "compileSegmentsForDevice: no segments given");
+    CompiledProgram out;
+    out.pulse_method = opt.pulse;
+    out.sched_policy = opt.sched;
+    out.library = &getPulseLibrary(opt.pulse);
+    const GateDurations durations =
+        GateDurations::fromLibrary(*out.library);
+
+    out.native = ckt::QuantumCircuit(dev.numQubits(),
+                                     segments.front().name());
+    out.schedule.num_qubits = dev.numQubits();
+
+    // Thread the layout through segments: the permutation left by one
+    // segment's SWAPs is the next segment's initial layout.
+    std::vector<int> layout;
+    for (const ckt::QuantumCircuit &segment : segments) {
+        require(segment.numQubits() == segments.front().numQubits(),
+                "compileSegmentsForDevice: register size mismatch");
+        ckt::RoutedCircuit routed =
+            ckt::routeCircuit(segment, dev.graph(), layout);
+        layout = routed.final_layout;
+        ckt::QuantumCircuit native =
+            ckt::decomposeToNative(routed.circuit);
+        ensure(ckt::respectsConnectivity(native, dev.graph()),
+               "compileSegmentsForDevice: connectivity violated");
+        for (const ckt::Gate &g : native.gates())
+            out.native.add(g);
+
+        Schedule sched =
+            opt.sched == SchedPolicy::Par
+                ? parSchedule(native, dev, durations)
+                : zzxSchedule(native, dev, durations, opt.zzx);
+        for (Layer &layer : sched.layers)
+            out.schedule.layers.push_back(std::move(layer));
+    }
+    return out;
+}
+
+pulse::PulseLibrary
+substituteIdentity(const pulse::PulseLibrary &base,
+                   pulse::PulseProgram dd_identity)
+{
+    pulse::PulseLibrary lib(base.name() + "+DD");
+    for (pulse::PulseGate g :
+         {pulse::PulseGate::SX, pulse::PulseGate::RZX}) {
+        if (base.has(g))
+            lib.set(g, base.get(g));
+    }
+    lib.set(pulse::PulseGate::Identity, std::move(dd_identity));
+    return lib;
+}
+
+} // namespace qzz::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The co-optimization framework (Fig. 2 of the paper): one entry point
+ * that takes a logical circuit and a device and produces an executable
+ * pulse schedule under a chosen (pulse method x scheduling policy)
+ * configuration.
+ *
+ * Pipeline: route to the topology -> lower to the native gate set ->
+ * schedule (ParSched or ZZXSched) -> attach the pulse library.
+ */
+
+#ifndef QZZ_CORE_FRAMEWORK_H
+#define QZZ_CORE_FRAMEWORK_H
+
+#include "circuit/router.h"
+#include "core/par_sched.h"
+#include "core/pulse_opt.h"
+#include "core/zzx_sched.h"
+
+namespace qzz::core {
+
+/** Scheduling policies compared in the paper. */
+enum class SchedPolicy
+{
+    Par, ///< maximal parallelism (baseline)
+    Zzx, ///< ZZ-aware co-optimized scheduling
+};
+
+/** Display name of a policy. */
+std::string schedPolicyName(SchedPolicy p);
+
+/** One compilation configuration, e.g. {Pert, Zzx}. */
+struct CompileOptions
+{
+    PulseMethod pulse = PulseMethod::Pert;
+    SchedPolicy sched = SchedPolicy::Zzx;
+    /** Options for ZZXSched (ignored by ParSched). */
+    ZzxOptions zzx;
+};
+
+/** A fully compiled program, ready for pulse-level simulation. */
+struct CompiledProgram
+{
+    /** The routed, native-gate circuit over device qubits. */
+    ckt::QuantumCircuit native;
+    /** The layered schedule. */
+    Schedule schedule;
+    /** Pulse programs for each native gate (owned by the library
+     *  memo; valid for the process lifetime). */
+    const pulse::PulseLibrary *library = nullptr;
+    PulseMethod pulse_method = PulseMethod::Gaussian;
+    SchedPolicy sched_policy = SchedPolicy::Par;
+};
+
+/**
+ * Compile @p logical for @p dev under @p opt.
+ *
+ * @param logical the benchmark circuit (any gate kinds).
+ * @param dev     target device.
+ * @param opt     pulse method and scheduling policy.
+ */
+CompiledProgram compileForDevice(const ckt::QuantumCircuit &logical,
+                                 const dev::Device &dev,
+                                 const CompileOptions &opt);
+
+/**
+ * Compile a barrier-separated circuit (Sec. 8 composition with
+ * XtalkSched / ColorDynamic): each segment is routed, lowered and
+ * scheduled independently (a hard barrier between segments), with the
+ * qubit layout threaded from one segment to the next.  The returned
+ * schedule is the concatenation.
+ *
+ * @param segments the sub-circuits produced by an outer crosstalk
+ *                 pass; all must use the same logical register size.
+ */
+CompiledProgram
+compileSegmentsForDevice(const std::vector<ckt::QuantumCircuit> &segments,
+                         const dev::Device &dev,
+                         const CompileOptions &opt);
+
+/**
+ * Dynamical-decoupling substitution (Sec. 8): replace a library's
+ * identity program (used for supplementation) with a caller-provided
+ * DD sequence, e.g. the DCG identity.
+ */
+pulse::PulseLibrary substituteIdentity(const pulse::PulseLibrary &base,
+                                       pulse::PulseProgram dd_identity);
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_FRAMEWORK_H

@@ -1,0 +1,118 @@
+#include "core/objectives.h"
+
+#include "common/error.h"
+#include "linalg/fidelity.h"
+
+namespace qzz::core {
+
+using la::CMatrix;
+
+namespace {
+
+/** sz (x) I on the |ab> basis. */
+const CMatrix &
+szI()
+{
+    static const CMatrix m =
+        la::kron(la::pauliZ(), la::identity2());
+    return m;
+}
+
+/** I (x) sz on the |ab> basis. */
+const CMatrix &
+Isz()
+{
+    static const CMatrix m =
+        la::kron(la::identity2(), la::pauliZ());
+    return m;
+}
+
+} // namespace
+
+double
+firstOrderCrosstalkNorm(const pulse::PulseProgram &p, double lambda_intra,
+                        double dt)
+{
+    ode::PropagationOptions opt;
+    opt.dt = dt;
+    if (!p.two_qubit) {
+        auto res = ode::propagateWithDyson(oneQubitBlockH(p, 0.0),
+                                           {la::pauliZ()}, 2, 0.0,
+                                           p.duration, opt);
+        return res.firstOrder[0].frobeniusNorm() / p.duration;
+    }
+    auto res = ode::propagateWithDyson(
+        twoQubitBlockH(p, 0.0, 0.0, lambda_intra), {szI(), Isz()}, 4,
+        0.0, p.duration, opt);
+    return (res.firstOrder[0].frobeniusNorm() +
+            res.firstOrder[1].frobeniusNorm()) /
+           p.duration;
+}
+
+double
+pertLossOneQubit(const pulse::PulseProgram &p, const CMatrix &target,
+                 const ObjectiveConfig &cfg)
+{
+    ode::PropagationOptions opt;
+    opt.dt = cfg.dt;
+    auto res = ode::propagateWithDyson(oneQubitBlockH(p, 0.0),
+                                       {la::pauliZ()}, 2, 0.0,
+                                       p.duration, opt);
+    const double xtalk =
+        res.firstOrder[0].frobeniusNorm() / p.duration;
+    const double gate = 1.0 - la::averageGateFidelity(res.u, target);
+    return xtalk + cfg.weight * gate;
+}
+
+double
+pertLossTwoQubit(const pulse::PulseProgram &p, const CMatrix &target,
+                 const ObjectiveConfig &cfg)
+{
+    ode::PropagationOptions opt;
+    opt.dt = cfg.dt;
+    // First-order terms live in the U~2 frame (H_ctrl + intra ZZ).
+    auto res = ode::propagateWithDyson(
+        twoQubitBlockH(p, 0.0, 0.0, cfg.lambda_intra), {szI(), Isz()},
+        4, 0.0, p.duration, opt);
+    const double xtalk = (res.firstOrder[0].frobeniusNorm() +
+                          res.firstOrder[1].frobeniusNorm()) /
+                         p.duration;
+    // The gate constraint U_ctrl(T) = U2 uses the bare drive (no
+    // intra crosstalk).
+    CMatrix u_ctrl = ode::propagate(twoQubitBlockH(p, 0.0, 0.0, 0.0), 4,
+                                    0.0, p.duration, opt);
+    const double gate = 1.0 - la::averageGateFidelity(u_ctrl, target);
+    return xtalk + cfg.weight * gate;
+}
+
+double
+optCtrlLossOneQubit(const pulse::PulseProgram &p, const CMatrix &target,
+                    const ObjectiveConfig &cfg)
+{
+    require(!cfg.lambda_samples.empty(),
+            "optCtrlLossOneQubit: no lambda samples");
+    double loss = 0.0;
+    for (double lambda : cfg.lambda_samples)
+        loss += oneQubitCrosstalkInfidelity(p, target, lambda, {},
+                                            cfg.dt);
+    loss /= double(cfg.lambda_samples.size());
+    loss += cfg.weight * (1.0 - gateFidelity(p, target, cfg.dt));
+    return loss;
+}
+
+double
+optCtrlLossTwoQubit(const pulse::PulseProgram &p, const CMatrix &target,
+                    const ObjectiveConfig &cfg)
+{
+    require(!cfg.lambda_samples.empty(),
+            "optCtrlLossTwoQubit: no lambda samples");
+    double loss = 0.0;
+    for (double lambda : cfg.lambda_samples)
+        loss += twoQubitCrosstalkInfidelity(p, lambda, lambda,
+                                            cfg.lambda_intra, cfg.dt);
+    loss /= double(cfg.lambda_samples.size());
+    loss += cfg.weight * (1.0 - gateFidelity(p, target, cfg.dt));
+    return loss;
+}
+
+} // namespace qzz::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The ZZ-suppressing pulse-optimization objectives (Secs. 4, 7.1.1).
+ *
+ * Two loss families over a candidate pulse:
+ *
+ *  OptCtrl: L = sum_lambda [1 - F_avg(U(T), target (x) I)]
+ *               + w [1 - F_avg(U_ctrl(T), target)]
+ *    — quantum optimal control on observed fidelity, averaged over a
+ *      range of crosstalk strengths.
+ *
+ *  Pert:    L = |U1_xtalk(T)| / T + w [1 - F_avg(U_ctrl(T), target)]
+ *    — the paper's new objective: drive the first-order Dyson term of
+ *      the crosstalk to zero.  For a single-qubit gate the first-order
+ *      term is M = int U_ctrl^dag sz U_ctrl dt (neighbor independent);
+ *      for a two-qubit gate both M_a (sz x I) and M_b (I x sz) must
+ *      vanish, evaluated in the interaction picture of
+ *      H_ctrl + lambda_ab H_intra (the U~2 frame).
+ */
+
+#ifndef QZZ_CORE_OBJECTIVES_H
+#define QZZ_CORE_OBJECTIVES_H
+
+#include <vector>
+
+#include "core/regions.h"
+
+namespace qzz::core {
+
+/** Shared objective configuration. */
+struct ObjectiveConfig
+{
+    /** Weight w of the gate-implementation term. */
+    double weight = 10.0;
+    /** Integrator step during optimization (ns). */
+    double dt = 0.02;
+    /** Crosstalk strengths averaged by OptCtrl (rad/ns). */
+    std::vector<double> lambda_samples;
+    /** Nominal intra-pair ZZ strength for two-qubit gates (rad/ns). */
+    double lambda_intra = 0.0;
+};
+
+/** Pert loss for a single-qubit pulse against @p target. */
+double pertLossOneQubit(const pulse::PulseProgram &p,
+                        const la::CMatrix &target,
+                        const ObjectiveConfig &cfg);
+
+/** Pert loss for a two-qubit pulse against @p target (= Rzx(pi/2)). */
+double pertLossTwoQubit(const pulse::PulseProgram &p,
+                        const la::CMatrix &target,
+                        const ObjectiveConfig &cfg);
+
+/** OptCtrl loss for a single-qubit pulse. */
+double optCtrlLossOneQubit(const pulse::PulseProgram &p,
+                           const la::CMatrix &target,
+                           const ObjectiveConfig &cfg);
+
+/** OptCtrl loss for a two-qubit pulse. */
+double optCtrlLossTwoQubit(const pulse::PulseProgram &p,
+                           const la::CMatrix &target,
+                           const ObjectiveConfig &cfg);
+
+/**
+ * Norm of the first-order crosstalk term(s) of a pulse, normalized by
+ * duration.  Diagnostic used by tests and the perturbative-scaling
+ * property checks.
+ */
+double firstOrderCrosstalkNorm(const pulse::PulseProgram &p,
+                               double lambda_intra, double dt = 0.02);
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_OBJECTIVES_H

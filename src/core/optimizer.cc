@@ -1,0 +1,68 @@
+#include "core/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::core {
+
+OptimizeResult
+minimizeAdam(const LossFn &loss, std::vector<double> init,
+             const AdamOptions &opt)
+{
+    require(!init.empty(), "minimizeAdam: empty parameter vector");
+    const size_t n = init.size();
+
+    std::vector<double> x = std::move(init);
+    std::vector<double> m(n, 0.0), v(n, 0.0), grad(n, 0.0);
+
+    OptimizeResult res;
+    res.params = x;
+    res.loss = loss(x);
+    res.history.push_back(res.loss);
+
+    int stale = 0;
+    for (int it = 1; it <= opt.max_iters; ++it) {
+        // Central finite differences.
+        for (size_t i = 0; i < n; ++i) {
+            std::vector<double> xp = x, xm = x;
+            xp[i] += opt.fd_step;
+            xm[i] -= opt.fd_step;
+            grad[i] = (loss(xp) - loss(xm)) / (2.0 * opt.fd_step);
+        }
+
+        // Cosine learning-rate decay.
+        const double progress = double(it) / double(opt.max_iters);
+        const double lr =
+            opt.lr_final + 0.5 * (opt.lr - opt.lr_final) *
+                               (1.0 + std::cos(kPi * progress));
+
+        for (size_t i = 0; i < n; ++i) {
+            m[i] = opt.beta1 * m[i] + (1.0 - opt.beta1) * grad[i];
+            v[i] = opt.beta2 * v[i] +
+                   (1.0 - opt.beta2) * grad[i] * grad[i];
+            const double mhat =
+                m[i] / (1.0 - std::pow(opt.beta1, double(it)));
+            const double vhat =
+                v[i] / (1.0 - std::pow(opt.beta2, double(it)));
+            x[i] -= lr * mhat / (std::sqrt(vhat) + opt.epsilon);
+        }
+
+        const double l = loss(x);
+        res.history.push_back(l);
+        res.iterations = it;
+        if (l < res.loss - 1e-12) {
+            res.loss = l;
+            res.params = x;
+            stale = 0;
+        } else {
+            ++stale;
+        }
+        if (res.loss < opt.target_loss || stale > opt.patience)
+            break;
+    }
+    return res;
+}
+
+} // namespace qzz::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Gradient-based minimizer for the pulse objectives: Adam with
+ * central finite-difference gradients.
+ *
+ * The paper solves its loss functions "with gradient-based methods
+ * numerically" (Sec. 7.1.1); the parameter counts here are tiny (10
+ * for single-qubit pulses, 25 for two-qubit pulses), so full central
+ * differences are affordable and robust.
+ */
+
+#ifndef QZZ_CORE_OPTIMIZER_H
+#define QZZ_CORE_OPTIMIZER_H
+
+#include <functional>
+#include <vector>
+
+namespace qzz::core {
+
+/** Scalar loss over a parameter vector. */
+using LossFn = std::function<double(const std::vector<double> &)>;
+
+/** Adam configuration. */
+struct AdamOptions
+{
+    int max_iters = 500;
+    double lr = 0.02;
+    /** Final learning rate of the cosine decay schedule. */
+    double lr_final = 0.002;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-9;
+    /** Central-difference step. */
+    double fd_step = 1e-5;
+    /** Stop when the loss drops below this value. */
+    double target_loss = 1e-8;
+    /** Stop after this many iterations without improvement.  Pulse
+     *  losses plateau before the echo-like basin opens, so keep this
+     *  generous. */
+    int patience = 300;
+};
+
+/** Optimization outcome. */
+struct OptimizeResult
+{
+    std::vector<double> params;
+    double loss = 0.0;
+    int iterations = 0;
+    /** Loss trace (one entry per iteration). */
+    std::vector<double> history;
+};
+
+/** Minimize @p loss starting from @p init. */
+OptimizeResult minimizeAdam(const LossFn &loss,
+                            std::vector<double> init,
+                            const AdamOptions &opt = {});
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_OPTIMIZER_H

@@ -1,0 +1,65 @@
+#include "core/par_sched.h"
+
+#include <algorithm>
+
+#include "circuit/dag.h"
+#include "common/error.h"
+
+namespace qzz::core {
+
+Schedule
+parSchedule(const ckt::QuantumCircuit &native, const dev::Device &dev,
+            const GateDurations &durations)
+{
+    require(native.isNative(), "parSchedule: circuit must be native");
+    require(native.numQubits() == dev.numQubits(),
+            "parSchedule: circuit/device size mismatch");
+
+    Schedule sched;
+    sched.num_qubits = native.numQubits();
+    ckt::DagFrontier frontier(native);
+
+    while (!frontier.done()) {
+        const std::vector<int> ready = frontier.schedulable();
+        ensure(!ready.empty(), "parSchedule: stalled frontier");
+
+        // Flush virtual gates into a zero-duration layer first.
+        std::vector<int> virt, phys;
+        for (int gi : ready) {
+            if (native.gates()[gi].isVirtual())
+                virt.push_back(gi);
+            else
+                phys.push_back(gi);
+        }
+        if (!virt.empty()) {
+            Layer layer;
+            layer.is_virtual = true;
+            for (int gi : virt) {
+                layer.gates.push_back({native.gates()[gi], false});
+                frontier.markScheduled(gi);
+            }
+            sched.layers.push_back(std::move(layer));
+            continue; // re-derive the frontier
+        }
+
+        // One ASAP layer with every schedulable physical gate.
+        Layer layer;
+        for (int gi : phys) {
+            const ckt::Gate &g = native.gates()[gi];
+            layer.gates.push_back({g, false});
+            layer.duration =
+                std::max(layer.duration, durations.of(g));
+            frontier.markScheduled(gi);
+        }
+        // Record the realized cut for reporting: S = driven qubits.
+        std::vector<int> side(size_t(sched.num_qubits), 0);
+        for (int q : layer.activeQubits(sched.num_qubits))
+            side[q] = 1;
+        layer.metrics = evaluateCut(dev.graph(), side);
+        layer.side = std::move(side);
+        sched.layers.push_back(std::move(layer));
+    }
+    return sched;
+}
+
+} // namespace qzz::core

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * ParSched: the maximal-parallelism baseline scheduler.
+ *
+ * Every schedulable gate starts as early as possible (ASAP), matching
+ * the state-of-the-art policy of Qiskit/Qulic the paper compares
+ * against (Sec. 7.3, "Comparison").  No identity supplementation, no
+ * crosstalk awareness.
+ */
+
+#ifndef QZZ_CORE_PAR_SCHED_H
+#define QZZ_CORE_PAR_SCHED_H
+
+#include "core/schedule.h"
+#include "device/device.h"
+
+namespace qzz::core {
+
+/**
+ * Schedule @p native ASAP.
+ *
+ * @param native    a native-gate circuit over the device's qubits.
+ * @param dev       the target device (for layer metrics only).
+ * @param durations per-gate durations.
+ */
+Schedule parSchedule(const ckt::QuantumCircuit &native,
+                     const dev::Device &dev,
+                     const GateDurations &durations);
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_PAR_SCHED_H

@@ -1,0 +1,149 @@
+#include "core/regions.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qzz::core {
+
+using la::CMatrix;
+using la::cplx;
+using pulse::PulseProgram;
+
+ode::HamiltonianFn
+oneQubitBlockH(const PulseProgram &p, double zshift,
+               const DriveNoise &noise)
+{
+    const double scale = 1.0 + noise.amplitude_error;
+    const double zc = zshift + noise.detuning / 2.0;
+    return [&p, scale, zc](double t, CMatrix &h) {
+        const double ox = scale * PulseProgram::eval(p.x_a, t);
+        const double oy = scale * PulseProgram::eval(p.y_a, t);
+        // H = ox sx + oy sy + zc sz.
+        h(0, 0) = zc;
+        h(0, 1) = cplx{ox, -oy};
+        h(1, 0) = cplx{ox, oy};
+        h(1, 1) = -zc;
+    };
+}
+
+ode::HamiltonianFn
+twoQubitBlockH(const PulseProgram &p, double shift_a, double shift_b,
+               double lambda_ab, const DriveNoise &noise)
+{
+    const double scale = 1.0 + noise.amplitude_error;
+    const double det = noise.detuning / 2.0;
+    return [&p, scale, shift_a, shift_b, lambda_ab, det](double t,
+                                                         CMatrix &h) {
+        const double oxa = scale * PulseProgram::eval(p.x_a, t);
+        const double oya = scale * PulseProgram::eval(p.y_a, t);
+        const double oxb = scale * PulseProgram::eval(p.x_b, t);
+        const double oyb = scale * PulseProgram::eval(p.y_b, t);
+        const double oc = scale * PulseProgram::eval(p.coupling, t);
+        // Basis |a b> with a as the most significant qubit.
+        // Drive on a: (ox sx + oy sy + sa sz) (x) I
+        const double sa = shift_a + det;
+        const double sb = shift_b + det;
+        const cplx da{oxa, -oya};
+        h(0, 2) += da;
+        h(1, 3) += da;
+        h(2, 0) += std::conj(da);
+        h(3, 1) += std::conj(da);
+        h(0, 0) += sa;
+        h(1, 1) += sa;
+        h(2, 2) += -sa;
+        h(3, 3) += -sa;
+        // Drive on b: I (x) (ox sx + oy sy + sb sz)
+        const cplx db{oxb, -oyb};
+        h(0, 1) += db;
+        h(2, 3) += db;
+        h(1, 0) += std::conj(db);
+        h(3, 2) += std::conj(db);
+        h(0, 0) += sb;
+        h(1, 1) += -sb;
+        h(2, 2) += sb;
+        h(3, 3) += -sb;
+        // Coupling channel: oc * sz (x) sx.
+        h(0, 1) += oc;
+        h(1, 0) += oc;
+        h(2, 3) += -oc;
+        h(3, 2) += -oc;
+        // Intra-pair crosstalk: lab * sz (x) sz.
+        h(0, 0) += lambda_ab;
+        h(1, 1) += -lambda_ab;
+        h(2, 2) += -lambda_ab;
+        h(3, 3) += lambda_ab;
+    };
+}
+
+double
+oneQubitCrosstalkInfidelity(const PulseProgram &p, const CMatrix &target,
+                            double lambda, const DriveNoise &noise,
+                            double dt)
+{
+    require(!p.two_qubit, "oneQubitCrosstalkInfidelity: 1q pulse needed");
+    ode::PropagationOptions opt;
+    opt.dt = dt;
+    // Spectator blocks z = +1 / -1.
+    cplx tr = 0.0;
+    for (double z : {1.0, -1.0}) {
+        CMatrix u = ode::propagate(oneQubitBlockH(p, z * lambda, noise),
+                                   2, 0.0, p.duration, opt);
+        tr += (target.dagger() * u).trace();
+    }
+    // F_avg over the 4-dim system; blocks are unitary so
+    // tr(M M^dag) = d.
+    const double d = 4.0;
+    const double f = (d + std::norm(tr)) / (d * (d + 1.0));
+    return 1.0 - f;
+}
+
+CMatrix
+tildeU2(const PulseProgram &p, double lambda_ab, double dt)
+{
+    ode::PropagationOptions opt;
+    opt.dt = dt;
+    return ode::propagate(twoQubitBlockH(p, 0.0, 0.0, lambda_ab), 4, 0.0,
+                          p.duration, opt);
+}
+
+double
+twoQubitCrosstalkInfidelity(const PulseProgram &p, double lambda_a,
+                            double lambda_b, double lambda_ab, double dt)
+{
+    require(p.two_qubit, "twoQubitCrosstalkInfidelity: 2q pulse needed");
+    ode::PropagationOptions opt;
+    opt.dt = dt;
+    const CMatrix target = tildeU2(p, lambda_ab, dt);
+    cplx tr = 0.0;
+    for (double za : {1.0, -1.0}) {
+        for (double zb : {1.0, -1.0}) {
+            CMatrix u = ode::propagate(
+                twoQubitBlockH(p, za * lambda_a, zb * lambda_b,
+                               lambda_ab),
+                4, 0.0, p.duration, opt);
+            tr += (target.dagger() * u).trace();
+        }
+    }
+    const double d = 16.0;
+    const double f = (d + std::norm(tr)) / (d * (d + 1.0));
+    return 1.0 - f;
+}
+
+double
+gateFidelity(const PulseProgram &p, const CMatrix &target, double dt)
+{
+    ode::PropagationOptions opt;
+    opt.dt = dt;
+    CMatrix u;
+    if (p.two_qubit) {
+        u = ode::propagate(twoQubitBlockH(p, 0.0, 0.0, 0.0), 4, 0.0,
+                           p.duration, opt);
+    } else {
+        u = ode::propagate(oneQubitBlockH(p, 0.0), 2, 0.0, p.duration,
+                           opt);
+    }
+    return la::averageGateFidelity(u, target);
+}
+
+} // namespace qzz::core

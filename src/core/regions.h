@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Basic-region Hamiltonian models (Sec. 4 of the paper) and their
+ * exact block decomposition.
+ *
+ * Spectator qubits are undriven and couple to the region only through
+ * diagonal sigma_z terms, so the region Hamiltonian is block-diagonal
+ * over spectator basis states:
+ *
+ *  - single-qubit region (Fig. 6): for spectator eigenvalue z = +-1,
+ *      H_z(t) = Ox(t) sx + Oy(t) sy + z * lambda * sz        (2x2)
+ *  - two-qubit region (Fig. 7): for left/right spectators (za, zb),
+ *      H_{za,zb}(t) = H_ctrl(t) + za*la sz(x)I + zb*lb I(x)sz
+ *                     + lab sz(x)sz                          (4x4)
+ *    with H_ctrl = drives on a, b plus the coupling channel
+ *    multiplying H_Coupling = sz (x) sx (cross resonance).
+ *
+ * This makes small-system pulse optimization exact *and* cheap, and is
+ * the computational backbone of Figs. 16-19.
+ */
+
+#ifndef QZZ_CORE_REGIONS_H
+#define QZZ_CORE_REGIONS_H
+
+#include "linalg/fidelity.h"
+#include "ode/propagator.h"
+#include "pulse/program.h"
+
+namespace qzz::core {
+
+/** Drive imperfections for the robustness study (Fig. 17). */
+struct DriveNoise
+{
+    /** Carrier frequency detuning (rad/ns); adds (detuning/2) sz per
+     *  driven qubit. */
+    double detuning = 0.0;
+    /** Relative amplitude error; all drive channels scale by
+     *  (1 + amplitude_error). */
+    double amplitude_error = 0.0;
+};
+
+/**
+ * Hamiltonian of one driven qubit with a static sigma_z shift.
+ *
+ * @param p      the pulse program (x_a / y_a channels used).
+ * @param zshift coefficient of sigma_z (spectator field), rad/ns.
+ * @param noise  drive imperfections.
+ */
+ode::HamiltonianFn oneQubitBlockH(const pulse::PulseProgram &p,
+                                  double zshift,
+                                  const DriveNoise &noise = {});
+
+/**
+ * Hamiltonian of a driven pair with static sigma_z shifts.
+ *
+ * @param p         two-qubit pulse program.
+ * @param shift_a   sz (x) I coefficient (left spectator field).
+ * @param shift_b   I (x) sz coefficient (right spectator field).
+ * @param lambda_ab intra-pair ZZ strength.
+ * @param noise     drive imperfections.
+ */
+ode::HamiltonianFn twoQubitBlockH(const pulse::PulseProgram &p,
+                                  double shift_a, double shift_b,
+                                  double lambda_ab,
+                                  const DriveNoise &noise = {});
+
+/**
+ * Crosstalk-suppression infidelity of a single-qubit pulse (Fig. 16):
+ * 1 - F_avg(U_full, target (x) I) on the qubit + one-spectator system,
+ * computed exactly from the two spectator blocks.
+ *
+ * @param p      the pulse.
+ * @param target the intended 2x2 gate.
+ * @param lambda spectator coupling strength (rad/ns).
+ * @param noise  drive imperfections.
+ * @param dt     integrator step (ns).
+ */
+double oneQubitCrosstalkInfidelity(const pulse::PulseProgram &p,
+                                   const la::CMatrix &target,
+                                   double lambda,
+                                   const DriveNoise &noise = {},
+                                   double dt = 0.01);
+
+/**
+ * Crosstalk-suppression infidelity of a two-qubit pulse on the
+ * 1-2-3-4 chain of Fig. 19: 1 - F_avg(U_full, I (x) U~2 (x) I), where
+ * U~2 is the pulse's own evolution including the intra-pair coupling
+ * at @p lambda_ab (the paper's desired evolution).
+ *
+ * @param p         the two-qubit pulse.
+ * @param lambda_a  coupling 1-2 (left spectator).
+ * @param lambda_b  coupling 3-4 (right spectator).
+ * @param lambda_ab intra-pair coupling 2-3.
+ * @param dt        integrator step (ns).
+ */
+double twoQubitCrosstalkInfidelity(const pulse::PulseProgram &p,
+                                   double lambda_a, double lambda_b,
+                                   double lambda_ab, double dt = 0.01);
+
+/**
+ * Gate-implementation fidelity F_avg(U_ctrl(T), target) of a pulse in
+ * the absence of any crosstalk.
+ */
+double gateFidelity(const pulse::PulseProgram &p,
+                    const la::CMatrix &target, double dt = 0.01);
+
+/** Evolution of a two-qubit pulse including intra-pair crosstalk
+ *  (the paper's U~2(T)). */
+la::CMatrix tildeU2(const pulse::PulseProgram &p, double lambda_ab,
+                    double dt = 0.01);
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_REGIONS_H

@@ -1,0 +1,106 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qzz::core {
+
+double
+GateDurations::of(const ckt::Gate &g) const
+{
+    switch (g.kind) {
+      case ckt::GateKind::SX:
+        return sx;
+      case ckt::GateKind::I:
+        return identity;
+      case ckt::GateKind::RZX:
+        return rzx;
+      case ckt::GateKind::RZ:
+        return 0.0;
+      default:
+        fatal("GateDurations::of: non-native gate " + g.toString());
+    }
+}
+
+GateDurations
+GateDurations::fromLibrary(const pulse::PulseLibrary &lib)
+{
+    GateDurations d;
+    d.sx = lib.get(pulse::PulseGate::SX).duration;
+    d.identity = lib.get(pulse::PulseGate::Identity).duration;
+    if (lib.has(pulse::PulseGate::RZX))
+        d.rzx = lib.get(pulse::PulseGate::RZX).duration;
+    return d;
+}
+
+std::vector<int>
+Layer::activeQubits(int num_qubits) const
+{
+    std::vector<char> active(size_t(num_qubits), 0);
+    for (const ScheduledGate &sg : gates)
+        if (!sg.gate.isVirtual())
+            for (int q : sg.gate.qubits)
+                active[q] = 1;
+    std::vector<int> out;
+    for (int q = 0; q < num_qubits; ++q)
+        if (active[q])
+            out.push_back(q);
+    return out;
+}
+
+double
+Schedule::executionTime() const
+{
+    double t = 0.0;
+    for (const Layer &l : layers)
+        t += l.duration;
+    return t;
+}
+
+int
+Schedule::physicalLayerCount() const
+{
+    int n = 0;
+    for (const Layer &l : layers)
+        if (!l.is_virtual)
+            ++n;
+    return n;
+}
+
+int
+Schedule::circuitGateCount() const
+{
+    int n = 0;
+    for (const Layer &l : layers)
+        for (const ScheduledGate &sg : l.gates)
+            if (!sg.supplemented)
+                ++n;
+    return n;
+}
+
+double
+Schedule::meanNc() const
+{
+    double sum = 0.0;
+    int count = 0;
+    for (const Layer &l : layers) {
+        if (l.is_virtual)
+            continue;
+        sum += double(l.metrics.nc);
+        ++count;
+    }
+    return count ? sum / double(count) : 0.0;
+}
+
+int
+Schedule::maxNq() const
+{
+    int best = 0;
+    for (const Layer &l : layers)
+        if (!l.is_virtual)
+            best = std::max(best, l.metrics.nq);
+    return best;
+}
+
+} // namespace qzz::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Schedule IR: the output of both scheduling policies.
+ *
+ * A schedule is an ordered list of layers.  Physical layers hold
+ * simultaneously played gates (including supplemented identity gates)
+ * and carry the cut and NQ/NC metrics realized on the device; virtual
+ * layers hold zero-duration RZ frame changes.  Layers execute
+ * serially; within a physical layer all pulses start together and the
+ * layer lasts as long as its longest pulse.
+ */
+
+#ifndef QZZ_CORE_SCHEDULE_H
+#define QZZ_CORE_SCHEDULE_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/cut.h"
+#include "pulse/library.h"
+
+namespace qzz::core {
+
+/** Per-gate durations used during scheduling (ns). */
+struct GateDurations
+{
+    double sx = 20.0;
+    double identity = 20.0;
+    double rzx = 20.0;
+
+    /** Duration of a native physical gate. */
+    double of(const ckt::Gate &g) const;
+
+    /** Extract the durations from a pulse library. */
+    static GateDurations fromLibrary(const pulse::PulseLibrary &lib);
+};
+
+/** A gate placed in a layer. */
+struct ScheduledGate
+{
+    ckt::Gate gate;
+    /** True for identity gates inserted by the scheduler. */
+    bool supplemented = false;
+};
+
+/** One schedule step. */
+struct Layer
+{
+    /** True for zero-duration RZ-only layers. */
+    bool is_virtual = false;
+    /** The gates played in this layer. */
+    std::vector<ScheduledGate> gates;
+    /** Wall-clock duration (ns); 0 for virtual layers. */
+    double duration = 0.0;
+    /** Driven side: 1 = pulses applied (S), 0 = idle (T).  Empty for
+     *  virtual layers and for ParSched (no cut structure). */
+    std::vector<int> side;
+    /** NQ/NC realized by this layer (physical layers only). */
+    SuppressionMetrics metrics;
+
+    /** Qubits carrying pulses in this layer. */
+    std::vector<int> activeQubits(int num_qubits) const;
+};
+
+/** An executable schedule. */
+struct Schedule
+{
+    int num_qubits = 0;
+    std::vector<Layer> layers;
+
+    /** Total execution time = sum of layer durations (ns). */
+    double executionTime() const;
+
+    /** Number of non-virtual layers. */
+    int physicalLayerCount() const;
+
+    /** Total count of scheduled circuit gates (excl. supplemented). */
+    int circuitGateCount() const;
+
+    /** Mean NC over physical layers (Fig. 25's couplings to turn
+     *  off under the co-optimized policy). */
+    double meanNc() const;
+
+    /** Max NQ over physical layers. */
+    int maxNq() const;
+};
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_SCHEDULE_H

@@ -1,0 +1,244 @@
+#include "core/schedule_io.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qzz::core {
+
+namespace {
+
+/** Minimal JSON emitter: handles the fixed shapes we produce. */
+class JsonWriter
+{
+  public:
+    JsonWriter(std::ostream &os, bool pretty) : os_(os), pretty_(pretty)
+    {
+        os_.precision(12);
+    }
+
+    void
+    beginObject()
+    {
+        separate();
+        os_ << "{";
+        push();
+        just_opened_ = true;
+    }
+    void
+    endObject()
+    {
+        pop();
+        newline();
+        os_ << "}";
+        just_opened_ = false;
+    }
+    void
+    beginArray()
+    {
+        separate();
+        os_ << "[";
+        push();
+        just_opened_ = true;
+    }
+    void
+    endArray()
+    {
+        pop();
+        newline();
+        os_ << "]";
+        just_opened_ = false;
+    }
+
+    void
+    key(const std::string &k)
+    {
+        separate();
+        os_ << "\"" << k << "\":";
+        if (pretty_)
+            os_ << " ";
+        pending_value_ = true;
+    }
+
+    void
+    value(double v)
+    {
+        separate();
+        if (std::isfinite(v))
+            os_ << v;
+        else
+            os_ << "null";
+        just_opened_ = false;
+    }
+    void
+    value(int v)
+    {
+        separate();
+        os_ << v;
+        just_opened_ = false;
+    }
+    void
+    value(bool v)
+    {
+        separate();
+        os_ << (v ? "true" : "false");
+        just_opened_ = false;
+    }
+    void
+    value(const std::string &v)
+    {
+        separate();
+        os_ << "\"" << v << "\"";
+        just_opened_ = false;
+    }
+
+  private:
+    std::ostream &os_;
+    bool pretty_;
+    int depth_ = 0;
+    bool just_opened_ = true;
+    bool pending_value_ = false;
+
+    void
+    push()
+    {
+        ++depth_;
+    }
+    void
+    pop()
+    {
+        --depth_;
+    }
+    void
+    newline()
+    {
+        if (!pretty_)
+            return;
+        os_ << "\n";
+        for (int i = 0; i < depth_; ++i)
+            os_ << "  ";
+    }
+    void
+    separate()
+    {
+        if (pending_value_) {
+            pending_value_ = false;
+            return; // value follows its key on the same line
+        }
+        if (!just_opened_)
+            os_ << ",";
+        newline();
+        just_opened_ = false;
+    }
+};
+
+void
+writeChannel(JsonWriter &w, const char *name,
+             const pulse::WaveformPtr &wf, double duration,
+             double sample_dt)
+{
+    if (!wf)
+        return;
+    w.key(name);
+    w.beginArray();
+    for (double t = 0.0; t <= duration + 1e-9; t += sample_dt)
+        w.value(wf->value(t));
+    w.endArray();
+}
+
+} // namespace
+
+void
+writeScheduleJson(const Schedule &schedule,
+                  const pulse::PulseLibrary &library, std::ostream &os,
+                  const ScheduleIoOptions &opt)
+{
+    require(opt.sample_dt >= 0.0, "writeScheduleJson: bad sample_dt");
+    JsonWriter w(os, opt.pretty);
+    w.beginObject();
+    w.key("num_qubits");
+    w.value(schedule.num_qubits);
+    w.key("execution_time_ns");
+    w.value(schedule.executionTime());
+    w.key("pulse_library");
+    w.value(library.name());
+
+    w.key("layers");
+    w.beginArray();
+    for (const Layer &layer : schedule.layers) {
+        w.beginObject();
+        w.key("virtual");
+        w.value(layer.is_virtual);
+        w.key("duration_ns");
+        w.value(layer.duration);
+        if (!layer.is_virtual) {
+            w.key("nq");
+            w.value(layer.metrics.nq);
+            w.key("nc");
+            w.value(layer.metrics.nc);
+            w.key("side");
+            w.beginArray();
+            for (int s : layer.side)
+                w.value(s);
+            w.endArray();
+        }
+        w.key("gates");
+        w.beginArray();
+        for (const ScheduledGate &sg : layer.gates) {
+            w.beginObject();
+            w.key("kind");
+            w.value(ckt::gateKindName(sg.gate.kind));
+            w.key("qubits");
+            w.beginArray();
+            for (int q : sg.gate.qubits)
+                w.value(q);
+            w.endArray();
+            if (!sg.gate.params.empty()) {
+                w.key("params");
+                w.beginArray();
+                for (double p : sg.gate.params)
+                    w.value(p);
+                w.endArray();
+            }
+            w.key("supplemented");
+            w.value(sg.supplemented);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    if (opt.sample_dt > 0.0) {
+        w.key("pulses");
+        w.beginObject();
+        for (pulse::PulseGate g :
+             {pulse::PulseGate::SX, pulse::PulseGate::Identity,
+              pulse::PulseGate::RZX}) {
+            if (!library.has(g))
+                continue;
+            const pulse::PulseProgram &p = library.get(g);
+            w.key(pulse::pulseGateName(g));
+            w.beginObject();
+            w.key("duration_ns");
+            w.value(p.duration);
+            w.key("two_qubit");
+            w.value(p.two_qubit);
+            w.key("channels");
+            w.beginObject();
+            writeChannel(w, "x_a", p.x_a, p.duration, opt.sample_dt);
+            writeChannel(w, "y_a", p.y_a, p.duration, opt.sample_dt);
+            writeChannel(w, "x_b", p.x_b, p.duration, opt.sample_dt);
+            writeChannel(w, "y_b", p.y_b, p.duration, opt.sample_dt);
+            writeChannel(w, "coupling", p.coupling, p.duration,
+                         opt.sample_dt);
+            w.endObject();
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace qzz::core

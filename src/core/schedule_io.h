@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Schedule export: serialize a compiled schedule (layers, cuts,
+ * per-gate pulse programs with sampled waveforms) to a JSON document
+ * that a control-electronics backend or plotting notebook can
+ * consume.  Output only; qzz itself never reads these files.
+ */
+
+#ifndef QZZ_CORE_SCHEDULE_IO_H
+#define QZZ_CORE_SCHEDULE_IO_H
+
+#include <ostream>
+
+#include "core/schedule.h"
+#include "pulse/library.h"
+
+namespace qzz::core {
+
+/** Serialization controls. */
+struct ScheduleIoOptions
+{
+    /** Waveform sample spacing in ns (0 = omit samples). */
+    double sample_dt = 1.0;
+    /** Pretty-print with newlines and indentation. */
+    bool pretty = true;
+};
+
+/**
+ * Write @p schedule as JSON.
+ *
+ * Layout:
+ * {
+ *   "num_qubits": n,
+ *   "execution_time_ns": t,
+ *   "layers": [ { "virtual": bool, "duration_ns": d,
+ *                 "nq": ..., "nc": ..., "side": [...],
+ *                 "gates": [ { "kind": "...", "qubits": [...],
+ *                              "params": [...],
+ *                              "supplemented": bool } ] } ],
+ *   "pulses": { "<gate>": { "duration_ns": d,
+ *                           "channels": { "x_a": [...], ... } } }
+ * }
+ */
+void writeScheduleJson(const Schedule &schedule,
+                       const pulse::PulseLibrary &library,
+                       std::ostream &os,
+                       const ScheduleIoOptions &opt = {});
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_SCHEDULE_IO_H

@@ -1,0 +1,264 @@
+#include "core/suppression.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "graph/matching.h"
+#include "graph/shortest_paths.h"
+
+namespace qzz::core {
+
+using graph::Graph;
+using graph::Path;
+
+std::vector<char>
+SuppressionResult::sideMask(const std::vector<int> &q) const
+{
+    int s_value = 1;
+    if (!q.empty())
+        s_value = side[q[0]];
+    std::vector<char> mask(side.size(), 0);
+    for (size_t v = 0; v < side.size(); ++v)
+        mask[v] = side[v] == s_value ? 1 : 0;
+    return mask;
+}
+
+SuppressionSolver::SuppressionSolver(const graph::Topology &topo)
+    : emb_(topo.embedding()), dual_(graph::buildDual(emb_))
+{
+}
+
+std::optional<std::vector<int>>
+SuppressionSolver::induceCut(const std::vector<char> &pairing_edges,
+                             const std::vector<char> &eq_edges) const
+{
+    // Add Edges + Cut Inducing: contract the primal duals of the
+    // pairing plus E_Q (ids coincide between primal and dual).
+    std::vector<char> contract(pairing_edges);
+    for (size_t e = 0; e < contract.size(); ++e)
+        if (eq_edges[e])
+            contract[e] = 1;
+    return emb_.graph().twoColorAfterContraction(contract);
+}
+
+SuppressionResult
+SuppressionSolver::solve(const std::vector<int> &q,
+                         const SuppressionOptions &opt) const
+{
+    const Graph &g = emb_.graph();
+    const Graph &dual = dual_.g;
+    const int m = g.numEdges();
+
+    for (int v : q)
+        require(v >= 0 && v < g.numVertices(),
+                "SuppressionSolver::solve: qubit out of range");
+
+    // E_Q: topology edges with both endpoints in Q.
+    std::vector<char> in_q(size_t(g.numVertices()), 0);
+    for (int v : q)
+        in_q[v] = 1;
+    std::vector<char> eq(size_t(m), 0);
+    for (const graph::Edge &e : g.edges())
+        if (in_q[e.u] && in_q[e.v])
+            eq[e.id] = 1;
+
+    // Step 1 (Delete Edges): block E*_Q in the dual.
+    const std::vector<char> &blocked = eq;
+
+    // Odd-degree vertices of the modified dual.  Self-loops add two to
+    // the degree, so they never change parity.
+    std::vector<int> deg(size_t(dual.numVertices()), 0);
+    for (const graph::Edge &e : dual.edges()) {
+        if (blocked[e.id])
+            continue;
+        deg[e.u] += 1;
+        deg[e.v] += 1; // self-loops counted twice on purpose
+    }
+    std::vector<int> odd;
+    for (int v = 0; v < dual.numVertices(); ++v)
+        if (deg[v] % 2 == 1)
+            odd.push_back(v);
+    ensure(odd.size() % 2 == 0, "odd-degree vertex count must be even");
+
+    const double inf = std::numeric_limits<double>::infinity();
+
+    auto make_fallback = [&]() {
+        SuppressionResult res;
+        res.side.assign(size_t(g.numVertices()), 0);
+        for (int v : q)
+            res.side[v] = 1;
+        res.metrics = evaluateCut(g, res.side);
+        res.constraint_ok = true;
+        res.used_fallback = true;
+        return res;
+    };
+
+    // Step 2 (Vertex Pairing): max-weight matching with w = L - d.
+    std::vector<std::pair<int, int>> matched;
+    if (!odd.empty()) {
+        std::vector<std::vector<int>> dist;
+        for (int u : odd) {
+            // BFS in the modified dual.
+            std::vector<int> d(size_t(dual.numVertices()), -1);
+            d[u] = 0;
+            std::vector<int> queue{u};
+            for (size_t head = 0; head < queue.size(); ++head) {
+                int v = queue[head];
+                for (const auto &a : dual.neighbors(v)) {
+                    if (blocked[a.edge] || d[a.to] != -1)
+                        continue;
+                    d[a.to] = d[v] + 1;
+                    queue.push_back(a.to);
+                }
+            }
+            dist.push_back(std::move(d));
+        }
+        int max_d = 0;
+        bool disconnected = false;
+        for (size_t i = 0; i < odd.size(); ++i)
+            for (size_t j = 0; j < odd.size(); ++j) {
+                const int d = dist[i][odd[j]];
+                if (d < 0)
+                    disconnected = true;
+                else
+                    max_d = std::max(max_d, d);
+            }
+        const double big = double(max_d + 1);
+        auto weight = [&](int i, int j) {
+            const int d = dist[i][odd[j]];
+            return d < 0 ? -1e9 : big - double(d);
+        };
+        auto matching =
+            graph::maxWeightPerfectMatching(int(odd.size()), weight);
+        for (auto [i, j] : matching.pairs) {
+            if (disconnected && dist[i][odd[j]] < 0)
+                return make_fallback();
+            matched.emplace_back(odd[i], odd[j]);
+        }
+    }
+
+    // Step 3 (Path Relaxing): top-k dual paths per pair.  buildPaths
+    // is re-invoked with a wider k if no valid cut emerges (see the
+    // adaptive retry below).
+    std::vector<std::vector<Path>> path_lists;
+    auto build_paths = [&](int k) {
+        path_lists.clear();
+        for (auto [u, v] : matched) {
+            auto paths =
+                graph::yenKShortestPaths(dual, u, v, k, blocked);
+            if (paths.empty())
+                return false;
+            path_lists.push_back(std::move(paths));
+        }
+        return true;
+    };
+    if (!build_paths(opt.top_k))
+        return make_fallback();
+
+    // Candidate evaluation: XOR the selected paths, add E*_Q, induce a
+    // cut, check the constraint, and compute the objective.
+    struct Evaluated
+    {
+        bool valid = false;
+        std::vector<int> side;
+        SuppressionMetrics metrics;
+        double objective = 0.0;
+    };
+    auto evaluate = [&](const std::vector<size_t> &choice) {
+        Evaluated ev;
+        std::vector<char> pairing(size_t(m), 0);
+        for (size_t p = 0; p < path_lists.size(); ++p)
+            for (int e : path_lists[p][choice[p]].edges)
+                pairing[e] ^= 1; // symmetric difference
+        auto colors = induceCut(pairing, eq);
+        if (!colors)
+            return ev;
+        if (!q.empty() && !sameSide(*colors, q))
+            return ev;
+        ev.valid = true;
+        ev.side = std::move(*colors);
+        ev.metrics = evaluateCut(g, ev.side);
+        ev.objective = ev.metrics.objective(opt.alpha);
+        return ev;
+    };
+
+    // Greedy relaxation (Algorithm 1, lines 11-21): advance one pair's
+    // path at a time, keeping the best valid candidate, until no
+    // candidate improves the objective.  Two robustness extensions:
+    // when the current selection is invalid (the induced cut splits Q)
+    // and every one-step relaxation is invalid too, advance blindly
+    // through the path lists; and when a whole sweep at this k finds
+    // nothing valid, retry with a wider top-k — longer pairing paths
+    // often flip the component parities that separate Q.
+    Evaluated best;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        std::vector<size_t> choice(path_lists.size(), 0);
+        best = evaluate(choice);
+        double best_obj = best.valid ? best.objective : inf;
+        while (true) {
+            int best_pair = -1;
+            Evaluated best_cand;
+            double best_cand_obj = inf;
+            for (size_t p = 0; p < path_lists.size(); ++p) {
+                if (choice[p] + 1 >= path_lists[p].size())
+                    continue;
+                std::vector<size_t> cand = choice;
+                ++cand[p];
+                Evaluated ev = evaluate(cand);
+                if (!ev.valid)
+                    continue;
+                if (ev.objective < best_cand_obj) {
+                    best_cand_obj = ev.objective;
+                    best_cand = std::move(ev);
+                    best_pair = int(p);
+                }
+            }
+            if (best_pair >= 0 && best_cand_obj < best_obj) {
+                ++choice[size_t(best_pair)];
+                best = std::move(best_cand);
+                best_obj = best_cand_obj;
+                continue;
+            }
+            if (!best.valid) {
+                // Forced advance: step the first pair that still has
+                // unexplored paths (exhaustive for a single pair).
+                bool advanced = false;
+                for (size_t p = 0; p < path_lists.size(); ++p) {
+                    if (choice[p] + 1 < path_lists[p].size()) {
+                        ++choice[p];
+                        advanced = true;
+                        break;
+                    }
+                }
+                if (!advanced)
+                    break;
+                Evaluated ev = evaluate(choice);
+                if (ev.valid) {
+                    best = std::move(ev);
+                    best_obj = best.objective;
+                }
+                continue;
+            }
+            break;
+        }
+        if (best.valid)
+            break;
+        // Widen the search before giving up.
+        const int wider = opt.top_k + 3 * (attempt + 1);
+        if (!build_paths(wider))
+            break;
+    }
+
+    if (!best.valid)
+        return make_fallback();
+
+    SuppressionResult res;
+    res.side = std::move(best.side);
+    res.metrics = std::move(best.metrics);
+    res.constraint_ok = true;
+    res.used_fallback = false;
+    return res;
+}
+
+} // namespace qzz::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The alpha-optimal suppression algorithm (Algorithm 1 of the paper).
+ *
+ * Given a planar device topology and the set Q of qubits that must be
+ * driven together (the qubits of a layer's gates), find a cut (S, T)
+ * with Q inside one partition minimizing alpha * NQ + NC, where the
+ * remaining-set of the cut is the set of unsuppressed couplings.
+ *
+ * Pipeline (Secs. 5.1-5.2):
+ *   1. Delete Edges   — remove E*_Q from the dual graph.
+ *   2. Vertex Pairing — max-weight matching of odd-degree dual
+ *      vertices with weights L - d(u, v).
+ *   3. Path Relaxing  — per matched pair, consider the top-k shortest
+ *      dual paths; greedily relax one pair at a time.
+ *   4. Add Edges      — put E*_Q back into the odd-vertex pairing.
+ *   5. Cut Inducing   — contract the pairing's primal edges and
+ *      2-color the quotient.
+ *   6. Check          — all of Q must land in one partition.
+ *
+ * Paths are combined by symmetric difference so that overlapping paths
+ * still produce a valid T-join (odd-vertex pairing) of the dual.
+ */
+
+#ifndef QZZ_CORE_SUPPRESSION_H
+#define QZZ_CORE_SUPPRESSION_H
+
+#include <vector>
+
+#include "core/cut.h"
+#include "graph/planar.h"
+#include "graph/topologies.h"
+
+namespace qzz::core {
+
+/** Tuning knobs for Algorithm 1. */
+struct SuppressionOptions
+{
+    /** Relative importance of NQ vs NC (paper evaluation: 0.5). */
+    double alpha = 0.5;
+    /** Number of alternative shortest paths per pair (paper: 3). */
+    int top_k = 3;
+};
+
+/** Outcome of one alpha-optimal suppression run. */
+struct SuppressionResult
+{
+    /** Vertex side (0/1).  When Q is non-empty and the constraint was
+     *  satisfied, side[q] is identical for all q in Q. */
+    std::vector<int> side;
+    /** Metrics of the returned cut. */
+    SuppressionMetrics metrics;
+    /** True when Q ended up inside a single partition. */
+    bool constraint_ok = true;
+    /** True when the algorithm fell back to the trivial cut
+     *  S = Q, T = V - Q (no valid pairing candidate). */
+    bool used_fallback = false;
+
+    /** Value alpha * NQ + NC of the returned cut. */
+    double objective(double alpha) const { return metrics.objective(alpha); }
+
+    /** The S side as a 0/1 mask oriented so that Q (or, for empty Q,
+     *  side value 1) is "in S". */
+    std::vector<char> sideMask(const std::vector<int> &q) const;
+};
+
+/**
+ * Reusable solver: builds the embedding and dual graph of a topology
+ * once and answers alpha-optimal suppression queries.
+ */
+class SuppressionSolver
+{
+  public:
+    explicit SuppressionSolver(const graph::Topology &topo);
+
+    /**
+     * Run Algorithm 1.
+     *
+     * @param q   qubits that must share a partition (may be empty).
+     * @param opt tuning knobs.
+     */
+    SuppressionResult solve(const std::vector<int> &q,
+                            const SuppressionOptions &opt = {}) const;
+
+    const graph::Graph &topologyGraph() const { return emb_.graph(); }
+    const graph::Graph &dualGraph() const { return dual_.g; }
+
+  private:
+    graph::PlanarEmbedding emb_;
+    graph::DualGraph dual_;
+
+    /** Induce a cut from a pairing (plus E*_Q); nullopt if invalid. */
+    std::optional<std::vector<int>>
+    induceCut(const std::vector<char> &pairing_edges,
+              const std::vector<char> &eq_edges) const;
+};
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_SUPPRESSION_H

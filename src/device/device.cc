@@ -1,0 +1,70 @@
+#include "device/device.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qzz::dev {
+
+Device::Device(graph::Topology topo, DeviceParams params, Rng &rng)
+    : topo_(std::move(topo)), params_(params)
+{
+    couplings_.reserve(size_t(topo_.g.numEdges()));
+    for (int e = 0; e < topo_.g.numEdges(); ++e) {
+        couplings_.push_back(rng.truncatedNormal(
+            params_.coupling_mean, params_.coupling_stddev,
+            params_.coupling_mean * 0.05, params_.coupling_mean * 4.0));
+    }
+}
+
+Device::Device(graph::Topology topo, DeviceParams params,
+               std::vector<double> couplings)
+    : topo_(std::move(topo)), params_(params),
+      couplings_(std::move(couplings))
+{
+    require(int(couplings_.size()) == topo_.g.numEdges(),
+            "Device: coupling count must match edge count");
+}
+
+void
+Device::setCoherence(double t1, double t2)
+{
+    require(t1 > 0.0 && t2 > 0.0, "Device::setCoherence: bad times");
+    // Physicality: 1/T_phi = 1/T2 - 1/(2 T1) must be non-negative.
+    require(1.0 / t2 - 0.5 / t1 > -1e-15,
+            "Device::setCoherence: requires T2 <= 2 T1");
+    params_.t1 = t1;
+    params_.t2 = t2;
+}
+
+std::pair<int, int>
+Device::gridDimsForQubits(int n)
+{
+    require(n >= 1, "gridDimsForQubits: bad qubit count");
+    switch (n) {
+      case 4:
+        return {2, 2};
+      case 6:
+        return {2, 3};
+      case 9:
+        return {3, 3};
+      case 12:
+        return {3, 4};
+      default:
+        break;
+    }
+    int best_r = 1;
+    for (int r = 1; r * r <= n; ++r)
+        if (n % r == 0)
+            best_r = r;
+    return {best_r, n / best_r};
+}
+
+Device
+Device::gridForQubits(int n, DeviceParams params, Rng &rng)
+{
+    auto [rows, cols] = gridDimsForQubits(n);
+    return Device(graph::gridTopology(rows, cols), params, rng);
+}
+
+} // namespace qzz::dev

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Device model: topology plus physical parameters.
+ *
+ * Couplings carry always-on ZZ strengths lambda (rad/ns), sampled per
+ * edge from N(mu, sigma) as in Sec. 7.3 of the paper (mu = 200 kHz,
+ * sigma = 50 kHz, quoted as lambda/2pi).  Decoherence is described by
+ * uniform T1/T2 times, and the transmon anharmonicity feeds the
+ * leakage study.
+ */
+
+#ifndef QZZ_DEVICE_DEVICE_H
+#define QZZ_DEVICE_DEVICE_H
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/topologies.h"
+
+namespace qzz::dev {
+
+/** Physical parameter set for device construction. */
+struct DeviceParams
+{
+    /** Mean ZZ strength lambda (rad/ns); default 2pi * 200 kHz. */
+    double coupling_mean = 2.0 * 3.14159265358979323846 * 200e-6;
+    /** Std dev of lambda (rad/ns); default 2pi * 50 kHz. */
+    double coupling_stddev = 2.0 * 3.14159265358979323846 * 50e-6;
+    /** Relaxation time T1 (ns); infinity = no relaxation. */
+    double t1 = std::numeric_limits<double>::infinity();
+    /** Dephasing time T2 (ns); infinity = no dephasing. */
+    double t2 = std::numeric_limits<double>::infinity();
+    /** Transmon anharmonicity (rad/ns); default 2pi * (-300 MHz). */
+    double anharmonicity = -2.0 * 3.14159265358979323846 * 300e-3;
+};
+
+/** A quantum device: topology + sampled couplings + coherence data. */
+class Device
+{
+  public:
+    /**
+     * Build a device over @p topo with couplings sampled from
+     * N(params.coupling_mean, params.coupling_stddev), truncated to
+     * stay positive.
+     */
+    Device(graph::Topology topo, DeviceParams params, Rng &rng);
+
+    /** Build with explicitly specified per-edge couplings. */
+    Device(graph::Topology topo, DeviceParams params,
+           std::vector<double> couplings);
+
+    const graph::Topology &topology() const { return topo_; }
+    const graph::Graph &graph() const { return topo_.g; }
+    int numQubits() const { return topo_.g.numVertices(); }
+    int numCouplings() const { return topo_.g.numEdges(); }
+
+    /** ZZ strength of coupling @p edge_id (rad/ns). */
+    double coupling(int edge_id) const { return couplings_[edge_id]; }
+
+    const std::vector<double> &couplings() const { return couplings_; }
+
+    const DeviceParams &params() const { return params_; }
+
+    /** Override the T1/T2 times (used by the decoherence sweep). */
+    void setCoherence(double t1, double t2);
+
+    /**
+     * Grid dimensions used for an n-qubit benchmark: 2x2, 2x3, 3x3 and
+     * 3x4 for the paper's 4/6/9/12-qubit instances; nearest-square
+     * factorization otherwise.
+     */
+    static std::pair<int, int> gridDimsForQubits(int n);
+
+    /** Convenience factory: n-qubit grid device. */
+    static Device gridForQubits(int n, DeviceParams params, Rng &rng);
+
+  private:
+    graph::Topology topo_;
+    DeviceParams params_;
+    std::vector<double> couplings_;
+};
+
+} // namespace qzz::dev
+
+#endif // QZZ_DEVICE_DEVICE_H

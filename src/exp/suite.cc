@@ -1,0 +1,48 @@
+#include "exp/suite.h"
+
+#include <cstdlib>
+
+namespace qzz::exp {
+
+std::vector<SuiteEntry>
+buildSuite(const SuiteConfig &cfg)
+{
+    Rng master(cfg.seed);
+    Rng circuit_rng = master.split();
+
+    const auto instances =
+        cfg.with_qv ? ckt::paperBenchmarkSuiteWithQv(circuit_rng)
+                    : ckt::paperBenchmarkSuite(circuit_rng);
+
+    // One device per qubit count, shared across families so that all
+    // instances of a size see identical couplings.
+    std::vector<SuiteEntry> out;
+    std::vector<std::pair<int, dev::Device>> devices;
+    Rng device_rng = master.split();
+    auto device_for = [&](int n) -> const dev::Device & {
+        for (const auto &[qubits, device] : devices)
+            if (qubits == n)
+                return device;
+        Rng child = device_rng.split();
+        devices.emplace_back(
+            n, dev::Device::gridForQubits(n, dev::DeviceParams{}, child));
+        return devices.back().second;
+    };
+
+    for (const auto &inst : instances) {
+        const int n = inst.circuit.numQubits();
+        if (cfg.max_qubits > 0 && n > cfg.max_qubits)
+            continue;
+        out.push_back({inst.label, inst.circuit, device_for(n)});
+    }
+    return out;
+}
+
+bool
+quickMode()
+{
+    const char *env = std::getenv("QZZ_QUICK");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+} // namespace qzz::exp

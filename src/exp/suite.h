@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The paper's evaluation suite: benchmark instances paired with their
+ * grid devices (Sec. 7.3 setup).
+ *
+ * Devices are n-qubit sub-grids (2x2, 2x3, 3x3, 3x4 for n = 4, 6, 9,
+ * 12) with per-coupling ZZ strengths sampled from N(200 kHz, 50 kHz)
+ * (quoted as lambda/2pi) under a fixed seed, so every figure sees the
+ * same hardware.
+ */
+
+#ifndef QZZ_EXP_SUITE_H
+#define QZZ_EXP_SUITE_H
+
+#include <vector>
+
+#include "circuit/benchmarks.h"
+#include "device/device.h"
+#include "exp/pipeline.h"
+
+namespace qzz::exp {
+
+/** One suite entry: a benchmark plus its device. */
+struct SuiteEntry
+{
+    std::string label;
+    ckt::QuantumCircuit circuit;
+    dev::Device device;
+};
+
+/** Suite construction knobs. */
+struct SuiteConfig
+{
+    uint64_t seed = 20220215;
+    /** Include the QV instances (Fig. 25). */
+    bool with_qv = false;
+    /** Keep only instances with at most this many qubits
+     *  (0 = no limit); used by smoke tests. */
+    int max_qubits = 0;
+};
+
+/** Build the benchmark+device suite. */
+std::vector<SuiteEntry> buildSuite(const SuiteConfig &cfg = {});
+
+/** True when the QZZ_QUICK environment variable asks benches to run
+ *  a reduced (<= 6 qubit) suite. */
+bool quickMode();
+
+} // namespace qzz::exp
+
+#endif // QZZ_EXP_SUITE_H

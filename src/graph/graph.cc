@@ -1,0 +1,190 @@
+#include "graph/graph.h"
+
+#include <functional>
+#include <queue>
+
+#include "common/error.h"
+
+namespace qzz::graph {
+
+Graph::Graph(int n)
+{
+    require(n >= 0, "Graph: negative vertex count");
+    adj_.resize(size_t(n));
+}
+
+int
+Graph::addEdge(int u, int v)
+{
+    require(u >= 0 && u < numVertices() && v >= 0 && v < numVertices(),
+            "Graph::addEdge: vertex out of range");
+    const int id = int(edges_.size());
+    edges_.push_back(Edge{u, v, id});
+    adj_[u].push_back(Adjacent{v, id});
+    adj_[v].push_back(Adjacent{u, id}); // self-loops listed twice
+    return id;
+}
+
+std::vector<int>
+Graph::oddDegreeVertices() const
+{
+    std::vector<int> odd;
+    for (int v = 0; v < numVertices(); ++v)
+        if (degree(v) % 2 == 1)
+            odd.push_back(v);
+    return odd;
+}
+
+int
+Graph::findEdge(int u, int v) const
+{
+    for (const auto &a : adj_[u])
+        if (a.to == v)
+            return a.edge;
+    return -1;
+}
+
+std::vector<int>
+Graph::componentsOfEdgeSubset(const std::vector<char> &edge_in_subset) const
+{
+    require(int(edge_in_subset.size()) == numEdges(),
+            "componentsOfEdgeSubset: flag size mismatch");
+    std::vector<int> comp(size_t(numVertices()), -1);
+    int next = 0;
+    for (int s = 0; s < numVertices(); ++s) {
+        if (comp[s] != -1)
+            continue;
+        comp[s] = next;
+        std::queue<int> q;
+        q.push(s);
+        while (!q.empty()) {
+            int v = q.front();
+            q.pop();
+            for (const auto &a : adj_[v]) {
+                if (!edge_in_subset[a.edge] || comp[a.to] != -1)
+                    continue;
+                comp[a.to] = next;
+                q.push(a.to);
+            }
+        }
+        ++next;
+    }
+    return comp;
+}
+
+std::vector<int>
+Graph::components() const
+{
+    return componentsOfEdgeSubset(std::vector<char>(numEdges(), 1));
+}
+
+std::vector<int>
+Graph::componentSizes(const std::vector<int> &comp)
+{
+    int n_comp = 0;
+    for (int c : comp)
+        n_comp = std::max(n_comp, c + 1);
+    std::vector<int> sizes(size_t(n_comp), 0);
+    for (int c : comp)
+        ++sizes[c];
+    return sizes;
+}
+
+std::optional<std::vector<int>>
+Graph::twoColorAfterContraction(const std::vector<char> &contracted) const
+{
+    require(int(contracted.size()) == numEdges(),
+            "twoColorAfterContraction: flag size mismatch");
+
+    // Union-find to merge endpoints of contracted edges.
+    std::vector<int> parent(static_cast<size_t>(numVertices()), 0);
+    for (int v = 0; v < numVertices(); ++v)
+        parent[v] = v;
+    std::function<int(int)> find = [&](int v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    for (const Edge &e : edges_)
+        if (contracted[e.id])
+            parent[find(e.u)] = find(e.v);
+
+    // BFS 2-coloring of the quotient graph over the remaining edges.
+    std::vector<int> color(size_t(numVertices()), -1);
+    for (int s = 0; s < numVertices(); ++s) {
+        int rs = find(s);
+        if (color[rs] != -1)
+            continue;
+        color[rs] = 0;
+        std::queue<int> q;
+        q.push(rs);
+        while (!q.empty()) {
+            int rv = q.front();
+            q.pop();
+            // Scan all original vertices in this quotient class.
+            for (int v = 0; v < numVertices(); ++v) {
+                if (find(v) != rv)
+                    continue;
+                for (const auto &a : adj_[v]) {
+                    if (contracted[a.edge])
+                        continue;
+                    int rw = find(a.to);
+                    if (rw == rv)
+                        return std::nullopt; // odd cycle (self edge)
+                    if (color[rw] == -1) {
+                        color[rw] = 1 - color[rv];
+                        q.push(rw);
+                    } else if (color[rw] == color[rv]) {
+                        return std::nullopt;
+                    }
+                }
+            }
+        }
+    }
+
+    std::vector<int> out(static_cast<size_t>(numVertices()), 0);
+    for (int v = 0; v < numVertices(); ++v)
+        out[v] = color[find(v)];
+    return out;
+}
+
+std::optional<std::vector<int>>
+Graph::twoColor() const
+{
+    return twoColorAfterContraction(std::vector<char>(numEdges(), 0));
+}
+
+std::vector<int>
+Graph::bfsDistances(int src) const
+{
+    require(src >= 0 && src < numVertices(), "bfsDistances: bad source");
+    std::vector<int> dist(size_t(numVertices()), -1);
+    dist[src] = 0;
+    std::queue<int> q;
+    q.push(src);
+    while (!q.empty()) {
+        int v = q.front();
+        q.pop();
+        for (const auto &a : adj_[v]) {
+            if (dist[a.to] != -1)
+                continue;
+            dist[a.to] = dist[v] + 1;
+            q.push(a.to);
+        }
+    }
+    return dist;
+}
+
+std::vector<std::vector<int>>
+Graph::allPairsDistances() const
+{
+    std::vector<std::vector<int>> d;
+    d.reserve(size_t(numVertices()));
+    for (int v = 0; v < numVertices(); ++v)
+        d.push_back(bfsDistances(v));
+    return d;
+}
+
+} // namespace qzz::graph

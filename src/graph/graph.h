@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Undirected multigraph with stable edge ids.
+ *
+ * Used both for device topologies (simple planar graphs) and for their
+ * duals (which may contain self-loops and parallel edges).  Vertices
+ * are dense integers [0, n).  Every edge has an id equal to its
+ * insertion index; the planar-duality code relies on these ids to map
+ * primal edges to dual edges and back.
+ */
+
+#ifndef QZZ_GRAPH_GRAPH_H
+#define QZZ_GRAPH_GRAPH_H
+
+#include <optional>
+#include <vector>
+
+namespace qzz::graph {
+
+/** An undirected edge (u, v) with its id. */
+struct Edge
+{
+    int u = -1;
+    int v = -1;
+    int id = -1;
+
+    /** The endpoint opposite @p w. */
+    int
+    other(int w) const
+    {
+        return w == u ? v : u;
+    }
+
+    bool isSelfLoop() const { return u == v; }
+};
+
+/** Adjacency entry: neighboring vertex reached through an edge. */
+struct Adjacent
+{
+    int to = -1;
+    int edge = -1;
+};
+
+/** Undirected multigraph. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Create a graph with @p n isolated vertices. */
+    explicit Graph(int n);
+
+    /** Add an edge; returns its id.  Self-loops are allowed. */
+    int addEdge(int u, int v);
+
+    int numVertices() const { return int(adj_.size()); }
+    int numEdges() const { return int(edges_.size()); }
+
+    const Edge &edge(int id) const { return edges_[id]; }
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Incident edges of @p v (self-loops appear twice). */
+    const std::vector<Adjacent> &neighbors(int v) const { return adj_[v]; }
+
+    /** Degree of @p v; self-loops count twice. */
+    int degree(int v) const { return int(adj_[v].size()); }
+
+    /** Vertices with odd degree. */
+    std::vector<int> oddDegreeVertices() const;
+
+    /** Id of some edge joining u and v, or -1. */
+    int findEdge(int u, int v) const;
+
+    /**
+     * Connected components over a subset of edges.
+     *
+     * @param edge_in_subset  per-edge-id inclusion flags.
+     * @return component id per vertex (isolated vertices get their own
+     *         component).
+     */
+    std::vector<int>
+    componentsOfEdgeSubset(const std::vector<char> &edge_in_subset) const;
+
+    /** Connected components over all edges. */
+    std::vector<int> components() const;
+
+    /** Sizes indexed by component id, given per-vertex component ids. */
+    static std::vector<int> componentSizes(const std::vector<int> &comp);
+
+    /**
+     * Attempt a proper 2-coloring after contracting the given edges.
+     *
+     * Contracted edges merge their endpoints; the remaining edges must
+     * then form a bipartite quotient graph.  This is the "cut inducing"
+     * primitive of the paper's Algorithm 1.
+     *
+     * @param contracted per-edge-id flags of edges to contract.
+     * @return color (0/1) per original vertex, or nullopt if the
+     *         quotient is not 2-colorable (i.e. the edge set was not a
+     *         valid remaining-set).
+     */
+    std::optional<std::vector<int>>
+    twoColorAfterContraction(const std::vector<char> &contracted) const;
+
+    /** 2-coloring of the whole graph if bipartite. */
+    std::optional<std::vector<int>> twoColor() const;
+
+    /** BFS hop distances from @p src (-1 where unreachable). */
+    std::vector<int> bfsDistances(int src) const;
+
+    /** All-pairs BFS distances; [u][v] = hops, -1 if unreachable. */
+    std::vector<std::vector<int>> allPairsDistances() const;
+
+  private:
+    std::vector<Edge> edges_;
+    std::vector<std::vector<Adjacent>> adj_;
+};
+
+} // namespace qzz::graph
+
+#endif // QZZ_GRAPH_GRAPH_H

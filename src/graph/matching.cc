@@ -1,0 +1,146 @@
+#include "graph/matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace qzz::graph {
+
+namespace {
+
+MatchingResult
+exactDp(int n, const std::function<double(int, int)> &weight)
+{
+    // dp[mask] = best perfect matching of exactly the vertices in mask.
+    // Transitions always match the lowest set bit of mask, so each
+    // even-popcount mask is considered once and reconstruction just
+    // peels lowest bits.
+    const size_t full = size_t(1) << n;
+    const double neg_inf = -std::numeric_limits<double>::infinity();
+    std::vector<double> dp(full, neg_inf);
+    std::vector<int> choice(full, -1); // partner of the lowest set bit
+    dp[0] = 0.0;
+
+    for (size_t mask = 1; mask < full; ++mask) {
+        if (__builtin_popcountll(mask) % 2 != 0)
+            continue;
+        const int i = __builtin_ctzll(mask);
+        for (int j = i + 1; j < n; ++j) {
+            if (!(mask & (size_t(1) << j)))
+                continue;
+            const size_t rest =
+                mask & ~(size_t(1) << i) & ~(size_t(1) << j);
+            if (dp[rest] == neg_inf)
+                continue;
+            const double w = dp[rest] + weight(i, j);
+            if (w > dp[mask]) {
+                dp[mask] = w;
+                choice[mask] = j;
+            }
+        }
+    }
+
+    MatchingResult res;
+    res.weight = dp[full - 1];
+    res.exact = true;
+    size_t mask = full - 1;
+    while (mask) {
+        const int i = __builtin_ctzll(mask);
+        const int j = choice[mask];
+        ensure(j >= 0, "matching DP reconstruction failed");
+        res.pairs.emplace_back(i, j);
+        mask &= ~(size_t(1) << i);
+        mask &= ~(size_t(1) << j);
+    }
+    std::sort(res.pairs.begin(), res.pairs.end());
+    return res;
+}
+
+MatchingResult
+greedyWithTwoOpt(int n, const std::function<double(int, int)> &weight)
+{
+    // Greedy: repeatedly take the heaviest available pair.
+    struct Cand
+    {
+        double w;
+        int i, j;
+    };
+    std::vector<Cand> cands;
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            cands.push_back({weight(i, j), i, j});
+    std::sort(cands.begin(), cands.end(), [](const Cand &a, const Cand &b) {
+        if (a.w != b.w)
+            return a.w > b.w;
+        return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+    });
+
+    std::vector<int> partner(size_t(n), -1);
+    for (const Cand &c : cands) {
+        if (partner[c.i] == -1 && partner[c.j] == -1) {
+            partner[c.i] = c.j;
+            partner[c.j] = c.i;
+        }
+    }
+
+    // 2-opt: try re-pairing every two pairs, until no improvement.
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (int a = 0; a < n; ++a) {
+            int b = partner[a];
+            if (b < a)
+                continue;
+            for (int c = a + 1; c < n; ++c) {
+                int d = partner[c];
+                if (d < c || c == b)
+                    continue;
+                const double cur = weight(a, b) + weight(c, d);
+                const double alt1 = weight(a, c) + weight(b, d);
+                const double alt2 = weight(a, d) + weight(b, c);
+                if (alt1 > cur + 1e-12 && alt1 >= alt2) {
+                    partner[a] = c;
+                    partner[c] = a;
+                    partner[b] = d;
+                    partner[d] = b;
+                    improved = true;
+                } else if (alt2 > cur + 1e-12) {
+                    partner[a] = d;
+                    partner[d] = a;
+                    partner[b] = c;
+                    partner[c] = b;
+                    improved = true;
+                }
+            }
+        }
+    }
+
+    MatchingResult res;
+    res.exact = false;
+    for (int v = 0; v < n; ++v) {
+        if (partner[v] > v) {
+            res.pairs.emplace_back(v, partner[v]);
+            res.weight += weight(v, partner[v]);
+        }
+    }
+    return res;
+}
+
+} // namespace
+
+MatchingResult
+maxWeightPerfectMatching(int n,
+                         const std::function<double(int, int)> &weight)
+{
+    require(n >= 0 && n % 2 == 0,
+            "maxWeightPerfectMatching: vertex count must be even");
+    if (n == 0)
+        return {};
+    if (n <= kExactMatchingLimit)
+        return exactDp(n, weight);
+    return greedyWithTwoOpt(n, weight);
+}
+
+} // namespace qzz::graph

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Maximum-weight perfect matching on small complete graphs.
+ *
+ * The paper matches the odd-degree vertices of a dual graph (an even
+ * set, typically < 10 vertices on near-term planar topologies).  We
+ * use an exact O(2^n * n) bitmask dynamic program for n <= kExactLimit
+ * and a greedy + 2-opt refinement heuristic beyond that (reported via
+ * MatchingResult::exact so callers can surface the fallback).
+ */
+
+#ifndef QZZ_GRAPH_MATCHING_H
+#define QZZ_GRAPH_MATCHING_H
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace qzz::graph {
+
+/** Result of a perfect matching computation. */
+struct MatchingResult
+{
+    /** Matched index pairs (i < j), covering all vertices. */
+    std::vector<std::pair<int, int>> pairs;
+    /** Total weight of the matching. */
+    double weight = 0.0;
+    /** True when produced by the exact DP. */
+    bool exact = true;
+};
+
+/** Largest n handled exactly by the bitmask DP. */
+inline constexpr int kExactMatchingLimit = 20;
+
+/**
+ * Maximum-weight perfect matching of the complete graph K_n.
+ *
+ * @param n      vertex count; must be even (n = 0 yields the empty
+ *               matching).
+ * @param weight symmetric weight callback w(i, j).
+ */
+MatchingResult
+maxWeightPerfectMatching(int n,
+                         const std::function<double(int, int)> &weight);
+
+} // namespace qzz::graph
+
+#endif // QZZ_GRAPH_MATCHING_H

@@ -1,0 +1,112 @@
+#include "graph/planar.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qzz::graph {
+
+PlanarEmbedding::PlanarEmbedding(Graph g,
+                                 std::vector<std::vector<int>> rotation)
+    : graph_(std::move(g)), rotation_(std::move(rotation))
+{
+    require(int(rotation_.size()) == graph_.numVertices(),
+            "PlanarEmbedding: rotation size mismatch");
+    for (int v = 0; v < graph_.numVertices(); ++v) {
+        require(int(rotation_[v].size()) == graph_.degree(v),
+                "PlanarEmbedding: rotation degree mismatch");
+        // Each incident edge must appear exactly once.
+        std::vector<int> sorted = rotation_[v];
+        std::sort(sorted.begin(), sorted.end());
+        std::vector<int> incident;
+        for (const auto &a : graph_.neighbors(v))
+            incident.push_back(a.edge);
+        std::sort(incident.begin(), incident.end());
+        require(sorted == incident,
+                "PlanarEmbedding: rotation does not list incident edges");
+    }
+    for (const Edge &e : graph_.edges())
+        require(!e.isSelfLoop(),
+                "PlanarEmbedding: primal self-loops unsupported");
+    traceFaces();
+}
+
+void
+PlanarEmbedding::traceFaces()
+{
+    const int m = graph_.numEdges();
+    side_.assign(size_t(2 * m), -1);
+
+    // Directed edge d = 2*e + dir, dir 0: u->v, dir 1: v->u.
+    auto head = [&](int d) {
+        const Edge &e = graph_.edge(d / 2);
+        return (d % 2 == 0) ? e.v : e.u;
+    };
+
+    // Position of each edge in each vertex's rotation.
+    std::vector<std::vector<int>> pos_in_rot(rotation_.size());
+    for (size_t v = 0; v < rotation_.size(); ++v) {
+        pos_in_rot[v].assign(size_t(m), -1);
+        for (size_t i = 0; i < rotation_[v].size(); ++i)
+            pos_in_rot[v][rotation_[v][i]] = int(i);
+    }
+
+    // next(d): arrive at w = head(d); leave through the edge after
+    // reverse(d) in w's rotation.
+    auto next = [&](int d) {
+        const int w = head(d);
+        const int e = d / 2;
+        const int p = pos_in_rot[w][e];
+        const int deg = int(rotation_[w].size());
+        const int ne = rotation_[w][(p + 1) % deg];
+        // Direct ne out of w.
+        const Edge &edge = graph_.edge(ne);
+        return (edge.u == w) ? 2 * ne : 2 * ne + 1;
+    };
+
+    for (int d = 0; d < 2 * m; ++d) {
+        if (side_[d] != -1)
+            continue;
+        const int face = int(faces_.size());
+        faces_.emplace_back();
+        int cur = d;
+        do {
+            ensure(side_[cur] == -1, "face tracing revisited an edge");
+            side_[cur] = face;
+            faces_.back().push_back(cur / 2);
+            cur = next(cur);
+        } while (cur != d);
+    }
+}
+
+std::pair<int, int>
+PlanarEmbedding::facesOfEdge(int e) const
+{
+    return {side_[2 * e], side_[2 * e + 1]};
+}
+
+int
+PlanarEmbedding::longestFace() const
+{
+    int best = 0;
+    for (int f = 1; f < numFaces(); ++f)
+        if (faces_[f].size() > faces_[best].size())
+            best = f;
+    return best;
+}
+
+DualGraph
+buildDual(const PlanarEmbedding &emb)
+{
+    DualGraph dual;
+    dual.numFaces = emb.numFaces();
+    dual.g = Graph(emb.numFaces());
+    for (int e = 0; e < emb.graph().numEdges(); ++e) {
+        auto [f1, f2] = emb.facesOfEdge(e);
+        int id = dual.g.addEdge(f1, f2);
+        ensure(id == e, "dual edge ids must mirror primal edge ids");
+    }
+    return dual;
+}
+
+} // namespace qzz::graph

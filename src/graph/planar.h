@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Planar embeddings and dual graphs.
+ *
+ * A combinatorial (rotation-system) embedding lists, for every vertex,
+ * the cyclic order of its incident edges.  Faces are the orbits of the
+ * next-directed-edge permutation, and the dual graph has one vertex
+ * per face and one edge e* per primal edge e, joining the faces on the
+ * two sides of e.  Theorem 3.1 of the paper (cut <-> odd-vertex
+ * pairing duality) is exercised through this correspondence.
+ */
+
+#ifndef QZZ_GRAPH_PLANAR_H
+#define QZZ_GRAPH_PLANAR_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qzz::graph {
+
+/**
+ * Rotation-system embedding of a connected planar graph.
+ *
+ * rotation[v] lists the incident edge ids of v in (consistent) cyclic
+ * order.  Self-loops are not supported in the primal graph.
+ */
+class PlanarEmbedding
+{
+  public:
+    /**
+     * @param g        the embedded graph (must stay alive; copied).
+     * @param rotation cyclic edge order per vertex; must contain each
+     *                 incident edge exactly once.
+     */
+    PlanarEmbedding(Graph g, std::vector<std::vector<int>> rotation);
+
+    const Graph &graph() const { return graph_; }
+
+    /** Number of faces (Euler: n - m + f = 2 for connected graphs). */
+    int numFaces() const { return int(faces_.size()); }
+
+    /** Edge ids on the boundary walk of face @p f (with repetitions
+     *  for bridges, which border the same face twice). */
+    const std::vector<int> &faceEdges(int f) const { return faces_[f]; }
+
+    /** The two faces incident to edge @p e (equal for bridges). */
+    std::pair<int, int> facesOfEdge(int e) const;
+
+    /** Face with the longest boundary walk (outer face for the
+     *  factory-built topologies). */
+    int longestFace() const;
+
+  private:
+    Graph graph_;
+    std::vector<std::vector<int>> rotation_;
+    /** faces_[f] = boundary edge walk of face f. */
+    std::vector<std::vector<int>> faces_;
+    /** face on each side of a directed edge: side_[2*e + dir]. */
+    std::vector<int> side_;
+
+    void traceFaces();
+};
+
+/**
+ * The dual graph of a planar embedding, with the primal<->dual edge
+ * correspondence.  Dual edge ids equal primal edge ids by
+ * construction (dual edge k is the dual of primal edge k).
+ */
+struct DualGraph
+{
+    /** The dual multigraph (self-loops for primal bridges). */
+    Graph g;
+    /** dual vertex (face) containing each primal face walk. */
+    int numFaces = 0;
+};
+
+/** Build the dual graph of an embedding. */
+DualGraph buildDual(const PlanarEmbedding &emb);
+
+} // namespace qzz::graph
+
+#endif // QZZ_GRAPH_PLANAR_H

@@ -1,0 +1,178 @@
+#include "graph/shortest_paths.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/error.h"
+
+namespace qzz::graph {
+
+std::optional<Path>
+shortestPath(const Graph &g, int src, int dst,
+             const std::vector<char> &blocked_edges,
+             const std::vector<char> &blocked_verts)
+{
+    require(src >= 0 && src < g.numVertices() && dst >= 0 &&
+                dst < g.numVertices(),
+            "shortestPath: endpoint out of range");
+    auto edge_ok = [&](int e) {
+        return blocked_edges.empty() || !blocked_edges[e];
+    };
+    auto vert_ok = [&](int v) {
+        return blocked_verts.empty() || !blocked_verts[v];
+    };
+    if (!vert_ok(src) || !vert_ok(dst))
+        return std::nullopt;
+
+    // BFS storing the (vertex, edge) predecessor.  Prefer smaller edge
+    // ids among equal-length options for determinism.
+    std::vector<int> pred_v(size_t(g.numVertices()), -1);
+    std::vector<int> pred_e(size_t(g.numVertices()), -1);
+    std::vector<int> dist(size_t(g.numVertices()), -1);
+    dist[src] = 0;
+    std::queue<int> q;
+    q.push(src);
+    while (!q.empty()) {
+        int v = q.front();
+        q.pop();
+        if (v == dst)
+            break;
+        // Deterministic neighbor order: sort by (to, edge).
+        std::vector<Adjacent> nb(g.neighbors(v).begin(),
+                                 g.neighbors(v).end());
+        std::sort(nb.begin(), nb.end(), [](const auto &a, const auto &b) {
+            return a.edge < b.edge;
+        });
+        for (const auto &a : nb) {
+            if (!edge_ok(a.edge) || !vert_ok(a.to) || dist[a.to] != -1)
+                continue;
+            if (a.to == v)
+                continue; // self-loop never helps a shortest path
+            dist[a.to] = dist[v] + 1;
+            pred_v[a.to] = v;
+            pred_e[a.to] = a.edge;
+            q.push(a.to);
+        }
+    }
+    if (dist[dst] == -1)
+        return std::nullopt;
+
+    Path p;
+    int cur = dst;
+    while (cur != src) {
+        p.vertices.push_back(cur);
+        p.edges.push_back(pred_e[cur]);
+        cur = pred_v[cur];
+    }
+    p.vertices.push_back(src);
+    std::reverse(p.vertices.begin(), p.vertices.end());
+    std::reverse(p.edges.begin(), p.edges.end());
+    return p;
+}
+
+namespace {
+
+/** Total order on paths: by length, then lexicographic edge ids. */
+bool
+pathLess(const Path &a, const Path &b)
+{
+    if (a.length() != b.length())
+        return a.length() < b.length();
+    return a.edges < b.edges;
+}
+
+bool
+pathEqual(const Path &a, const Path &b)
+{
+    return a.edges == b.edges && a.vertices == b.vertices;
+}
+
+} // namespace
+
+std::vector<Path>
+yenKShortestPaths(const Graph &g, int src, int dst, int k,
+                  const std::vector<char> &blocked_edges)
+{
+    require(k >= 1, "yenKShortestPaths: k must be positive");
+    std::vector<Path> result;
+
+    if (src == dst) {
+        // The only loopless path is the empty one.
+        Path p;
+        p.vertices.push_back(src);
+        result.push_back(std::move(p));
+        return result;
+    }
+
+    auto base_blocked = blocked_edges;
+    if (base_blocked.empty())
+        base_blocked.assign(size_t(g.numEdges()), 0);
+
+    auto first = shortestPath(g, src, dst, base_blocked);
+    if (!first)
+        return result;
+    result.push_back(std::move(*first));
+
+    std::vector<Path> candidates;
+    while (int(result.size()) < k) {
+        const Path &prev = result.back();
+        // Spur from every prefix of the previous path.
+        for (int i = 0; i < prev.length(); ++i) {
+            const int spur_node = prev.vertices[i];
+            std::vector<char> eb = base_blocked;
+            std::vector<char> vb(size_t(g.numVertices()), 0);
+
+            // Block edges that would recreate an already-found path
+            // sharing this root.
+            for (const Path &found : result) {
+                if (found.length() > i &&
+                    std::equal(found.edges.begin(),
+                               found.edges.begin() + i,
+                               prev.edges.begin())) {
+                    eb[found.edges[i]] = 1;
+                }
+            }
+            // Block the root path's interior vertices.
+            for (int j = 0; j < i; ++j)
+                vb[prev.vertices[j]] = 1;
+
+            auto spur = shortestPath(g, spur_node, dst, eb, vb);
+            if (!spur)
+                continue;
+
+            Path total;
+            total.vertices.assign(prev.vertices.begin(),
+                                  prev.vertices.begin() + i);
+            total.edges.assign(prev.edges.begin(), prev.edges.begin() + i);
+            total.vertices.insert(total.vertices.end(),
+                                  spur->vertices.begin(),
+                                  spur->vertices.end());
+            total.edges.insert(total.edges.end(), spur->edges.begin(),
+                               spur->edges.end());
+
+            bool dup = false;
+            for (const Path &c : candidates)
+                if (pathEqual(c, total)) {
+                    dup = true;
+                    break;
+                }
+            for (const Path &r : result)
+                if (pathEqual(r, total)) {
+                    dup = true;
+                    break;
+                }
+            if (!dup)
+                candidates.push_back(std::move(total));
+        }
+        if (candidates.empty())
+            break;
+        auto best = std::min_element(candidates.begin(), candidates.end(),
+                                     pathLess);
+        result.push_back(*best);
+        candidates.erase(best);
+    }
+    return result;
+}
+
+} // namespace qzz::graph

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shortest paths and Yen's top-k loopless shortest paths.
+ *
+ * Operates on multigraphs with unit edge lengths and supports blocking
+ * individual edges and vertices, which Yen's spur construction and the
+ * "Delete Edges" step of the paper's Algorithm 1 both need.
+ */
+
+#ifndef QZZ_GRAPH_SHORTEST_PATHS_H
+#define QZZ_GRAPH_SHORTEST_PATHS_H
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qzz::graph {
+
+/** A path as parallel vertex/edge id sequences. */
+struct Path
+{
+    /** Visited vertices, source first. */
+    std::vector<int> vertices;
+    /** Edge ids between consecutive vertices. */
+    std::vector<int> edges;
+
+    int length() const { return int(edges.size()); }
+    bool empty() const { return vertices.empty(); }
+};
+
+/**
+ * BFS shortest path from @p src to @p dst avoiding blocked elements.
+ *
+ * @param g              the graph.
+ * @param src,dst        endpoints.
+ * @param blocked_edges  per-edge-id flags (may be empty = none).
+ * @param blocked_verts  per-vertex flags (may be empty = none);
+ *                       blocking src or dst makes the search fail.
+ * @return the path, or nullopt when disconnected.
+ */
+std::optional<Path>
+shortestPath(const Graph &g, int src, int dst,
+             const std::vector<char> &blocked_edges = {},
+             const std::vector<char> &blocked_verts = {});
+
+/**
+ * Yen's algorithm: up to @p k shortest loopless paths from @p src to
+ * @p dst, sorted by length (ties broken deterministically).
+ *
+ * @param blocked_edges optional global edge blocks applied throughout.
+ */
+std::vector<Path>
+yenKShortestPaths(const Graph &g, int src, int dst, int k,
+                  const std::vector<char> &blocked_edges = {});
+
+} // namespace qzz::graph
+
+#endif // QZZ_GRAPH_SHORTEST_PATHS_H

@@ -1,0 +1,205 @@
+#include "graph/topologies.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::graph {
+
+PlanarEmbedding
+Topology::embedding() const
+{
+    return makeEmbeddingFromCoords(g, coords);
+}
+
+PlanarEmbedding
+makeEmbeddingFromCoords(
+    const Graph &g, const std::vector<std::pair<double, double>> &coords)
+{
+    require(int(coords.size()) == g.numVertices(),
+            "makeEmbeddingFromCoords: coordinate count mismatch");
+    std::vector<std::vector<int>> rotation(
+        static_cast<size_t>(g.numVertices()));
+    for (int v = 0; v < g.numVertices(); ++v) {
+        struct Item
+        {
+            double angle;
+            int edge;
+        };
+        std::vector<Item> items;
+        for (const auto &a : g.neighbors(v)) {
+            const double dx = coords[a.to].first - coords[v].first;
+            const double dy = coords[a.to].second - coords[v].second;
+            items.push_back({std::atan2(dy, dx), a.edge});
+        }
+        std::sort(items.begin(), items.end(),
+                  [](const Item &a, const Item &b) {
+                      if (a.angle != b.angle)
+                          return a.angle < b.angle;
+                      return a.edge < b.edge;
+                  });
+        for (const Item &it : items)
+            rotation[v].push_back(it.edge);
+    }
+    return PlanarEmbedding(g, std::move(rotation));
+}
+
+Topology
+gridTopology(int rows, int cols)
+{
+    require(rows >= 1 && cols >= 1, "gridTopology: empty grid");
+    Topology t;
+    t.name = "grid-" + std::to_string(rows) + "x" + std::to_string(cols);
+    t.g = Graph(rows * cols);
+    auto id = [&](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                t.g.addEdge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                t.g.addEdge(id(r, c), id(r + 1, c));
+        }
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            t.coords.emplace_back(double(c), double(-r));
+    return t;
+}
+
+Topology
+lineTopology(int n)
+{
+    Topology t = gridTopology(1, n);
+    t.name = "line-" + std::to_string(n);
+    return t;
+}
+
+Topology
+ringTopology(int n)
+{
+    require(n >= 3, "ringTopology: need at least 3 vertices");
+    Topology t;
+    t.name = "ring-" + std::to_string(n);
+    t.g = Graph(n);
+    for (int v = 0; v < n; ++v)
+        t.g.addEdge(v, (v + 1) % n);
+    for (int v = 0; v < n; ++v) {
+        const double a = 2.0 * M_PI * double(v) / double(n);
+        t.coords.emplace_back(std::cos(a), std::sin(a));
+    }
+    return t;
+}
+
+Topology
+triangulatedGridTopology(int rows, int cols)
+{
+    require(rows >= 2 && cols >= 2, "triangulatedGridTopology: too small");
+    Topology t = gridTopology(rows, cols);
+    t.name = "trigrid-" + std::to_string(rows) + "x" + std::to_string(cols);
+    auto id = [&](int r, int c) { return r * cols + c; };
+    for (int r = 0; r + 1 < rows; ++r)
+        for (int c = 0; c + 1 < cols; ++c)
+            t.g.addEdge(id(r, c), id(r + 1, c + 1));
+    return t;
+}
+
+Topology
+heavyHexTopology(int hex_rows, int hex_cols)
+{
+    require(hex_rows >= 1 && hex_cols >= 1,
+            "heavyHexTopology: need at least one cell");
+    Topology t;
+    t.name = "heavyhex-" + std::to_string(hex_rows) + "x" +
+             std::to_string(hex_cols);
+
+    // Honeycomb corners first, then one bridge qubit per honeycomb
+    // edge.  Corners are generated per hexagon and deduplicated by
+    // rounded coordinates.
+    struct Key
+    {
+        long long x, y;
+        bool
+        operator<(const Key &o) const
+        {
+            return std::tie(x, y) < std::tie(o.x, o.y);
+        }
+    };
+    auto key_of = [](double x, double y) {
+        return Key{llround(x * 1000.0), llround(y * 1000.0)};
+    };
+
+    std::map<Key, int> corner_id;
+    std::vector<std::pair<double, double>> coords;
+    auto corner = [&](double x, double y) {
+        const Key k = key_of(x, y);
+        auto it = corner_id.find(k);
+        if (it != corner_id.end())
+            return it->second;
+        const int id = int(coords.size());
+        corner_id.emplace(k, id);
+        coords.emplace_back(x, y);
+        return id;
+    };
+
+    std::set<std::pair<int, int>> hex_edges;
+    const double s = 1.0; // hexagon side
+    const double w = std::sqrt(3.0) * s;
+    for (int r = 0; r < hex_rows; ++r) {
+        for (int c = 0; c < hex_cols; ++c) {
+            // Pointy-top hexagon centers on an offset lattice.
+            const double cx =
+                double(c) * w + (r % 2 ? w / 2.0 : 0.0);
+            const double cy = double(r) * 1.5 * s;
+            int ids[6];
+            for (int i = 0; i < 6; ++i) {
+                const double a = kPi / 6.0 + kPi / 3.0 * double(i);
+                ids[i] =
+                    corner(cx + s * std::cos(a), cy + s * std::sin(a));
+            }
+            for (int i = 0; i < 6; ++i) {
+                const int u = ids[i], v = ids[(i + 1) % 6];
+                hex_edges.insert({std::min(u, v), std::max(u, v)});
+            }
+        }
+    }
+
+    // Subdivide every honeycomb edge with a bridge qubit.
+    const int corners = int(coords.size());
+    std::vector<std::pair<int, int>> final_edges;
+    for (const auto &[u, v] : hex_edges) {
+        const int mid = int(coords.size());
+        coords.emplace_back(
+            (coords[u].first + coords[v].first) / 2.0,
+            (coords[u].second + coords[v].second) / 2.0);
+        final_edges.emplace_back(u, mid);
+        final_edges.emplace_back(mid, v);
+    }
+    (void)corners;
+
+    t.g = Graph(int(coords.size()));
+    for (const auto &[u, v] : final_edges)
+        t.g.addEdge(u, v);
+    t.coords = std::move(coords);
+    return t;
+}
+
+Topology
+customTopology(std::string name, int n,
+               const std::vector<std::pair<int, int>> &edges,
+               std::vector<std::pair<double, double>> coords)
+{
+    Topology t;
+    t.name = std::move(name);
+    t.g = Graph(n);
+    for (const auto &[u, v] : edges)
+        t.g.addEdge(u, v);
+    t.coords = std::move(coords);
+    require(int(t.coords.size()) == n,
+            "customTopology: coordinate count mismatch");
+    return t;
+}
+
+} // namespace qzz::graph

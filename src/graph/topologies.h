@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Factory topologies for near-term devices.
+ *
+ * Each topology carries straight-line coordinates, from which a
+ * consistent rotation-system embedding is derived (incident edges
+ * sorted by angle).  Grids and lines are the devices the paper
+ * evaluates on; the triangulated grid provides non-bipartite test
+ * cases with odd dual-degree faces (the interesting regime for the
+ * odd-vertex pairing machinery).
+ */
+
+#ifndef QZZ_GRAPH_TOPOLOGIES_H
+#define QZZ_GRAPH_TOPOLOGIES_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/planar.h"
+
+namespace qzz::graph {
+
+/** A device topology: graph + straight-line layout. */
+struct Topology
+{
+    std::string name;
+    Graph g;
+    /** (x, y) position of each vertex. */
+    std::vector<std::pair<double, double>> coords;
+
+    /** Build the rotation-system embedding from the layout. */
+    PlanarEmbedding embedding() const;
+};
+
+/**
+ * Derive a planar embedding from straight-line coordinates by sorting
+ * each vertex's incident edges counterclockwise by angle.
+ */
+PlanarEmbedding makeEmbeddingFromCoords(
+    const Graph &g, const std::vector<std::pair<double, double>> &coords);
+
+/** rows x cols grid; vertex (r, c) has index r * cols + c. */
+Topology gridTopology(int rows, int cols);
+
+/** 1 x n line. */
+Topology lineTopology(int n);
+
+/** n-cycle laid out as a regular polygon (n >= 3). */
+Topology ringTopology(int n);
+
+/**
+ * Grid with one (r,c)-(r+1,c+1) diagonal per unit square: a planar,
+ * non-bipartite topology whose faces are triangles.
+ */
+Topology triangulatedGridTopology(int rows, int cols);
+
+/**
+ * IBM-style heavy-hex lattice: a honeycomb of @p hex_rows x
+ * @p hex_cols hexagonal cells whose edges are subdivided by bridge
+ * qubits.  Subdivision makes every heavy-hex device bipartite, so
+ * complete ZZ suppression (Sec. 5.1 of the paper) always exists on
+ * them.
+ */
+Topology heavyHexTopology(int hex_rows, int hex_cols);
+
+/** Custom topology from an explicit edge and coordinate list. */
+Topology customTopology(std::string name, int n,
+                        const std::vector<std::pair<int, int>> &edges,
+                        std::vector<std::pair<double, double>> coords);
+
+} // namespace qzz::graph
+
+#endif // QZZ_GRAPH_TOPOLOGIES_H

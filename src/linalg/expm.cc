@@ -1,0 +1,167 @@
+#include "linalg/expm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qzz::la {
+
+CMatrix
+luSolve(const CMatrix &a, const CMatrix &b)
+{
+    require(a.rows() == a.cols(), "luSolve: matrix not square");
+    require(a.rows() == b.rows(), "luSolve: rhs shape mismatch");
+    const size_t n = a.rows();
+    const size_t m = b.cols();
+    CMatrix lu = a;
+    CMatrix x = b;
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i)
+        perm[i] = i;
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        size_t pivot = col;
+        double best = std::abs(lu(col, col));
+        for (size_t r = col + 1; r < n; ++r) {
+            double v = std::abs(lu(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        require(best > 0.0, "luSolve: singular matrix");
+        if (pivot != col) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(lu(col, c), lu(pivot, c));
+            for (size_t c = 0; c < m; ++c)
+                std::swap(x(col, c), x(pivot, c));
+        }
+        const cplx d = lu(col, col);
+        for (size_t r = col + 1; r < n; ++r) {
+            const cplx f = lu(r, col) / d;
+            if (f == cplx{0.0, 0.0})
+                continue;
+            lu(r, col) = f;
+            for (size_t c = col + 1; c < n; ++c)
+                lu(r, c) -= f * lu(col, c);
+            for (size_t c = 0; c < m; ++c)
+                x(r, c) -= f * x(col, c);
+        }
+    }
+
+    // Back substitution.
+    for (size_t ri = n; ri-- > 0;) {
+        const cplx d = lu(ri, ri);
+        for (size_t c = 0; c < m; ++c) {
+            cplx acc = x(ri, c);
+            for (size_t k = ri + 1; k < n; ++k)
+                acc -= lu(ri, k) * x(k, c);
+            x(ri, c) = acc / d;
+        }
+    }
+    return x;
+}
+
+CMatrix
+inverse(const CMatrix &a)
+{
+    return luSolve(a, CMatrix::identity(a.rows()));
+}
+
+namespace {
+
+/** 1-norm (max column sum) used to pick the Pade scaling. */
+double
+oneNorm(const CMatrix &a)
+{
+    double best = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) {
+        double s = 0.0;
+        for (size_t r = 0; r < a.rows(); ++r)
+            s += std::abs(a(r, c));
+        best = std::max(best, s);
+    }
+    return best;
+}
+
+} // namespace
+
+CMatrix
+expm(const CMatrix &a)
+{
+    require(a.rows() == a.cols(), "expm: matrix not square");
+    const size_t n = a.rows();
+
+    // Scaling: bring ||A/2^s|| under the degree-13 Pade radius.
+    const double theta13 = 5.371920351148152;
+    double nrm = oneNorm(a);
+    int s = 0;
+    if (nrm > theta13)
+        s = int(std::ceil(std::log2(nrm / theta13)));
+    CMatrix as = a;
+    if (s > 0)
+        as *= cplx{std::ldexp(1.0, -s), 0.0};
+
+    static const double b[] = {
+        64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+        1187353796428800.0,  129060195264000.0,   10559470521600.0,
+        670442572800.0,      33522128640.0,       1323241920.0,
+        40840800.0,          960960.0,            16380.0,
+        182.0,               1.0};
+
+    const CMatrix id = CMatrix::identity(n);
+    const CMatrix a2 = as * as;
+    const CMatrix a4 = a2 * a2;
+    const CMatrix a6 = a2 * a4;
+
+    CMatrix u = as * (a6 * (b[13] * a6 + b[11] * a4 + b[9] * a2) +
+                      b[7] * a6 + b[5] * a4 + b[3] * a2 + b[1] * id);
+    CMatrix v = a6 * (b[12] * a6 + b[10] * a4 + b[8] * a2) + b[6] * a6 +
+                b[4] * a4 + b[2] * a2 + b[0] * id;
+
+    CMatrix r = luSolve(v - u, v + u);
+    for (int i = 0; i < s; ++i)
+        r = r * r;
+    return r;
+}
+
+CMatrix
+expmPropagator(const CMatrix &h, double t)
+{
+    CMatrix a = h;
+    a *= cplx{0.0, -t};
+    return expm(a);
+}
+
+CMatrix
+expPauli(double ax, double ay, double az)
+{
+    const double r = std::sqrt(ax * ax + ay * ay + az * az);
+    CMatrix u(2, 2);
+    if (r < 1e-300) {
+        u(0, 0) = u(1, 1) = 1.0;
+        return u;
+    }
+    const double c = std::cos(r);
+    const double s = std::sin(r) / r;
+    // exp(-i r (n.sigma)) = cos(r) I - i sin(r) (n.sigma)
+    u(0, 0) = cplx{c, -s * az};
+    u(0, 1) = cplx{-s * ay, -s * ax};
+    u(1, 0) = cplx{s * ay, -s * ax};
+    u(1, 1) = cplx{c, s * az};
+    return u;
+}
+
+CMatrix
+expInvolutory(const CMatrix &p, double theta)
+{
+    CMatrix out = CMatrix::identity(p.rows());
+    out *= cplx{std::cos(theta), 0.0};
+    CMatrix ps = p;
+    ps *= cplx{0.0, -std::sin(theta)};
+    out += ps;
+    return out;
+}
+
+} // namespace qzz::la

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Matrix exponentials and linear solves.
+ *
+ * Provides a general scaling-and-squaring Pade expm for dense complex
+ * matrices, plus closed-form fast paths for the 2x2 Pauli algebra and
+ * for involutory operators (P^2 = I), which cover every propagator the
+ * split-step circuit simulator needs.
+ */
+
+#ifndef QZZ_LINALG_EXPM_H
+#define QZZ_LINALG_EXPM_H
+
+#include "linalg/matrix.h"
+
+namespace qzz::la {
+
+/**
+ * Solve A X = B for X with partial-pivoting LU decomposition.
+ *
+ * @param a square coefficient matrix (copied internally).
+ * @param b right-hand side (may have multiple columns).
+ * @return the solution X.
+ */
+CMatrix luSolve(const CMatrix &a, const CMatrix &b);
+
+/** Matrix inverse via luSolve against the identity. */
+CMatrix inverse(const CMatrix &a);
+
+/**
+ * General matrix exponential exp(A) using scaling-and-squaring with a
+ * degree-13 Pade approximant (Higham 2005).
+ */
+CMatrix expm(const CMatrix &a);
+
+/** Propagator exp(-i H t) for a (typically Hermitian) generator H. */
+CMatrix expmPropagator(const CMatrix &h, double t);
+
+/**
+ * Closed-form exp(-i (ax*sx + ay*sy + az*sz)) for the 2x2 Pauli algebra.
+ * Exact and allocation-light; the inner loop of every qubit drive.
+ */
+CMatrix expPauli(double ax, double ay, double az);
+
+/**
+ * Closed-form exp(-i theta P) for an involutory operator (P^2 = I):
+ * cos(theta) I - i sin(theta) P.
+ *
+ * @param p the involutory generator (checked in debug via P^2 = I).
+ * @param theta the rotation angle.
+ */
+CMatrix expInvolutory(const CMatrix &p, double theta);
+
+} // namespace qzz::la
+
+#endif // QZZ_LINALG_EXPM_H

@@ -1,0 +1,43 @@
+#include "linalg/fidelity.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qzz::la {
+
+double
+averageGateFidelity(const CMatrix &u, const CMatrix &v)
+{
+    require(u.rows() == v.rows() && u.cols() == v.cols() &&
+                u.rows() == u.cols(),
+            "averageGateFidelity: shape mismatch");
+    return averageGateFidelityFromM(v.dagger() * u);
+}
+
+double
+averageGateFidelityFromM(const CMatrix &m)
+{
+    const double d = double(m.rows());
+    const double tr_mmdag =
+        m.frobeniusNorm() * m.frobeniusNorm(); // tr(M M^dag)
+    const double tr_m2 = std::norm(m.trace());
+    return (tr_mmdag + tr_m2) / (d * (d + 1.0));
+}
+
+double
+processFidelity(const CMatrix &u, const CMatrix &v)
+{
+    require(u.rows() == v.rows() && u.cols() == v.cols(),
+            "processFidelity: shape mismatch");
+    const double d = double(u.rows());
+    return std::norm((v.dagger() * u).trace()) / (d * d);
+}
+
+double
+stateFidelity(const CVector &a, const CVector &b)
+{
+    return std::norm(dot(a, b));
+}
+
+} // namespace qzz::la

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fidelity measures used by the paper.
+ *
+ * Average gate fidelity follows Nielsen's formula (ref. [50] of the
+ * paper): for a map described by the comparison operator M = V^dag U
+ * (target V, actual U, possibly non-unitary if U was projected onto a
+ * computational subspace, e.g. in the leakage study):
+ *
+ *   F_avg = ( tr(M M^dag) + |tr M|^2 ) / ( d (d + 1) )
+ *
+ * which reduces to (d + |tr(V^dag U)|^2) / (d(d+1)) for unitary U.
+ */
+
+#ifndef QZZ_LINALG_FIDELITY_H
+#define QZZ_LINALG_FIDELITY_H
+
+#include "linalg/matrix.h"
+
+namespace qzz::la {
+
+/**
+ * Average gate fidelity between an actual evolution @p u and target
+ * @p v (both d x d; @p u may be a projected, non-unitary block).
+ */
+double averageGateFidelity(const CMatrix &u, const CMatrix &v);
+
+/**
+ * Average gate fidelity from a precomputed comparison operator
+ * M = V^dag U.
+ */
+double averageGateFidelityFromM(const CMatrix &m);
+
+/** Process (entanglement) fidelity |tr(V^dag U)|^2 / d^2. */
+double processFidelity(const CMatrix &u, const CMatrix &v);
+
+/** State fidelity |<a|b>|^2 for pure states. */
+double stateFidelity(const CVector &a, const CVector &b);
+
+} // namespace qzz::la
+
+#endif // QZZ_LINALG_FIDELITY_H

@@ -1,0 +1,413 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qzz::la {
+
+CMatrix::CMatrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0})
+{
+}
+
+CMatrix::CMatrix(std::initializer_list<std::initializer_list<cplx>> init)
+{
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto &row : init) {
+        require(row.size() == cols_, "CMatrix: ragged initializer list");
+        for (const auto &v : row)
+            data_.push_back(v);
+    }
+}
+
+CMatrix
+CMatrix::identity(size_t n)
+{
+    CMatrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+CMatrix
+CMatrix::zero(size_t n)
+{
+    return CMatrix(n, n);
+}
+
+CMatrix
+CMatrix::diag(const CVector &entries)
+{
+    CMatrix m(entries.size(), entries.size());
+    for (size_t i = 0; i < entries.size(); ++i)
+        m(i, i) = entries[i];
+    return m;
+}
+
+CMatrix &
+CMatrix::operator+=(const CMatrix &rhs)
+{
+    require(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+            "CMatrix +=: shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += rhs.data_[i];
+    return *this;
+}
+
+CMatrix &
+CMatrix::operator-=(const CMatrix &rhs)
+{
+    require(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+            "CMatrix -=: shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= rhs.data_[i];
+    return *this;
+}
+
+CMatrix &
+CMatrix::operator*=(cplx s)
+{
+    for (auto &v : data_)
+        v *= s;
+    return *this;
+}
+
+CMatrix
+CMatrix::dagger() const
+{
+    CMatrix out(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out(c, r) = std::conj((*this)(r, c));
+    return out;
+}
+
+CMatrix
+CMatrix::transpose() const
+{
+    CMatrix out(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+CMatrix
+CMatrix::conj() const
+{
+    CMatrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = std::conj(data_[i]);
+    return out;
+}
+
+cplx
+CMatrix::trace() const
+{
+    require(rows_ == cols_, "trace: matrix not square");
+    cplx t = 0.0;
+    for (size_t i = 0; i < rows_; ++i)
+        t += (*this)(i, i);
+    return t;
+}
+
+double
+CMatrix::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (const auto &v : data_)
+        s += std::norm(v);
+    return std::sqrt(s);
+}
+
+double
+CMatrix::maxAbs() const
+{
+    double m = 0.0;
+    for (const auto &v : data_)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+void
+CMatrix::setZero()
+{
+    std::fill(data_.begin(), data_.end(), cplx{0.0, 0.0});
+}
+
+bool
+CMatrix::isIdentity(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c) {
+            cplx want = (r == c) ? cplx{1.0, 0.0} : cplx{0.0, 0.0};
+            if (std::abs((*this)(r, c) - want) > tol)
+                return false;
+        }
+    return true;
+}
+
+bool
+CMatrix::isUnitary(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    return ((*this) * dagger()).isIdentity(tol);
+}
+
+bool
+CMatrix::isHermitian(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            if (std::abs((*this)(r, c) - std::conj((*this)(c, r))) > tol)
+                return false;
+    return true;
+}
+
+CMatrix
+operator+(CMatrix lhs, const CMatrix &rhs)
+{
+    lhs += rhs;
+    return lhs;
+}
+
+CMatrix
+operator-(CMatrix lhs, const CMatrix &rhs)
+{
+    lhs -= rhs;
+    return lhs;
+}
+
+CMatrix
+operator*(const CMatrix &lhs, const CMatrix &rhs)
+{
+    require(lhs.cols() == rhs.rows(), "CMatrix *: shape mismatch");
+    CMatrix out(lhs.rows(), rhs.cols());
+    const size_t n = lhs.rows(), k = lhs.cols(), m = rhs.cols();
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t x = 0; x < k; ++x) {
+            const cplx a = lhs(r, x);
+            if (a == cplx{0.0, 0.0})
+                continue;
+            const cplx *brow = rhs.data() + x * m;
+            cplx *orow = out.data() + r * m;
+            for (size_t c = 0; c < m; ++c)
+                orow[c] += a * brow[c];
+        }
+    }
+    return out;
+}
+
+CMatrix
+operator*(cplx s, CMatrix m)
+{
+    m *= s;
+    return m;
+}
+
+CMatrix
+operator*(CMatrix m, cplx s)
+{
+    m *= s;
+    return m;
+}
+
+CVector
+operator*(const CMatrix &m, const CVector &v)
+{
+    require(m.cols() == v.size(), "CMatrix * CVector: shape mismatch");
+    CVector out(m.rows(), cplx{0.0, 0.0});
+    for (size_t r = 0; r < m.rows(); ++r) {
+        cplx acc = 0.0;
+        const cplx *row = m.data() + r * m.cols();
+        for (size_t c = 0; c < m.cols(); ++c)
+            acc += row[c] * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+void
+multiplyInto(const CMatrix &a, const CMatrix &b, CMatrix &out)
+{
+    require(a.cols() == b.rows() && out.rows() == a.rows() &&
+                out.cols() == b.cols(),
+            "multiplyInto: shape mismatch");
+    require(out.data() != a.data() && out.data() != b.data(),
+            "multiplyInto: output must not alias an input");
+    out.setZero();
+    const size_t n = a.rows(), k = a.cols(), m = b.cols();
+    for (size_t r = 0; r < n; ++r) {
+        cplx *orow = out.data() + r * m;
+        for (size_t x = 0; x < k; ++x) {
+            const cplx av = a(r, x);
+            if (av == cplx{0.0, 0.0})
+                continue;
+            const cplx *brow = b.data() + x * m;
+            for (size_t c = 0; c < m; ++c)
+                orow[c] += av * brow[c];
+        }
+    }
+}
+
+CMatrix
+kron(const CMatrix &a, const CMatrix &b)
+{
+    CMatrix out(a.rows() * b.rows(), a.cols() * b.cols());
+    for (size_t ar = 0; ar < a.rows(); ++ar)
+        for (size_t ac = 0; ac < a.cols(); ++ac) {
+            const cplx v = a(ar, ac);
+            if (v == cplx{0.0, 0.0})
+                continue;
+            for (size_t br = 0; br < b.rows(); ++br)
+                for (size_t bc = 0; bc < b.cols(); ++bc)
+                    out(ar * b.rows() + br, ac * b.cols() + bc) =
+                        v * b(br, bc);
+        }
+    return out;
+}
+
+CMatrix
+kronAll(const std::vector<CMatrix> &factors)
+{
+    require(!factors.empty(), "kronAll: empty factor list");
+    CMatrix out = factors.front();
+    for (size_t i = 1; i < factors.size(); ++i)
+        out = kron(out, factors[i]);
+    return out;
+}
+
+cplx
+innerProduct(const CMatrix &a, const CMatrix &b)
+{
+    require(a.rows() == b.rows() && a.cols() == b.cols(),
+            "innerProduct: shape mismatch");
+    cplx s = 0.0;
+    const cplx *pa = a.data();
+    const cplx *pb = b.data();
+    const size_t n = a.rows() * a.cols();
+    for (size_t i = 0; i < n; ++i)
+        s += std::conj(pa[i]) * pb[i];
+    return s;
+}
+
+cplx
+dot(const CVector &a, const CVector &b)
+{
+    require(a.size() == b.size(), "dot: length mismatch");
+    cplx s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        s += std::conj(a[i]) * b[i];
+    return s;
+}
+
+double
+norm(const CVector &v)
+{
+    double s = 0.0;
+    for (const auto &x : v)
+        s += std::norm(x);
+    return std::sqrt(s);
+}
+
+double
+normalize(CVector &v)
+{
+    double n = norm(v);
+    if (n > 0.0)
+        for (auto &x : v)
+            x /= n;
+    return n;
+}
+
+double
+distance(const CMatrix &a, const CMatrix &b)
+{
+    return (a - b).frobeniusNorm();
+}
+
+double
+phaseDistance(const CMatrix &a, const CMatrix &b)
+{
+    // The minimizing phase is e^{i phi} = <b,a>/|<b,a>|; forming the
+    // aligned difference directly avoids the cancellation that the
+    // norm-based formula suffers near zero distance.
+    cplx ov = innerProduct(b, a);
+    cplx phase = std::abs(ov) > 0.0 ? ov / std::abs(ov) : cplx{1.0, 0.0};
+    CMatrix aligned = b;
+    aligned *= phase;
+    return distance(a, aligned);
+}
+
+const CMatrix &
+pauliX()
+{
+    static const CMatrix m{{0.0, 1.0}, {1.0, 0.0}};
+    return m;
+}
+
+const CMatrix &
+pauliY()
+{
+    static const CMatrix m{{0.0, -kI}, {kI, 0.0}};
+    return m;
+}
+
+const CMatrix &
+pauliZ()
+{
+    static const CMatrix m{{1.0, 0.0}, {0.0, -1.0}};
+    return m;
+}
+
+const CMatrix &
+identity2()
+{
+    static const CMatrix m = CMatrix::identity(2);
+    return m;
+}
+
+CMatrix
+embed(const CMatrix &op, const std::vector<int> &qubits, int n)
+{
+    require(n >= 1 && n <= 14, "embed: qubit count out of range");
+    const size_t k = qubits.size();
+    require(op.rows() == (size_t(1) << k) && op.cols() == op.rows(),
+            "embed: operator dimension does not match qubit count");
+    const size_t dim = size_t(1) << n;
+    size_t selected_mask = 0;
+    for (int q : qubits) {
+        require(q >= 0 && q < n, "embed: qubit index out of range");
+        selected_mask |= size_t(1) << (n - 1 - q); // qubit 0 = MSB
+    }
+    require(__builtin_popcountll(selected_mask) == int(k),
+            "embed: duplicate qubit index");
+
+    CMatrix out(dim, dim);
+    // For each full-register basis pair, look up the operator element on
+    // the selected qubits; off-target qubits must match (identity).
+    for (size_t r = 0; r < dim; ++r) {
+        for (size_t c = 0; c < dim; ++c) {
+            if ((r & ~selected_mask) != (c & ~selected_mask))
+                continue;
+            size_t opr = 0, opc = 0;
+            for (size_t i = 0; i < k; ++i) {
+                const int bitpos = n - 1 - qubits[i];
+                opr = (opr << 1) | ((r >> bitpos) & 1);
+                opc = (opc << 1) | ((c >> bitpos) & 1);
+            }
+            out(r, c) = op(opr, opc);
+        }
+    }
+    return out;
+}
+
+} // namespace qzz::la

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Dense complex matrices and vectors.
+ *
+ * This is the numerical workhorse for the pulse-level simulators: all
+ * basic-region Hamiltonians are small (2 to ~20 dimensional), so a
+ * straightforward row-major dense implementation is both simple and
+ * fast enough.  Circuit-level state vectors use the dedicated
+ * qzz::sim::StateVector instead.
+ */
+
+#ifndef QZZ_LINALG_MATRIX_H
+#define QZZ_LINALG_MATRIX_H
+
+#include <complex>
+#include <initializer_list>
+#include <vector>
+
+namespace qzz::la {
+
+/** Complex scalar type used throughout qzz. */
+using cplx = std::complex<double>;
+
+/** The imaginary unit. */
+inline constexpr cplx kI{0.0, 1.0};
+
+/** A dense complex column vector. */
+using CVector = std::vector<cplx>;
+
+/** A dense, row-major complex matrix. */
+class CMatrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    CMatrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    CMatrix(size_t rows, size_t cols);
+
+    /**
+     * Construct from nested initializer lists, e.g.
+     * `CMatrix m{{1, 0}, {0, -1}};`
+     */
+    CMatrix(std::initializer_list<std::initializer_list<cplx>> init);
+
+    /** The n x n identity. */
+    static CMatrix identity(size_t n);
+
+    /** The n x n zero matrix. */
+    static CMatrix zero(size_t n);
+
+    /** A diagonal matrix from the given entries. */
+    static CMatrix diag(const CVector &entries);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    /** Element access (no bounds check in release builds). */
+    cplx &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    const cplx &
+    operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw storage, row-major. */
+    cplx *data() { return data_.data(); }
+    const cplx *data() const { return data_.data(); }
+
+    /** Zero every entry without reallocating. */
+    void setZero();
+
+    CMatrix &operator+=(const CMatrix &rhs);
+    CMatrix &operator-=(const CMatrix &rhs);
+    CMatrix &operator*=(cplx s);
+
+    /** Conjugate transpose. */
+    CMatrix dagger() const;
+
+    /** Transpose without conjugation. */
+    CMatrix transpose() const;
+
+    /** Elementwise complex conjugate. */
+    CMatrix conj() const;
+
+    /** Trace (square matrices only). */
+    cplx trace() const;
+
+    /** Frobenius norm sqrt(sum |a_ij|^2). */
+    double frobeniusNorm() const;
+
+    /** Max |a_ij|. */
+    double maxAbs() const;
+
+    /** True if this is numerically the identity within @p tol. */
+    bool isIdentity(double tol = 1e-9) const;
+
+    /** True if U U^dag = I within @p tol. */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /** True if A = A^dag within @p tol. */
+    bool isHermitian(double tol = 1e-9) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<cplx> data_;
+};
+
+CMatrix operator+(CMatrix lhs, const CMatrix &rhs);
+CMatrix operator-(CMatrix lhs, const CMatrix &rhs);
+CMatrix operator*(const CMatrix &lhs, const CMatrix &rhs);
+CMatrix operator*(cplx s, CMatrix m);
+CMatrix operator*(CMatrix m, cplx s);
+
+/** Matrix-vector product. */
+CVector operator*(const CMatrix &m, const CVector &v);
+
+/**
+ * out = a * b without allocation (out must already have the right
+ * shape and be distinct from a and b).  Hot path of the propagators.
+ */
+void multiplyInto(const CMatrix &a, const CMatrix &b, CMatrix &out);
+
+/** Kronecker (tensor) product, a (x) b. */
+CMatrix kron(const CMatrix &a, const CMatrix &b);
+
+/** Kronecker product of a list of factors, left to right. */
+CMatrix kronAll(const std::vector<CMatrix> &factors);
+
+/** tr(a^dag b). */
+cplx innerProduct(const CMatrix &a, const CMatrix &b);
+
+/** <a|b> for vectors. */
+cplx dot(const CVector &a, const CVector &b);
+
+/** Euclidean norm of a vector. */
+double norm(const CVector &v);
+
+/** Normalize a vector in place; returns the original norm. */
+double normalize(CVector &v);
+
+/** Frobenius distance ||a - b||_F. */
+double distance(const CMatrix &a, const CMatrix &b);
+
+/**
+ * Distance up to global phase: min_phi ||a - e^{i phi} b||_F.
+ * Used to compare unitaries that are only defined modulo phase.
+ */
+double phaseDistance(const CMatrix &a, const CMatrix &b);
+
+/** @name Single-qubit constants
+ *  The Pauli matrices and the 2x2 identity.
+ *  @{
+ */
+const CMatrix &pauliX();
+const CMatrix &pauliY();
+const CMatrix &pauliZ();
+const CMatrix &identity2();
+/** @} */
+
+/**
+ * Embed a k-qubit operator acting on the given qubit indices of an
+ * n-qubit register (qubit 0 = most significant tensor factor).
+ *
+ * Intended for building small test Hamiltonians; cost is O(4^n).
+ */
+CMatrix embed(const CMatrix &op, const std::vector<int> &qubits, int n);
+
+} // namespace qzz::la
+
+#endif // QZZ_LINALG_MATRIX_H

@@ -1,0 +1,165 @@
+#include "ode/propagator.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qzz::ode {
+
+using la::CMatrix;
+using la::cplx;
+
+namespace {
+
+/**
+ * Scratch space reused across RK4 steps; the propagators are hot
+ * enough that per-step allocation would dominate the runtime.
+ */
+struct Rk4Scratch
+{
+    CMatrix h, k1, k2, k3, k4, tmp, next;
+
+    explicit Rk4Scratch(size_t dim)
+        : h(dim, dim), k1(dim, dim), k2(dim, dim), k3(dim, dim),
+          k4(dim, dim), tmp(dim, dim), next(dim, dim)
+    {
+    }
+};
+
+/** out = -i h * u (no allocation). */
+void
+rhs(const CMatrix &h, const CMatrix &u, CMatrix &out)
+{
+    la::multiplyInto(h, u, out);
+    const size_t n = out.rows() * out.cols();
+    cplx *p = out.data();
+    for (size_t i = 0; i < n; ++i)
+        p[i] = cplx{p[i].imag(), -p[i].real()}; // multiply by -i
+}
+
+/** tmp = u + s * k. */
+void
+axpy(const CMatrix &u, double s, const CMatrix &k, CMatrix &tmp)
+{
+    const size_t n = u.rows() * u.cols();
+    const cplx *pu = u.data();
+    const cplx *pk = k.data();
+    cplx *pt = tmp.data();
+    for (size_t i = 0; i < n; ++i)
+        pt[i] = pu[i] + s * pk[i];
+}
+
+/** One RK4 step from (t, u) with step dt; result left in s.next. */
+void
+rk4Step(const HamiltonianFn &hfn, double t, double dt, const CMatrix &u,
+        Rk4Scratch &s)
+{
+    s.h.setZero();
+    hfn(t, s.h);
+    rhs(s.h, u, s.k1);
+
+    axpy(u, dt / 2.0, s.k1, s.tmp);
+    s.h.setZero();
+    hfn(t + dt / 2.0, s.h);
+    rhs(s.h, s.tmp, s.k2);
+
+    axpy(u, dt / 2.0, s.k2, s.tmp);
+    rhs(s.h, s.tmp, s.k3); // same midpoint Hamiltonian
+
+    axpy(u, dt, s.k3, s.tmp);
+    s.h.setZero();
+    hfn(t + dt, s.h);
+    rhs(s.h, s.tmp, s.k4);
+
+    const size_t n = u.rows() * u.cols();
+    const cplx *pu = u.data();
+    cplx *pn = s.next.data();
+    const cplx *p1 = s.k1.data(), *p2 = s.k2.data();
+    const cplx *p3 = s.k3.data(), *p4 = s.k4.data();
+    for (size_t i = 0; i < n; ++i)
+        pn[i] = pu[i] + (dt / 6.0) * (p1[i] + 2.0 * p2[i] +
+                                      2.0 * p3[i] + p4[i]);
+}
+
+} // namespace
+
+CMatrix
+propagate(const HamiltonianFn &h, size_t dim, double t0, double t1,
+          const PropagationOptions &opt)
+{
+    require(t1 >= t0, "propagate: t1 < t0");
+    require(opt.dt > 0.0, "propagate: non-positive dt");
+
+    const double span = t1 - t0;
+    CMatrix u = CMatrix::identity(dim);
+    if (span == 0.0)
+        return u;
+    const size_t steps =
+        std::max<size_t>(1, size_t(std::ceil(span / opt.dt)));
+    const double dt = span / double(steps);
+
+    Rk4Scratch scratch(dim);
+    double t = t0;
+    for (size_t i = 0; i < steps; ++i) {
+        rk4Step(h, t, dt, u, scratch);
+        std::swap(u, scratch.next);
+        t = t0 + span * double(i + 1) / double(steps);
+    }
+    return u;
+}
+
+DysonResult
+propagateWithDyson(const HamiltonianFn &h,
+                   const std::vector<CMatrix> &observables, size_t dim,
+                   double t0, double t1, const PropagationOptions &opt)
+{
+    require(t1 >= t0, "propagateWithDyson: t1 < t0");
+    require(opt.dt > 0.0, "propagateWithDyson: non-positive dt");
+
+    const double span = t1 - t0;
+    DysonResult res;
+    res.u = CMatrix::identity(dim);
+    res.firstOrder.assign(observables.size(), CMatrix(dim, dim));
+    if (span == 0.0)
+        return res;
+    const size_t steps =
+        std::max<size_t>(1, size_t(std::ceil(span / opt.dt)));
+    const double dt = span / double(steps);
+
+    // Trapezoid accumulation of f_k(t) = U^dag(t) A_k U(t) on the RK4
+    // grid; O(dt^2) accuracy, consistent with how the integrals are
+    // used (they are optimization targets, re-verified by full
+    // simulation afterwards).
+    std::vector<CMatrix> f_prev(observables.size());
+    for (size_t k = 0; k < observables.size(); ++k)
+        f_prev[k] = observables[k]; // U(0) = I
+
+    Rk4Scratch scratch(dim);
+    CMatrix udag(dim, dim), au(dim, dim), f(dim, dim);
+    double t = t0;
+    for (size_t i = 0; i < steps; ++i) {
+        rk4Step(h, t, dt, res.u, scratch);
+        std::swap(res.u, scratch.next);
+        t = t0 + span * double(i + 1) / double(steps);
+
+        // udag = U^dag without allocation.
+        for (size_t r = 0; r < dim; ++r)
+            for (size_t c = 0; c < dim; ++c)
+                udag(r, c) = std::conj(res.u(c, r));
+        for (size_t k = 0; k < observables.size(); ++k) {
+            la::multiplyInto(observables[k], res.u, au);
+            la::multiplyInto(udag, au, f);
+            cplx *acc = res.firstOrder[k].data();
+            cplx *prev = f_prev[k].data();
+            const cplx *cur = f.data();
+            const size_t n = dim * dim;
+            for (size_t j = 0; j < n; ++j) {
+                acc[j] += (dt / 2.0) * (prev[j] + cur[j]);
+                prev[j] = cur[j];
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace qzz::ode

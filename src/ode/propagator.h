@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Time-dependent Schrodinger propagators for small dense systems.
+ *
+ * Solves i dU/dt = H(t) U with a classic fixed-step RK4 integrator
+ * (hbar = 1).  Dimensions here are tiny (2..32): basic pulse regions,
+ * their spectator blocks, and the 5-level transmon model.  The
+ * circuit-scale simulator lives in qzz::sim and does not use this.
+ *
+ * propagateWithDyson() additionally accumulates the first-order Dyson
+ * integrals
+ *     M_k = int_0^T U^dag(t) A_k U(t) dt
+ * which are exactly the quantities the paper's Pert objective drives
+ * to zero (Sec. 7.1.1).
+ */
+
+#ifndef QZZ_ODE_PROPAGATOR_H
+#define QZZ_ODE_PROPAGATOR_H
+
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qzz::ode {
+
+/**
+ * Callback producing the Hamiltonian at time @p t into @p h.
+ * @p h arrives zeroed with the correct dimension.
+ */
+using HamiltonianFn = std::function<void(double t, la::CMatrix &h)>;
+
+/** Integration controls. */
+struct PropagationOptions
+{
+    /** RK4 step in ns.  0.01 ns resolves 20 ns pulses to ~1e-9. */
+    double dt = 0.01;
+};
+
+/**
+ * Propagate U(t0) = I to U(t1) under i dU/dt = H(t) U.
+ *
+ * @param h    Hamiltonian callback.
+ * @param dim  Hilbert-space dimension.
+ * @param t0   start time (ns).
+ * @param t1   end time (ns).
+ * @param opt  integration controls.
+ * @return the propagator U(t1).
+ */
+la::CMatrix propagate(const HamiltonianFn &h, size_t dim, double t0,
+                      double t1, const PropagationOptions &opt = {});
+
+/** Result of propagateWithDyson(). */
+struct DysonResult
+{
+    /** Final propagator U(T). */
+    la::CMatrix u;
+    /** First-order integrals, one per requested observable. */
+    std::vector<la::CMatrix> firstOrder;
+};
+
+/**
+ * Propagate and accumulate first-order Dyson integrals of the given
+ * observables in the interaction picture of the drive.
+ *
+ * @param h           Hamiltonian callback (the control Hamiltonian).
+ * @param observables static operators A_k to integrate.
+ * @param dim         Hilbert-space dimension.
+ * @param t0,t1       time window (ns).
+ * @param opt         integration controls.
+ */
+DysonResult propagateWithDyson(const HamiltonianFn &h,
+                               const std::vector<la::CMatrix> &observables,
+                               size_t dim, double t0, double t1,
+                               const PropagationOptions &opt = {});
+
+} // namespace qzz::ode
+
+#endif // QZZ_ODE_PROPAGATOR_H

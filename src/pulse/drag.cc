@@ -1,0 +1,55 @@
+#include "pulse/drag.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qzz::pulse {
+
+namespace {
+
+/** w1 + scale * d(w2)/dt, with null waveforms treated as zero. */
+class DragCombined : public Waveform
+{
+  public:
+    DragCombined(WaveformPtr base, WaveformPtr deriv_of, double scale,
+                 double duration)
+        : base_(std::move(base)), deriv_of_(std::move(deriv_of)),
+          scale_(scale), duration_(duration)
+    {
+    }
+
+    double
+    value(double t) const override
+    {
+        double v = base_ ? base_->value(t) : 0.0;
+        if (deriv_of_)
+            v += scale_ * deriv_of_->derivative(t);
+        return v;
+    }
+
+    double duration() const override { return duration_; }
+
+  private:
+    WaveformPtr base_;
+    WaveformPtr deriv_of_;
+    double scale_;
+    double duration_;
+};
+
+} // namespace
+
+QuadraturePair
+applyDrag(WaveformPtr x, WaveformPtr y, double alpha)
+{
+    require(alpha != 0.0, "applyDrag: zero anharmonicity");
+    require(x != nullptr || y != nullptr, "applyDrag: both quadratures empty");
+    const double T = x ? x->duration() : y->duration();
+
+    QuadraturePair out;
+    out.x = std::make_shared<DragCombined>(x, y, 1.0 / alpha, T);
+    out.y = std::make_shared<DragCombined>(y, x, -1.0 / alpha, T);
+    return out;
+}
+
+} // namespace qzz::pulse

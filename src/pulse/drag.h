@@ -1,0 +1,41 @@
+/**
+ * @file
+ * First-order DRAG correction (Motzoi et al., ref. [45] of the paper).
+ *
+ * Given a two-level pulse (Omega_x, Omega_y) and the transmon
+ * anharmonicity alpha (rad/ns, negative for transmons), DRAG plays
+ *
+ *   Omega_x' = Omega_x + d(Omega_y)/dt / alpha
+ *   Omega_y' = Omega_y - d(Omega_x)/dt / alpha
+ *
+ * which cancels the leading leakage into the second excited state.
+ * The paper applies DRAG *on top of* ZZ-optimized two-level pulses
+ * (Sec. 7.2.1, "Leakage Errors").
+ */
+
+#ifndef QZZ_PULSE_DRAG_H
+#define QZZ_PULSE_DRAG_H
+
+#include "pulse/waveform.h"
+
+namespace qzz::pulse {
+
+/** An (x, y) quadrature pair of waveforms. */
+struct QuadraturePair
+{
+    WaveformPtr x;
+    WaveformPtr y;
+};
+
+/**
+ * Apply the first-order DRAG correction.
+ *
+ * @param x,y   the original quadratures (either may be null = zero).
+ * @param alpha anharmonicity in rad/ns (nonzero).
+ * @return the corrected pair.
+ */
+QuadraturePair applyDrag(WaveformPtr x, WaveformPtr y, double alpha);
+
+} // namespace qzz::pulse
+
+#endif // QZZ_PULSE_DRAG_H

@@ -1,0 +1,61 @@
+#include "pulse/program.h"
+
+#include "common/error.h"
+
+namespace qzz::pulse {
+
+PulseProgram
+PulseProgram::singleQubit(WaveformPtr x, WaveformPtr y)
+{
+    require(x != nullptr || y != nullptr, "PulseProgram::singleQubit: no channels");
+    PulseProgram p;
+    p.duration = x ? x->duration() : y->duration();
+    p.two_qubit = false;
+    p.x_a = std::move(x);
+    p.y_a = std::move(y);
+    return p;
+}
+
+PulseProgram
+PulseProgram::twoQubit(WaveformPtr x_a, WaveformPtr y_a, WaveformPtr x_b,
+                       WaveformPtr y_b, WaveformPtr coupling)
+{
+    require(coupling != nullptr, "PulseProgram::twoQubit: coupling channel required");
+    PulseProgram p;
+    p.duration = coupling->duration();
+    p.two_qubit = true;
+    p.x_a = std::move(x_a);
+    p.y_a = std::move(y_a);
+    p.x_b = std::move(x_b);
+    p.y_b = std::move(y_b);
+    p.coupling = std::move(coupling);
+    return p;
+}
+
+PulseProgram
+PulseProgram::idle(double duration)
+{
+    PulseProgram p;
+    p.duration = duration;
+    p.two_qubit = false;
+    return p;
+}
+
+PulseProgram
+PulseProgram::scaled(double factor) const
+{
+    auto scale = [&](const WaveformPtr &w) -> WaveformPtr {
+        if (!w)
+            return nullptr;
+        return std::make_shared<ScaledWaveform>(w, factor);
+    };
+    PulseProgram p = *this;
+    p.x_a = scale(x_a);
+    p.y_a = scale(y_a);
+    p.x_b = scale(x_b);
+    p.y_b = scale(y_b);
+    p.coupling = scale(coupling);
+    return p;
+}
+
+} // namespace qzz::pulse

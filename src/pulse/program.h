@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pulse programs: the set of channel envelopes implementing one gate.
+ *
+ * Channel layout follows the paper's effective Hamiltonians (Figs. 6
+ * and 7): x/y drive quadratures per acted-on qubit, plus one coupling
+ * channel for two-qubit gates (which multiplies H_Coupling, here
+ * sigma_z (x) sigma_x for the cross-resonance Rzx gate).
+ */
+
+#ifndef QZZ_PULSE_PROGRAM_H
+#define QZZ_PULSE_PROGRAM_H
+
+#include <string>
+
+#include "pulse/waveform.h"
+
+namespace qzz::pulse {
+
+/** The pulses of one native gate. */
+struct PulseProgram
+{
+    /** Gate duration in ns (all channels share it). */
+    double duration = 0.0;
+    /** True for two-qubit programs (b channels + coupling active). */
+    bool two_qubit = false;
+
+    /** Drive quadratures on the first qubit (null = zero). */
+    WaveformPtr x_a;
+    WaveformPtr y_a;
+    /** Drive quadratures on the second qubit (two-qubit gates). */
+    WaveformPtr x_b;
+    WaveformPtr y_b;
+    /** Coupling channel Omega_(a-b)(t) (two-qubit gates). */
+    WaveformPtr coupling;
+
+    /** Evaluate a channel, treating null as zero. */
+    static double
+    eval(const WaveformPtr &w, double t)
+    {
+        return w ? w->value(t) : 0.0;
+    }
+
+    /** Construct a single-qubit program. */
+    static PulseProgram singleQubit(WaveformPtr x, WaveformPtr y);
+
+    /** Construct a two-qubit program. */
+    static PulseProgram twoQubit(WaveformPtr x_a, WaveformPtr y_a,
+                                 WaveformPtr x_b, WaveformPtr y_b,
+                                 WaveformPtr coupling);
+
+    /** A do-nothing single-qubit program of the given duration. */
+    static PulseProgram idle(double duration);
+
+    /** Copy with every non-null channel amplitude-scaled. */
+    PulseProgram scaled(double factor) const;
+};
+
+} // namespace qzz::pulse
+
+#endif // QZZ_PULSE_PROGRAM_H

@@ -1,0 +1,159 @@
+#include "pulse/waveform.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::pulse {
+
+double
+Waveform::derivative(double t) const
+{
+    const double h = 1e-4;
+    return (value(t + h) - value(t - h)) / (2.0 * h);
+}
+
+double
+Waveform::area(int samples) const
+{
+    require(samples >= 3, "Waveform::area: too few samples");
+    if (samples % 2 == 0)
+        ++samples; // Simpson needs an odd count
+    const double T = duration();
+    const double h = T / double(samples - 1);
+    double s = value(0.0) + value(T);
+    for (int i = 1; i < samples - 1; ++i)
+        s += value(double(i) * h) * (i % 2 == 1 ? 4.0 : 2.0);
+    return s * h / 3.0;
+}
+
+double
+ConstantWaveform::value(double t) const
+{
+    return (t >= 0.0 && t <= t_) ? amp_ : 0.0;
+}
+
+GaussianWaveform::GaussianWaveform(double amp, double t, double sigma)
+    : amp_(amp), t_(t), sigma_(sigma)
+{
+    require(t > 0.0 && sigma > 0.0, "GaussianWaveform: bad parameters");
+    edge_ = std::exp(-(t_ / 2.0) * (t_ / 2.0) / (2.0 * sigma_ * sigma_));
+}
+
+GaussianWaveform
+GaussianWaveform::withArea(double area, double t, double sigma)
+{
+    GaussianWaveform unit(1.0, t, sigma);
+    const double unit_area = unit.area();
+    require(std::abs(unit_area) > 1e-12,
+            "GaussianWaveform::withArea: degenerate envelope");
+    return GaussianWaveform(area / unit_area, t, sigma);
+}
+
+double
+GaussianWaveform::value(double t) const
+{
+    if (t < 0.0 || t > t_)
+        return 0.0;
+    const double x = t - t_ / 2.0;
+    const double g = std::exp(-x * x / (2.0 * sigma_ * sigma_));
+    return amp_ * (g - edge_) / (1.0 - edge_);
+}
+
+double
+GaussianWaveform::derivative(double t) const
+{
+    if (t < 0.0 || t > t_)
+        return 0.0;
+    const double x = t - t_ / 2.0;
+    const double g = std::exp(-x * x / (2.0 * sigma_ * sigma_));
+    return amp_ * (-x / (sigma_ * sigma_)) * g / (1.0 - edge_);
+}
+
+FourierWaveform::FourierWaveform(std::vector<double> coeffs, double t)
+    : coeffs_(std::move(coeffs)), t_(t)
+{
+    require(t > 0.0, "FourierWaveform: non-positive duration");
+    require(!coeffs_.empty(), "FourierWaveform: no coefficients");
+}
+
+double
+FourierWaveform::value(double t) const
+{
+    if (t < 0.0 || t > t_)
+        return 0.0;
+    double s = 0.0;
+    for (size_t j = 0; j < coeffs_.size(); ++j) {
+        const double phase = kTwoPi * double(j + 1) * t / t_ - kPi;
+        s += coeffs_[j] / 2.0 * (1.0 + std::cos(phase));
+    }
+    return s;
+}
+
+double
+FourierWaveform::derivative(double t) const
+{
+    if (t < 0.0 || t > t_)
+        return 0.0;
+    double s = 0.0;
+    for (size_t j = 0; j < coeffs_.size(); ++j) {
+        const double w = kTwoPi * double(j + 1) / t_;
+        s += -coeffs_[j] / 2.0 * w * std::sin(w * t - kPi);
+    }
+    return s;
+}
+
+double
+FourierWaveform::exactArea() const
+{
+    double s = 0.0;
+    for (double a : coeffs_)
+        s += a;
+    return s * t_ / 2.0;
+}
+
+SequenceWaveform::SequenceWaveform(std::vector<WaveformPtr> segments)
+    : segments_(std::move(segments))
+{
+    require(!segments_.empty(), "SequenceWaveform: empty sequence");
+    for (const auto &seg : segments_) {
+        offsets_.push_back(total_);
+        total_ += seg->duration();
+    }
+}
+
+double
+SequenceWaveform::value(double t) const
+{
+    if (t < 0.0 || t > total_)
+        return 0.0;
+    // Find the segment containing t (few segments; linear scan).
+    for (size_t i = segments_.size(); i-- > 0;) {
+        if (t >= offsets_[i]) {
+            return segments_[i]->value(t - offsets_[i]);
+        }
+    }
+    return 0.0;
+}
+
+double
+SequenceWaveform::derivative(double t) const
+{
+    if (t < 0.0 || t > total_)
+        return 0.0;
+    for (size_t i = segments_.size(); i-- > 0;) {
+        if (t >= offsets_[i]) {
+            return segments_[i]->derivative(t - offsets_[i]);
+        }
+    }
+    return 0.0;
+}
+
+WaveformPtr
+negate(WaveformPtr base)
+{
+    return std::make_shared<ScaledWaveform>(std::move(base), -1.0);
+}
+
+} // namespace qzz::pulse

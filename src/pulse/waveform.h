@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Control-pulse waveforms.
+ *
+ * A Waveform is a real-valued envelope Omega(t) in rad/ns over a
+ * finite duration.  The shapes used by the paper are all here:
+ *  - Gaussian with zero boundaries (the un-optimized baseline),
+ *  - the 5-harmonic Fourier ansatz of Appendix A (optimized pulses),
+ *  - piecewise sequences (DCG composite pulses),
+ * plus scaling/shifting adaptors for drive-noise studies.
+ */
+
+#ifndef QZZ_PULSE_WAVEFORM_H
+#define QZZ_PULSE_WAVEFORM_H
+
+#include <memory>
+#include <vector>
+
+namespace qzz::pulse {
+
+/** Shared-ownership handle to an immutable waveform. */
+class Waveform;
+using WaveformPtr = std::shared_ptr<const Waveform>;
+
+/** A real control envelope over [0, duration]. */
+class Waveform
+{
+  public:
+    virtual ~Waveform() = default;
+
+    /** Envelope value at time @p t (rad/ns); 0 outside [0, T]. */
+    virtual double value(double t) const = 0;
+
+    /** Time derivative at @p t; default is a central difference. */
+    virtual double derivative(double t) const;
+
+    /** Duration T in ns. */
+    virtual double duration() const = 0;
+
+    /** Numerical integral of the envelope over [0, T] (Simpson). */
+    double area(int samples = 2001) const;
+};
+
+/** The all-zero waveform. */
+class ZeroWaveform : public Waveform
+{
+  public:
+    explicit ZeroWaveform(double t) : t_(t) {}
+    double value(double) const override { return 0.0; }
+    double derivative(double) const override { return 0.0; }
+    double duration() const override { return t_; }
+
+  private:
+    double t_;
+};
+
+/** Constant amplitude over the window. */
+class ConstantWaveform : public Waveform
+{
+  public:
+    ConstantWaveform(double amp, double t) : amp_(amp), t_(t) {}
+    double value(double t) const override;
+    double derivative(double) const override { return 0.0; }
+    double duration() const override { return t_; }
+
+  private:
+    double amp_;
+    double t_;
+};
+
+/**
+ * Gaussian envelope with subtracted tails so that the value is exactly
+ * zero at t = 0 and t = T (the standard hardware-friendly shape).
+ */
+class GaussianWaveform : public Waveform
+{
+  public:
+    /**
+     * @param amp   peak amplitude (rad/ns).
+     * @param t     duration T (ns).
+     * @param sigma standard deviation (ns); typically T/4.
+     */
+    GaussianWaveform(double amp, double t, double sigma);
+
+    /** Calibrate the peak so the integral equals @p area. */
+    static GaussianWaveform withArea(double area, double t, double sigma);
+
+    double value(double t) const override;
+    double derivative(double t) const override;
+    double duration() const override { return t_; }
+
+  private:
+    double amp_;
+    double t_;
+    double sigma_;
+    double edge_; // raw Gaussian value at the boundary
+};
+
+/**
+ * The paper's Fourier ansatz (Appendix A):
+ *   Omega(t) = sum_j A_j / 2 * (1 + cos(2 pi j t / T - pi))
+ * which is smooth and exactly zero at both endpoints.
+ */
+class FourierWaveform : public Waveform
+{
+  public:
+    FourierWaveform(std::vector<double> coeffs, double t);
+
+    double value(double t) const override;
+    double derivative(double t) const override;
+    double duration() const override { return t_; }
+
+    const std::vector<double> &coefficients() const { return coeffs_; }
+
+    /** Integral is T/2 * sum(A_j) in closed form. */
+    double exactArea() const;
+
+  private:
+    std::vector<double> coeffs_;
+    double t_;
+};
+
+/** Concatenation of segments played back to back. */
+class SequenceWaveform : public Waveform
+{
+  public:
+    explicit SequenceWaveform(std::vector<WaveformPtr> segments);
+
+    double value(double t) const override;
+    double derivative(double t) const override;
+    double duration() const override { return total_; }
+
+  private:
+    std::vector<WaveformPtr> segments_;
+    std::vector<double> offsets_;
+    double total_ = 0.0;
+};
+
+/** Amplitude-scaled view of another waveform (drive-noise studies). */
+class ScaledWaveform : public Waveform
+{
+  public:
+    ScaledWaveform(WaveformPtr base, double factor)
+        : base_(std::move(base)), factor_(factor)
+    {
+    }
+    double value(double t) const override
+    {
+        return factor_ * base_->value(t);
+    }
+    double derivative(double t) const override
+    {
+        return factor_ * base_->derivative(t);
+    }
+    double duration() const override { return base_->duration(); }
+
+  private:
+    WaveformPtr base_;
+    double factor_;
+};
+
+/** Negated view of another waveform. */
+WaveformPtr negate(WaveformPtr base);
+
+} // namespace qzz::pulse
+
+#endif // QZZ_PULSE_WAVEFORM_H

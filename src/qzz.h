@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Umbrella header: the full qzz public API.
+ *
+ * Fine-grained headers remain available (e.g. "core/suppression.h")
+ * for faster builds; this header is a convenience for examples and
+ * downstream applications.
+ */
+
+#ifndef QZZ_QZZ_H
+#define QZZ_QZZ_H
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/units.h"
+
+#include "linalg/expm.h"
+#include "linalg/fidelity.h"
+#include "linalg/matrix.h"
+
+#include "ode/propagator.h"
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+#include "graph/planar.h"
+#include "graph/shortest_paths.h"
+#include "graph/topologies.h"
+
+#include "pulse/drag.h"
+#include "pulse/library.h"
+#include "pulse/program.h"
+#include "pulse/waveform.h"
+
+#include "device/device.h"
+
+#include "circuit/benchmarks.h"
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+#include "circuit/decompose.h"
+#include "circuit/gate.h"
+#include "circuit/router.h"
+
+#include "core/cut.h"
+#include "core/dcg.h"
+#include "core/framework.h"
+#include "core/objectives.h"
+#include "core/optimizer.h"
+#include "core/par_sched.h"
+#include "core/pulse_opt.h"
+#include "core/regions.h"
+#include "core/schedule.h"
+#include "core/schedule_io.h"
+#include "core/suppression.h"
+#include "core/zzx_sched.h"
+
+#include "sim/density_matrix.h"
+#include "sim/fitting.h"
+#include "sim/ideal_sim.h"
+#include "sim/lindblad.h"
+#include "sim/pulse_sim.h"
+#include "sim/ramsey.h"
+#include "sim/state_vector.h"
+#include "sim/transmon.h"
+
+#include "exp/pipeline.h"
+#include "exp/suite.h"
+
+#endif // QZZ_QZZ_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Density-matrix register for open-system simulation (Fig. 23).
+ *
+ * Sized for the paper's decoherence study (6-qubit benchmarks: 64x64
+ * matrices).  Unitaries are applied locally from the left and right;
+ * relaxation (T1) and dephasing (T2) enter as exact per-step Kraus
+ * channels on each qubit.
+ */
+
+#ifndef QZZ_SIM_DENSITY_MATRIX_H
+#define QZZ_SIM_DENSITY_MATRIX_H
+
+#include "linalg/matrix.h"
+#include "sim/state_vector.h"
+
+namespace qzz::sim {
+
+/** An n-qubit mixed state. */
+class DensityMatrix
+{
+  public:
+    /** |0...0><0...0| on @p n qubits. */
+    explicit DensityMatrix(int n);
+
+    /** Pure-state density matrix. */
+    static DensityMatrix fromPure(const StateVector &psi);
+
+    int numQubits() const { return n_; }
+    size_t dim() const { return size_t(1) << n_; }
+
+    la::CMatrix &matrix() { return rho_; }
+    const la::CMatrix &matrix() const { return rho_; }
+
+    /** rho -> U_q rho U_q^dag for a 2x2 U. */
+    void apply1Q(const la::CMatrix &u, int q);
+
+    /** rho -> U rho U^dag for a 4x4 U on (q_hi, q_lo). */
+    void apply2Q(const la::CMatrix &u, int q_hi, int q_lo);
+
+    /** Virtual RZ. */
+    void applyRz(int q, double theta);
+
+    /** rho[r,c] *= exp(-i (E[r] - E[c]) dt). */
+    void applyDiagonalPhase(const std::vector<double> &energies,
+                            double dt);
+
+    /** Amplitude damping with excited-state decay probability
+     *  @p gamma on qubit @p q. */
+    void applyAmplitudeDamping(int q, double gamma);
+
+    /** Pure dephasing: off-diagonals in @p q scaled by @p keep. */
+    void applyDephasing(int q, double keep);
+
+    /** <psi| rho |psi>. */
+    double expectationPure(const StateVector &psi) const;
+
+    /** tr(rho) (1 up to numerical error). */
+    double trace() const;
+
+    /** Probability that qubit @p q reads 1. */
+    double probabilityOne(int q) const;
+
+  private:
+    int n_;
+    la::CMatrix rho_;
+
+    int bitPos(int q) const { return n_ - 1 - q; }
+};
+
+} // namespace qzz::sim
+
+#endif // QZZ_SIM_DENSITY_MATRIX_H

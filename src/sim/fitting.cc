@@ -1,0 +1,132 @@
+#include "sim/fitting.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::sim {
+
+namespace {
+
+/**
+ * For fixed frequency, solve y ~ a cos(wt) + b sin(wt) + c by linear
+ * least squares; return the residual sum of squares and coefficients.
+ */
+double
+residualAt(const std::vector<double> &t, const std::vector<double> &y,
+           double f, double coef[3])
+{
+    const double w = kTwoPi * f;
+    // Normal equations for [a b c].
+    double m[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    double rhs[3] = {0, 0, 0};
+    for (size_t i = 0; i < t.size(); ++i) {
+        const double basis[3] = {std::cos(w * t[i]), std::sin(w * t[i]),
+                                 1.0};
+        for (int r = 0; r < 3; ++r) {
+            rhs[r] += basis[r] * y[i];
+            for (int c = 0; c < 3; ++c)
+                m[r][c] += basis[r] * basis[c];
+        }
+    }
+    // Solve the 3x3 system by Gaussian elimination with pivoting.
+    for (int col = 0; col < 3; ++col) {
+        int piv = col;
+        for (int r = col + 1; r < 3; ++r)
+            if (std::abs(m[r][col]) > std::abs(m[piv][col]))
+                piv = r;
+        if (piv != col) {
+            for (int c = 0; c < 3; ++c)
+                std::swap(m[col][c], m[piv][c]);
+            std::swap(rhs[col], rhs[piv]);
+        }
+        const double d = m[col][col];
+        if (std::abs(d) < 1e-30) {
+            coef[0] = coef[1] = 0.0;
+            coef[2] = rhs[2];
+            return 1e300;
+        }
+        for (int r = col + 1; r < 3; ++r) {
+            const double fpiv = m[r][col] / d;
+            for (int c = col; c < 3; ++c)
+                m[r][c] -= fpiv * m[col][c];
+            rhs[r] -= fpiv * rhs[col];
+        }
+    }
+    for (int r = 2; r >= 0; --r) {
+        double acc = rhs[r];
+        for (int c = r + 1; c < 3; ++c)
+            acc -= m[r][c] * coef[c];
+        coef[r] = acc / m[r][r];
+    }
+
+    double rss = 0.0;
+    for (size_t i = 0; i < t.size(); ++i) {
+        const double pred = coef[0] * std::cos(w * t[i]) +
+                            coef[1] * std::sin(w * t[i]) + coef[2];
+        rss += (y[i] - pred) * (y[i] - pred);
+    }
+    return rss;
+}
+
+} // namespace
+
+SinusoidFit
+fitSinusoid(const std::vector<double> &t, const std::vector<double> &y,
+            double f_min, double f_max, int grid_size)
+{
+    require(t.size() == y.size() && t.size() >= 8,
+            "fitSinusoid: need at least 8 samples");
+    require(f_max > f_min && f_min >= 0.0, "fitSinusoid: bad bounds");
+    require(grid_size >= 16, "fitSinusoid: grid too small");
+
+    double coef[3];
+    double best_f = f_min;
+    double best_rss = 1e301;
+    for (int i = 0; i <= grid_size; ++i) {
+        const double f =
+            f_min + (f_max - f_min) * double(i) / double(grid_size);
+        const double rss = residualAt(t, y, f, coef);
+        if (rss < best_rss) {
+            best_rss = rss;
+            best_f = f;
+        }
+    }
+
+    // Golden-section refinement around the best grid cell.
+    const double step = (f_max - f_min) / double(grid_size);
+    double lo = std::max(f_min, best_f - step);
+    double hi = std::min(f_max, best_f + step);
+    const double gr = 0.618033988749895;
+    double a = hi - gr * (hi - lo), b = lo + gr * (hi - lo);
+    double fa = residualAt(t, y, a, coef);
+    double fb = residualAt(t, y, b, coef);
+    for (int it = 0; it < 120; ++it) {
+        if (fa < fb) {
+            hi = b;
+            b = a;
+            fb = fa;
+            a = hi - gr * (hi - lo);
+            fa = residualAt(t, y, a, coef);
+        } else {
+            lo = a;
+            a = b;
+            fa = fb;
+            b = lo + gr * (hi - lo);
+            fb = residualAt(t, y, b, coef);
+        }
+    }
+    best_f = (lo + hi) / 2.0;
+    best_rss = residualAt(t, y, best_f, coef);
+
+    SinusoidFit fit;
+    fit.frequency = best_f;
+    fit.amplitude = std::hypot(coef[0], coef[1]);
+    fit.phase = std::atan2(-coef[1], coef[0]);
+    fit.offset = coef[2];
+    fit.rms_residual = std::sqrt(best_rss / double(t.size()));
+    return fit;
+}
+
+} // namespace qzz::sim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sinusoid frequency estimation for the Ramsey experiments (Sec. 7.4).
+ *
+ * Fits y(t) ~ offset + amplitude * cos(2 pi f t + phase) by scanning
+ * candidate frequencies (amplitude/phase/offset solved in closed form
+ * per frequency by linear least squares) followed by golden-section
+ * refinement.  Robust on noiseless simulator traces and accurate far
+ * below the naive 1/T_span resolution.
+ */
+
+#ifndef QZZ_SIM_FITTING_H
+#define QZZ_SIM_FITTING_H
+
+#include <vector>
+
+namespace qzz::sim {
+
+/** Result of a sinusoid fit. */
+struct SinusoidFit
+{
+    /** Frequency in cycles per time unit (GHz when t is in ns). */
+    double frequency = 0.0;
+    double amplitude = 0.0;
+    double phase = 0.0;
+    double offset = 0.0;
+    /** Root-mean-square residual of the fit. */
+    double rms_residual = 0.0;
+};
+
+/**
+ * Fit a sinusoid to samples (t[i], y[i]).
+ *
+ * @param t         sample times.
+ * @param y         sample values.
+ * @param f_min     lower frequency bound (>= 0).
+ * @param f_max     upper frequency bound.
+ * @param grid_size coarse scan resolution.
+ */
+SinusoidFit fitSinusoid(const std::vector<double> &t,
+                        const std::vector<double> &y, double f_min,
+                        double f_max, int grid_size = 4000);
+
+} // namespace qzz::sim
+
+#endif // QZZ_SIM_FITTING_H

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Ideal (noise-free) references: gate-matrix simulation of circuits
+ * and schedules.  The fidelity metric of Sec. 7.3 compares the
+ * pulse-level state against these outputs.
+ */
+
+#ifndef QZZ_SIM_IDEAL_SIM_H
+#define QZZ_SIM_IDEAL_SIM_H
+
+#include "circuit/circuit.h"
+#include "core/schedule.h"
+#include "sim/state_vector.h"
+
+namespace qzz::sim {
+
+/** Apply one gate's exact unitary to a state. */
+void applyGateIdeal(const ckt::Gate &g, StateVector &psi);
+
+/** Run a circuit with exact gate matrices from |0...0>. */
+StateVector runIdealCircuit(const ckt::QuantumCircuit &circuit);
+
+/** Run a schedule with exact gate matrices (supplemented identities
+ *  act as true identities). */
+StateVector runIdealSchedule(const core::Schedule &schedule);
+
+} // namespace qzz::sim
+
+#endif // QZZ_SIM_IDEAL_SIM_H

@@ -1,0 +1,163 @@
+#include "sim/lindblad.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/expm.h"
+
+namespace qzz::sim {
+
+using la::CMatrix;
+using la::cplx;
+using pulse::PulseGate;
+using pulse::PulseProgram;
+
+DensityMatrixScheduleSimulator::DensityMatrixScheduleSimulator(
+    const dev::Device &device, const pulse::PulseLibrary &library,
+    PulseSimOptions options)
+    : device_(device), library_(library), options_(options)
+{
+    require(options_.dt > 0.0, "DensityMatrixScheduleSimulator: bad dt");
+    std::vector<std::array<int, 2>> edges;
+    std::vector<double> lambdas;
+    for (const graph::Edge &e : device_.graph().edges()) {
+        edges.push_back({e.u, e.v});
+        lambdas.push_back(device_.coupling(e.id) *
+                          options_.crosstalk_scale);
+    }
+    zz_energies_ = zzEnergyTable(device_.numQubits(), edges, lambdas);
+}
+
+namespace {
+
+PulseGate
+pulseGateOf(const ckt::Gate &g)
+{
+    switch (g.kind) {
+      case ckt::GateKind::SX:
+        return PulseGate::SX;
+      case ckt::GateKind::I:
+        return PulseGate::Identity;
+      case ckt::GateKind::RZX:
+        return PulseGate::RZX;
+      default:
+        fatal("lindblad simulator: gate has no pulses: " + g.toString());
+    }
+}
+
+CMatrix
+drive1QStep(const PulseProgram &p, double t_mid, double dt)
+{
+    const double ox = PulseProgram::eval(p.x_a, t_mid);
+    const double oy = PulseProgram::eval(p.y_a, t_mid);
+    return la::expPauli(ox * dt, oy * dt, 0.0);
+}
+
+CMatrix
+drive2QStep(const PulseProgram &p, double t_mid, double dt)
+{
+    const double oxa = PulseProgram::eval(p.x_a, t_mid);
+    const double oya = PulseProgram::eval(p.y_a, t_mid);
+    const double oxb = PulseProgram::eval(p.x_b, t_mid);
+    const double oyb = PulseProgram::eval(p.y_b, t_mid);
+    const double oc = PulseProgram::eval(p.coupling, t_mid);
+    CMatrix h(4, 4);
+    const cplx da{oxa, -oya};
+    h(0, 2) += da;
+    h(1, 3) += da;
+    h(2, 0) += std::conj(da);
+    h(3, 1) += std::conj(da);
+    const cplx db{oxb, -oyb};
+    h(0, 1) += db;
+    h(2, 3) += db;
+    h(1, 0) += std::conj(db);
+    h(3, 2) += std::conj(db);
+    h(0, 1) += oc;
+    h(1, 0) += oc;
+    h(2, 3) += -oc;
+    h(3, 2) += -oc;
+    return la::expmPropagator(h, dt);
+}
+
+} // namespace
+
+void
+DensityMatrixScheduleSimulator::applyDecoherence(DensityMatrix &rho,
+                                                 double dt) const
+{
+    const double t1 = device_.params().t1;
+    const double t2 = device_.params().t2;
+    if (!std::isfinite(t1) && !std::isfinite(t2))
+        return;
+    const double gamma =
+        std::isfinite(t1) ? 1.0 - std::exp(-dt / t1) : 0.0;
+    // 1/T_phi = 1/T2 - 1/(2 T1); keep factor on coherences.
+    double rate_phi = 0.0;
+    if (std::isfinite(t2))
+        rate_phi = 1.0 / t2 - (std::isfinite(t1) ? 0.5 / t1 : 0.0);
+    rate_phi = std::max(0.0, rate_phi);
+    const double keep = std::exp(-dt * rate_phi);
+    for (int q = 0; q < rho.numQubits(); ++q) {
+        if (gamma > 0.0)
+            rho.applyAmplitudeDamping(q, gamma);
+        if (keep < 1.0)
+            rho.applyDephasing(q, keep);
+    }
+}
+
+void
+DensityMatrixScheduleSimulator::runLayer(const core::Layer &layer,
+                                         DensityMatrix &rho) const
+{
+    if (layer.is_virtual) {
+        for (const core::ScheduledGate &sg : layer.gates)
+            rho.applyRz(sg.gate.qubits[0], sg.gate.params[0]);
+        return;
+    }
+    if (layer.duration <= 0.0)
+        return;
+
+    const size_t steps = std::max<size_t>(
+        1, size_t(std::ceil(layer.duration / options_.dt)));
+    const double dt = layer.duration / double(steps);
+
+    for (size_t s = 0; s < steps; ++s) {
+        const double t_mid = (double(s) + 0.5) * dt;
+        rho.applyDiagonalPhase(zz_energies_, dt / 2.0);
+        for (const core::ScheduledGate &sg : layer.gates) {
+            const PulseProgram &prog =
+                library_.get(pulseGateOf(sg.gate));
+            if (t_mid >= prog.duration)
+                continue;
+            if (sg.gate.isTwoQubit()) {
+                rho.apply2Q(drive2QStep(prog, t_mid, dt),
+                            sg.gate.qubits[0], sg.gate.qubits[1]);
+            } else {
+                rho.apply1Q(drive1QStep(prog, t_mid, dt),
+                            sg.gate.qubits[0]);
+            }
+        }
+        rho.applyDiagonalPhase(zz_energies_, dt / 2.0);
+        applyDecoherence(rho, dt);
+    }
+}
+
+void
+DensityMatrixScheduleSimulator::run(const core::Schedule &schedule,
+                                    DensityMatrix &rho) const
+{
+    require(schedule.num_qubits == device_.numQubits(),
+            "DensityMatrixScheduleSimulator: schedule/device mismatch");
+    for (const core::Layer &layer : schedule.layers)
+        runLayer(layer, rho);
+}
+
+DensityMatrix
+DensityMatrixScheduleSimulator::run(const core::Schedule &schedule) const
+{
+    DensityMatrix rho(device_.numQubits());
+    run(schedule, rho);
+    return rho;
+}
+
+} // namespace qzz::sim

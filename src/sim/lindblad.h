@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Open-system pulse-level schedule simulation: the Fig. 23 study of
+ * ZZ crosstalk combined with T1 relaxation and T2 dephasing.
+ *
+ * Same Strang-split evolution as PulseScheduleSimulator, acting on a
+ * density matrix, with exact per-step amplitude-damping and
+ * pure-dephasing Kraus channels on every qubit (rates 1/T1 and
+ * 1/T_phi = 1/T2 - 1/(2 T1)).
+ */
+
+#ifndef QZZ_SIM_LINDBLAD_H
+#define QZZ_SIM_LINDBLAD_H
+
+#include "core/schedule.h"
+#include "device/device.h"
+#include "pulse/library.h"
+#include "sim/density_matrix.h"
+#include "sim/pulse_sim.h"
+
+namespace qzz::sim {
+
+/** Density-matrix twin of PulseScheduleSimulator. */
+class DensityMatrixScheduleSimulator
+{
+  public:
+    DensityMatrixScheduleSimulator(const dev::Device &device,
+                                   const pulse::PulseLibrary &library,
+                                   PulseSimOptions options = {});
+
+    /** Evolve |0..0><0..0| through the schedule. */
+    DensityMatrix run(const core::Schedule &schedule) const;
+
+    /** Evolve a caller-prepared state through the schedule. */
+    void run(const core::Schedule &schedule, DensityMatrix &rho) const;
+
+    /** Evolve one layer. */
+    void runLayer(const core::Layer &layer, DensityMatrix &rho) const;
+
+  private:
+    // Owned copies: simulators must stay valid regardless of the
+    // lifetime of the arguments they were built from.
+    dev::Device device_;
+    pulse::PulseLibrary library_;
+    PulseSimOptions options_;
+    std::vector<double> zz_energies_;
+
+    void applyDecoherence(DensityMatrix &rho, double dt) const;
+};
+
+} // namespace qzz::sim
+
+#endif // QZZ_SIM_LINDBLAD_H

@@ -1,0 +1,178 @@
+#include "sim/pulse_sim.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/expm.h"
+
+namespace qzz::sim {
+
+using la::CMatrix;
+using la::cplx;
+using pulse::PulseGate;
+using pulse::PulseProgram;
+
+PulseScheduleSimulator::PulseScheduleSimulator(
+    const dev::Device &device, const pulse::PulseLibrary &library,
+    PulseSimOptions options)
+    : device_(device), library_(library), options_(options)
+{
+    require(options_.dt > 0.0, "PulseScheduleSimulator: bad dt");
+    std::vector<std::array<int, 2>> edges;
+    std::vector<double> lambdas;
+    for (const graph::Edge &e : device_.graph().edges()) {
+        edges.push_back({e.u, e.v});
+        lambdas.push_back(device_.coupling(e.id) *
+                          options_.crosstalk_scale);
+    }
+    zz_energies_ =
+        zzEnergyTable(device_.numQubits(), edges, lambdas);
+}
+
+namespace {
+
+/** Map a native gate kind onto its pulse program key. */
+PulseGate
+pulseGateOf(const ckt::Gate &g)
+{
+    switch (g.kind) {
+      case ckt::GateKind::SX:
+        return PulseGate::SX;
+      case ckt::GateKind::I:
+        return PulseGate::Identity;
+      case ckt::GateKind::RZX:
+        return PulseGate::RZX;
+      default:
+        fatal("pulse simulator: gate has no pulses: " + g.toString());
+    }
+}
+
+/** Instantaneous 2x2 drive propagator over dt. */
+CMatrix
+drive1QStep(const PulseProgram &p, double t_mid, double dt)
+{
+    const double ox = PulseProgram::eval(p.x_a, t_mid);
+    const double oy = PulseProgram::eval(p.y_a, t_mid);
+    return la::expPauli(ox * dt, oy * dt, 0.0);
+}
+
+/** Instantaneous 4x4 drive propagator over dt (drives + coupling
+ *  channel; the intra-pair ZZ lives in the diagonal bath). */
+CMatrix
+drive2QStep(const PulseProgram &p, double t_mid, double dt)
+{
+    const double oxa = PulseProgram::eval(p.x_a, t_mid);
+    const double oya = PulseProgram::eval(p.y_a, t_mid);
+    const double oxb = PulseProgram::eval(p.x_b, t_mid);
+    const double oyb = PulseProgram::eval(p.y_b, t_mid);
+    const double oc = PulseProgram::eval(p.coupling, t_mid);
+
+    CMatrix h(4, 4);
+    const cplx da{oxa, -oya};
+    h(0, 2) += da;
+    h(1, 3) += da;
+    h(2, 0) += std::conj(da);
+    h(3, 1) += std::conj(da);
+    const cplx db{oxb, -oyb};
+    h(0, 1) += db;
+    h(2, 3) += db;
+    h(1, 0) += std::conj(db);
+    h(3, 2) += std::conj(db);
+    h(0, 1) += oc;
+    h(1, 0) += oc;
+    h(2, 3) += -oc;
+    h(3, 2) += -oc;
+    return la::expmPropagator(h, dt);
+}
+
+} // namespace
+
+void
+PulseScheduleSimulator::runLayer(const core::Layer &layer,
+                                 StateVector &psi) const
+{
+    if (layer.is_virtual) {
+        for (const core::ScheduledGate &sg : layer.gates) {
+            ensure(sg.gate.kind == ckt::GateKind::RZ,
+                   "virtual layer contains non-RZ gate");
+            psi.applyRz(sg.gate.qubits[0], sg.gate.params[0]);
+        }
+        return;
+    }
+    if (layer.duration <= 0.0)
+        return;
+
+    const size_t steps = std::max<size_t>(
+        1, size_t(std::ceil(layer.duration / options_.dt)));
+    const double dt = layer.duration / double(steps);
+
+    // Collect the layer's pulse jobs.
+    struct Job
+    {
+        const PulseProgram *program;
+        PulseGate kind;
+        int q0, q1; // q1 = -1 for single-qubit jobs
+    };
+    std::vector<Job> jobs;
+    for (const core::ScheduledGate &sg : layer.gates) {
+        const PulseGate kind = pulseGateOf(sg.gate);
+        const PulseProgram &prog = library_.get(kind);
+        Job j;
+        j.program = &prog;
+        j.kind = kind;
+        j.q0 = sg.gate.qubits[0];
+        j.q1 = sg.gate.isTwoQubit() ? sg.gate.qubits[1] : -1;
+        jobs.push_back(j);
+    }
+
+    for (size_t s = 0; s < steps; ++s) {
+        const double t_mid = (double(s) + 0.5) * dt;
+        psi.applyDiagonalPhase(zz_energies_, dt / 2.0);
+
+        // Per-kind propagator cache: simultaneous gates of one kind
+        // share the same waveforms.
+        CMatrix cached[3];
+        bool have[3] = {false, false, false};
+        auto kind_index = [](PulseGate k) {
+            return k == PulseGate::SX ? 0
+                                      : (k == PulseGate::Identity ? 1 : 2);
+        };
+        for (const Job &j : jobs) {
+            if (t_mid >= j.program->duration)
+                continue; // this gate's pulses already ended
+            const int ki = kind_index(j.kind);
+            if (!have[ki]) {
+                cached[ki] = j.q1 < 0
+                                 ? drive1QStep(*j.program, t_mid, dt)
+                                 : drive2QStep(*j.program, t_mid, dt);
+                have[ki] = true;
+            }
+            if (j.q1 < 0)
+                psi.apply1Q(cached[ki], j.q0);
+            else
+                psi.apply2Q(cached[ki], j.q0, j.q1);
+        }
+
+        psi.applyDiagonalPhase(zz_energies_, dt / 2.0);
+    }
+}
+
+void
+PulseScheduleSimulator::run(const core::Schedule &schedule,
+                            StateVector &psi) const
+{
+    require(schedule.num_qubits == device_.numQubits(),
+            "PulseScheduleSimulator::run: schedule/device mismatch");
+    for (const core::Layer &layer : schedule.layers)
+        runLayer(layer, psi);
+}
+
+StateVector
+PulseScheduleSimulator::run(const core::Schedule &schedule) const
+{
+    StateVector psi(device_.numQubits());
+    run(schedule, psi);
+    return psi;
+}
+
+} // namespace qzz::sim

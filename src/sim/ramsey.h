@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ramsey experiments on a simulated three-qubit chain Q1-Q2-Q3
+ * (Sec. 7.4 / Figs. 26-27 of the paper).
+ *
+ * Protocol: prepare the neighbor(s) in |0> or |1>, play Rx(pi/2) on
+ * Q2, wait tau (accumulating a software-detuning phase Rz(theta),
+ * theta = 2 pi f_ramsey tau), play Rx(pi/2) again, and record
+ * P(|1>) on Q2 as a function of tau.  The oscillation frequency
+ * shifts by -+ zeta/2 depending on the neighbor state; the measured
+ * effective ZZ strength is the difference of the two fitted
+ * frequencies.
+ *
+ * Compiled circuits:
+ *   A — the idle period is truly idle (baseline),
+ *   B — the idle period is tiled with identity pulses on Q2,
+ *   C — identity pulses on Q1 and Q3 instead.
+ *
+ * Implementation: the idle period is built from repeated segments;
+ * the 8x8 segment propagator is computed once (RK4 over the pulse
+ * waveforms + always-on ZZ) and applied iteratively, so sweeping
+ * hundreds of tau points is cheap and exact.
+ */
+
+#ifndef QZZ_SIM_RAMSEY_H
+#define QZZ_SIM_RAMSEY_H
+
+#include <vector>
+
+#include "pulse/library.h"
+#include "sim/fitting.h"
+
+namespace qzz::sim {
+
+/** Which compiled Ramsey circuit to run (Fig. 26). */
+enum class RamseyCircuit
+{
+    A, ///< idle wait (baseline scheduling)
+    B, ///< identity pulses on Q2 during the wait
+    C, ///< identity pulses on Q1 and Q3 during the wait
+};
+
+/** Configuration of one Ramsey trace. */
+struct RamseyConfig
+{
+    /** ZZ strengths of the two couplings (rad/ns). */
+    double lambda12 = 0.0;
+    double lambda23 = 0.0;
+    /** Neighbor preparations. */
+    bool q1_excited = false;
+    bool q3_excited = false;
+    /** Compiled circuit variant. */
+    RamseyCircuit circuit = RamseyCircuit::A;
+    /** Pulse library for the Rx(pi/2) and identity pulses. */
+    const pulse::PulseLibrary *library = nullptr;
+    /** Software detuning (GHz = cycles/ns); default 1 MHz. */
+    double f_ramsey = 1e-3;
+    /** Number of idle segments to sweep. */
+    int segments = 400;
+    /** Integrator step for the segment propagators (ns). */
+    double dt = 0.02;
+};
+
+/** One Ramsey trace: P1(Q2) versus tau. */
+struct RamseyTrace
+{
+    std::vector<double> tau;
+    std::vector<double> p1;
+    /** Fitted oscillation frequency (GHz). */
+    double frequency = 0.0;
+};
+
+/** Run one Ramsey experiment and fit its frequency. */
+RamseyTrace runRamsey(const RamseyConfig &cfg);
+
+/** Result of a ZZ-strength measurement (two traces). */
+struct ZzMeasurement
+{
+    /** Fitted frequencies with the probe neighbor in |0> / |1>. */
+    double f_ground = 0.0;
+    double f_excited = 0.0;
+    /** Effective ZZ strength |f1 - f0| in kHz. */
+    double zz_khz = 0.0;
+};
+
+/**
+ * Measure the effective ZZ strength between Q2 and the probe
+ * neighbor(s) by differencing two Ramsey traces.
+ *
+ * @param base        shared configuration (lambdas, circuit, library).
+ * @param probe_q1    toggle Q1 between |0> and |1>.
+ * @param probe_q3    toggle Q3 between |0> and |1>.
+ */
+ZzMeasurement measureEffectiveZz(const RamseyConfig &base, bool probe_q1,
+                                 bool probe_q3);
+
+} // namespace qzz::sim
+
+#endif // QZZ_SIM_RAMSEY_H

@@ -1,0 +1,136 @@
+#include "sim/transmon.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "ode/propagator.h"
+
+namespace qzz::sim {
+
+using la::CMatrix;
+using la::cplx;
+using pulse::PulseProgram;
+
+double
+transmonCrosstalkInfidelity(const PulseProgram &p, const CMatrix &target,
+                            const TransmonConfig &cfg, double dt)
+{
+    require(cfg.levels >= 3 && cfg.levels <= 10,
+            "transmonCrosstalkInfidelity: bad level count");
+    require(!p.two_qubit,
+            "transmonCrosstalkInfidelity: single-qubit pulses only");
+    const int nl = cfg.levels;
+
+    // Static pieces of the Hamiltonian.
+    CMatrix anharm{static_cast<size_t>(nl), static_cast<size_t>(nl)};
+    for (int j = 0; j < nl; ++j)
+        anharm(size_t(j), size_t(j)) =
+            cfg.anharmonicity / 2.0 * double(j) * double(j - 1);
+    // Z on the computational subspace only.
+    CMatrix zgen{static_cast<size_t>(nl), static_cast<size_t>(nl)};
+    zgen(0, 0) = 1.0;
+    zgen(1, 1) = -1.0;
+
+    // Drive quadrature operators from the truncated ladder.
+    CMatrix xop{static_cast<size_t>(nl), static_cast<size_t>(nl)};
+    CMatrix yop{static_cast<size_t>(nl), static_cast<size_t>(nl)};
+    for (int j = 0; j + 1 < nl; ++j) {
+        const double r = std::sqrt(double(j + 1));
+        xop(size_t(j), size_t(j + 1)) = r;       // a
+        xop(size_t(j + 1), size_t(j)) = r;       // a^dag
+        yop(size_t(j), size_t(j + 1)) = -la::kI * r;
+        yop(size_t(j + 1), size_t(j)) = la::kI * r;
+    }
+
+    ode::PropagationOptions opt;
+    opt.dt = dt;
+
+    // Accumulate the projected comparison blocks for both spectator
+    // states.  Frame phases of the driven qubit are calibrated away
+    // (free virtual-Z before and after the pulse, as on hardware,
+    // where they merge into neighboring RZ gates): F is maximized
+    // over Rz(phi1) target Rz(phi2), which leaves tr(M M^dag)
+    // unchanged and dresses tr(M) with e^{i(phi2 s_j + phi1 s_k)/2}
+    // factors on the components C_jk = sum_z T^dag_jk (B_z)_kj.
+    cplx coeff[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+    double tr_mmdag = 0.0;
+    const CMatrix tdag = target.dagger();
+    for (double z : {1.0, -1.0}) {
+        auto hfn = [&](double t, CMatrix &h) {
+            const double ox = PulseProgram::eval(p.x_a, t);
+            const double oy = PulseProgram::eval(p.y_a, t);
+            for (int r = 0; r < nl; ++r)
+                for (int c = 0; c < nl; ++c)
+                    h(size_t(r), size_t(c)) =
+                        anharm(size_t(r), size_t(c)) +
+                        z * cfg.lambda * zgen(size_t(r), size_t(c)) +
+                        ox * xop(size_t(r), size_t(c)) +
+                        oy * yop(size_t(r), size_t(c));
+        };
+        CMatrix u =
+            ode::propagate(hfn, size_t(nl), 0.0, p.duration, opt);
+        // Project onto the computational subspace and compare.
+        CMatrix block(2, 2);
+        for (int r = 0; r < 2; ++r)
+            for (int c = 0; c < 2; ++c)
+                block(size_t(r), size_t(c)) = u(size_t(r), size_t(c));
+        const CMatrix m = tdag * block;
+        tr_mmdag += m.frobeniusNorm() * m.frobeniusNorm();
+        for (int j = 0; j < 2; ++j)
+            for (int k = 0; k < 2; ++k)
+                coeff[j][k] +=
+                    tdag(size_t(j), size_t(k)) * block(size_t(k),
+                                                       size_t(j));
+    }
+    const double d = 4.0; // 2 (computational) x 2 (spectator)
+    auto tr_at = [&](double h1, double h2) {
+        cplx tr = 0.0;
+        for (int j = 0; j < 2; ++j)
+            for (int k = 0; k < 2; ++k) {
+                const double s_j = j == 0 ? 1.0 : -1.0;
+                const double s_k = k == 0 ? 1.0 : -1.0;
+                tr += std::exp(cplx{0.0, h2 * s_j + h1 * s_k}) *
+                      coeff[j][k];
+            }
+        return std::norm(tr);
+    };
+    // Coarse scan over the fundamental phase domain, then zoom.
+    double best = 0.0, b1 = 0.0, b2 = 0.0;
+    const int steps = 90;
+    for (int i1 = 0; i1 < steps; ++i1) {
+        const double h1 = kPi * (double(i1) / steps - 0.5);
+        for (int i2 = 0; i2 < steps; ++i2) {
+            const double h2 = kPi * (double(i2) / steps - 0.5);
+            const double v = tr_at(h1, h2);
+            if (v > best) {
+                best = v;
+                b1 = h1;
+                b2 = h2;
+            }
+        }
+    }
+    double window = kPi / steps;
+    for (int round = 0; round < 6; ++round) {
+        double nb1 = b1, nb2 = b2;
+        for (int i1 = -10; i1 <= 10; ++i1) {
+            for (int i2 = -10; i2 <= 10; ++i2) {
+                const double h1 = b1 + window * double(i1) / 10.0;
+                const double h2 = b2 + window * double(i2) / 10.0;
+                const double v = tr_at(h1, h2);
+                if (v > best) {
+                    best = v;
+                    nb1 = h1;
+                    nb2 = h2;
+                }
+            }
+        }
+        b1 = nb1;
+        b2 = nb2;
+        window /= 8.0;
+    }
+    const double f = (tr_mmdag + best) / (d * (d + 1.0));
+    return 1.0 - f;
+}
+
+} // namespace qzz::sim

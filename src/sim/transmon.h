@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Multi-level transmon model for the leakage study (Fig. 18).
+ *
+ * The driven qubit is a 5-level anharmonic oscillator in the rotating
+ * frame:
+ *   H = sum_j alpha j(j-1)/2 |j><j| + Ox(t)(a + a^dag) + Oy(t) i(a^dag - a)
+ * with a truncated lowering operator.  The ZZ crosstalk to a two-level
+ * spectator acts on the computational subspace
+ * (Z_gen = |0><0| - |1><1|, zero on leakage levels), so the spectator
+ * again block-diagonalizes: two 5x5 blocks with +-lambda shifts.
+ *
+ * Infidelity is measured on the computational subspace with leakage
+ * penalized through the non-unitarity of the projected block (the
+ * tr(M M^dag) term of Nielsen's formula).
+ */
+
+#ifndef QZZ_SIM_TRANSMON_H
+#define QZZ_SIM_TRANSMON_H
+
+#include "linalg/matrix.h"
+#include "pulse/program.h"
+
+namespace qzz::sim {
+
+/** Transmon model parameters. */
+struct TransmonConfig
+{
+    /** Number of oscillator levels (paper: 5). */
+    int levels = 5;
+    /** Anharmonicity alpha (rad/ns; negative for transmons). */
+    double anharmonicity = 0.0;
+    /** ZZ coupling to the two-level spectator (rad/ns). */
+    double lambda = 0.0;
+};
+
+/**
+ * Crosstalk + leakage infidelity of a single-qubit pulse on the
+ * 5-level transmon with one spectator:
+ * 1 - F_avg(P U P^dag, target (x) I) over the 4-dim computational
+ * space.
+ */
+double transmonCrosstalkInfidelity(const pulse::PulseProgram &p,
+                                   const la::CMatrix &target,
+                                   const TransmonConfig &cfg,
+                                   double dt = 0.005);
+
+} // namespace qzz::sim
+
+#endif // QZZ_SIM_TRANSMON_H

@@ -1,0 +1,156 @@
+#include "circuit/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "sim/ideal_sim.h"
+
+namespace qzz::ckt {
+namespace {
+
+TEST(BenchmarksTest, HiddenShiftRecoversShift)
+{
+    // The HS circuit maps |0..0> to the basis state |shift>; verify
+    // the output is a computational basis state.
+    Rng rng(41);
+    QuantumCircuit c = hiddenShift(4, rng);
+    sim::StateVector out = sim::runIdealCircuit(c);
+    int support = 0;
+    for (const auto &a : out.amplitudes())
+        if (std::norm(a) > 1e-9)
+            ++support;
+    EXPECT_EQ(support, 1);
+}
+
+TEST(BenchmarksTest, HiddenShiftDifferentSeedsDifferentShifts)
+{
+    Rng r1(1), r2(2);
+    QuantumCircuit a = hiddenShift(6, r1);
+    QuantumCircuit b = hiddenShift(6, r2);
+    // X-gate patterns differ with overwhelming probability.
+    EXPECT_NE(a.size(), 0u);
+    int xa = 0, xb = 0;
+    for (const Gate &g : a.gates())
+        if (g.kind == GateKind::X)
+            ++xa;
+    for (const Gate &g : b.gates())
+        if (g.kind == GateKind::X)
+            ++xb;
+    EXPECT_TRUE(xa != xb || a.size() != b.size());
+}
+
+TEST(BenchmarksTest, QftMatchesAnalyticUnitary)
+{
+    const int n = 3;
+    QuantumCircuit c = qft(n);
+    la::CMatrix u = c.unitary();
+    const size_t dim = 8;
+    const la::cplx w = std::exp(la::kI * kTwoPi / double(dim));
+    for (size_t r = 0; r < dim; ++r)
+        for (size_t col = 0; col < dim; ++col) {
+            const la::cplx want =
+                std::pow(w, double(r * col)) / std::sqrt(double(dim));
+            EXPECT_NEAR(std::abs(u(r, col) - want), 0.0, 1e-10)
+                << r << "," << col;
+        }
+}
+
+TEST(BenchmarksTest, QpePeaksAtEncodedPhase)
+{
+    // phase = 5/16 with 4 counting bits is exactly representable:
+    // the counting register must read 0101 with probability 1.
+    QuantumCircuit c = qpe(5);
+    sim::StateVector out = sim::runIdealCircuit(c);
+    // Counting qubits 0..3 (qubit 0 = MSB of the phase), target = |1>.
+    // Expected basis state: 0101 1 -> index 0b01011 = 11.
+    EXPECT_NEAR(std::norm(out.amplitudes()[11]), 1.0, 1e-9);
+}
+
+TEST(BenchmarksTest, QaoaStructure)
+{
+    Rng rng(5);
+    QuantumCircuit c = qaoaMaxCut(6, 1, rng);
+    int h_count = 0, rzz_count = 0, rx_count = 0;
+    for (const Gate &g : c.gates()) {
+        if (g.kind == GateKind::H)
+            ++h_count;
+        if (g.kind == GateKind::RZZ)
+            ++rzz_count;
+        if (g.kind == GateKind::RX)
+            ++rx_count;
+    }
+    EXPECT_EQ(h_count, 6);
+    EXPECT_EQ(rx_count, 6);
+    EXPECT_GE(rzz_count, 6); // ring + chords
+}
+
+TEST(BenchmarksTest, IsingLayerCount)
+{
+    QuantumCircuit c = isingChain(5, 3);
+    int rzz = 0, rx = 0;
+    for (const Gate &g : c.gates()) {
+        if (g.kind == GateKind::RZZ)
+            ++rzz;
+        if (g.kind == GateKind::RX)
+            ++rx;
+    }
+    EXPECT_EQ(rzz, 3 * 4);
+    EXPECT_EQ(rx, 3 * 5);
+}
+
+TEST(BenchmarksTest, GrcAvoidsRepeatedSingleQubitGates)
+{
+    Rng rng(7);
+    QuantumCircuit c = googleRandom(4, 8, rng);
+    // Per qubit, consecutive 1q gate kinds differ.
+    std::vector<GateKind> last(4, GateKind::CZ);
+    for (const Gate &g : c.gates()) {
+        if (g.isTwoQubit())
+            continue;
+        EXPECT_NE(g.kind, last[g.qubits[0]]);
+        last[g.qubits[0]] = g.kind;
+    }
+}
+
+TEST(BenchmarksTest, QuantumVolumeGateCount)
+{
+    Rng rng(11);
+    QuantumCircuit c = quantumVolume(6, 2, rng);
+    int cx = 0;
+    for (const Gate &g : c.gates())
+        if (g.kind == GateKind::CX)
+            ++cx;
+    EXPECT_EQ(cx, 2 * 3 * 3); // depth * pairs * 3 CX
+}
+
+TEST(BenchmarksTest, SuiteHas21Instances)
+{
+    Rng rng(2022);
+    auto suite = paperBenchmarkSuite(rng);
+    EXPECT_EQ(suite.size(), 21u);
+    EXPECT_EQ(suite[0].label, "HS-4");
+    EXPECT_EQ(suite.back().label, "GRC-12");
+}
+
+TEST(BenchmarksTest, SuiteWithQvHas25Instances)
+{
+    Rng rng(2022);
+    auto suite = paperBenchmarkSuiteWithQv(rng);
+    EXPECT_EQ(suite.size(), 25u);
+    EXPECT_EQ(suite.back().label, "QV-12");
+}
+
+TEST(BenchmarksTest, SuiteIsDeterministic)
+{
+    Rng r1(99), r2(99);
+    auto s1 = paperBenchmarkSuite(r1);
+    auto s2 = paperBenchmarkSuite(r2);
+    ASSERT_EQ(s1.size(), s2.size());
+    for (size_t i = 0; i < s1.size(); ++i)
+        EXPECT_EQ(s1[i].circuit.size(), s2[i].circuit.size());
+}
+
+} // namespace
+} // namespace qzz::ckt

@@ -1,0 +1,92 @@
+#include "circuit/dag.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace qzz::ckt {
+namespace {
+
+TEST(DagTest, InitialFrontierIsFirstGatePerQubit)
+{
+    QuantumCircuit c(3);
+    c.h(0);      // 0
+    c.h(1);      // 1
+    c.cx(0, 1);  // 2
+    c.h(2);      // 3
+    DagFrontier f(c);
+    EXPECT_EQ(f.schedulable(), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(DagTest, TwoQubitGateWaitsForBothOperands)
+{
+    QuantumCircuit c(2);
+    c.h(0);     // 0
+    c.cx(0, 1); // 1
+    DagFrontier f(c);
+    EXPECT_EQ(f.schedulable(), (std::vector<int>{0}));
+    f.markScheduled(0);
+    EXPECT_EQ(f.schedulable(), (std::vector<int>{1}));
+}
+
+TEST(DagTest, MarkingNonSchedulableIsFatal)
+{
+    QuantumCircuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    DagFrontier f(c);
+    EXPECT_THROW(f.markScheduled(1), UserError);
+    f.markScheduled(0);
+    EXPECT_THROW(f.markScheduled(0), UserError); // double schedule
+}
+
+TEST(DagTest, DrainsWholeCircuit)
+{
+    QuantumCircuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.h(2);
+    c.cx(0, 2);
+    DagFrontier f(c);
+    int scheduled = 0;
+    while (!f.done()) {
+        auto ready = f.schedulable();
+        ASSERT_FALSE(ready.empty());
+        for (int gi : ready) {
+            f.markScheduled(gi);
+            ++scheduled;
+        }
+    }
+    EXPECT_EQ(scheduled, int(c.size()));
+    EXPECT_TRUE(f.schedulable().empty());
+}
+
+TEST(DagTest, RespectsPerQubitOrder)
+{
+    QuantumCircuit c(1);
+    c.h(0);
+    c.x(0);
+    c.z(0);
+    DagFrontier f(c);
+    EXPECT_EQ(f.schedulable(), (std::vector<int>{0}));
+    f.markScheduled(0);
+    EXPECT_EQ(f.schedulable(), (std::vector<int>{1}));
+    f.markScheduled(1);
+    EXPECT_EQ(f.schedulable(), (std::vector<int>{2}));
+}
+
+TEST(DagTest, IndependentChainsProgressIndependently)
+{
+    QuantumCircuit c(4);
+    c.h(0);
+    c.h(0);
+    c.h(2);
+    DagFrontier f(c);
+    f.markScheduled(2); // qubit 2's gate
+    auto ready = f.schedulable();
+    EXPECT_EQ(ready, (std::vector<int>{0}));
+}
+
+} // namespace
+} // namespace qzz::ckt

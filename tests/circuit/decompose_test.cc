@@ -1,0 +1,140 @@
+#include "circuit/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "linalg/fidelity.h"
+
+namespace qzz::ckt {
+namespace {
+
+/** Decompose a one-gate circuit and compare unitaries up to phase. */
+void
+expectEquivalent(const Gate &g, int n)
+{
+    QuantumCircuit c(n);
+    c.add(g);
+    QuantumCircuit native = decomposeToNative(c);
+    EXPECT_TRUE(native.isNative()) << g.toString();
+    EXPECT_LT(la::phaseDistance(native.unitary(), c.unitary()), 1e-9)
+        << "decomposition changed the unitary of " << g.toString();
+}
+
+TEST(DecomposeTest, SingleQubitGates)
+{
+    expectEquivalent({GateKind::X, {0}}, 1);
+    expectEquivalent({GateKind::Y, {0}}, 1);
+    expectEquivalent({GateKind::Z, {0}}, 1);
+    expectEquivalent({GateKind::H, {0}}, 1);
+    expectEquivalent({GateKind::S, {0}}, 1);
+    expectEquivalent({GateKind::SDG, {0}}, 1);
+    expectEquivalent({GateKind::T, {0}}, 1);
+    expectEquivalent({GateKind::TDG, {0}}, 1);
+}
+
+TEST(DecomposeTest, ParameterizedSingleQubitGates)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i) {
+        const double th = rng.uniform(-kPi, kPi);
+        expectEquivalent({GateKind::RX, {0}, {th}}, 1);
+        expectEquivalent({GateKind::RY, {0}, {th}}, 1);
+        expectEquivalent({GateKind::RZ, {0}, {th}}, 1);
+        expectEquivalent({GateKind::U3,
+                          {0},
+                          {rng.uniform(0.0, kPi),
+                           rng.uniform(-kPi, kPi),
+                           rng.uniform(-kPi, kPi)}},
+                         1);
+    }
+}
+
+TEST(DecomposeTest, TwoQubitGatesBothOrientations)
+{
+    expectEquivalent({GateKind::CX, {0, 1}}, 2);
+    expectEquivalent({GateKind::CX, {1, 0}}, 2);
+    expectEquivalent({GateKind::CZ, {0, 1}}, 2);
+    expectEquivalent({GateKind::SWAP, {0, 1}}, 2);
+    for (double th : {0.3, -1.2, kPi / 2.0}) {
+        expectEquivalent({GateKind::CP, {0, 1}, {th}}, 2);
+        expectEquivalent({GateKind::RZZ, {0, 1}, {th}}, 2);
+    }
+}
+
+TEST(DecomposeTest, WholeCircuitEquivalence)
+{
+    Rng rng(9);
+    QuantumCircuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cp(1, 2, 0.77);
+    c.rzz(0, 2, -0.4);
+    c.u3(1, 0.3, 0.2, 0.1);
+    c.swap(0, 2);
+    QuantumCircuit native = decomposeToNative(c);
+    EXPECT_TRUE(native.isNative());
+    EXPECT_LT(la::phaseDistance(native.unitary(), c.unitary()), 1e-8);
+}
+
+TEST(DecomposeTest, OnlyAdjacentPairsTouched)
+{
+    QuantumCircuit c(3);
+    c.cx(0, 2);
+    QuantumCircuit native = decomposeToNative(c);
+    for (const Gate &g : native.gates())
+        if (g.isTwoQubit())
+            EXPECT_EQ((g.qubits[0] == 0 && g.qubits[1] == 2) ||
+                          (g.qubits[0] == 2 && g.qubits[1] == 0),
+                      true);
+}
+
+TEST(MergeRzTest, ConsecutiveRzCombine)
+{
+    QuantumCircuit c(1);
+    c.rz(0, 0.3);
+    c.rz(0, 0.4);
+    c.sx(0);
+    c.rz(0, -0.4);
+    QuantumCircuit merged = mergeRz(c);
+    int rz_count = 0;
+    for (const Gate &g : merged.gates())
+        if (g.kind == GateKind::RZ)
+            ++rz_count;
+    EXPECT_EQ(rz_count, 2);
+    EXPECT_LT(la::phaseDistance(merged.unitary(), c.unitary()), 1e-12);
+}
+
+TEST(MergeRzTest, ZeroAnglesDropped)
+{
+    QuantumCircuit c(1);
+    c.rz(0, 0.5);
+    c.rz(0, -0.5);
+    c.sx(0);
+    QuantumCircuit merged = mergeRz(c);
+    EXPECT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged.gates()[0].kind, GateKind::SX);
+}
+
+TEST(MergeRzTest, TrailingRzFlushed)
+{
+    QuantumCircuit c(2);
+    c.sx(0);
+    c.rz(0, 0.7);
+    c.rz(1, 0.2);
+    QuantumCircuit merged = mergeRz(c);
+    EXPECT_LT(la::phaseDistance(merged.unitary(), c.unitary()), 1e-12);
+}
+
+TEST(DecomposeTest, NativePassthrough)
+{
+    QuantumCircuit c(2);
+    c.sx(0);
+    c.idle(1);
+    c.rzx(0, 1, kPi / 2.0);
+    QuantumCircuit native = decomposeToNative(c);
+    EXPECT_EQ(native.size(), 3u);
+}
+
+} // namespace
+} // namespace qzz::ckt

@@ -1,0 +1,165 @@
+#include "circuit/gate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "linalg/expm.h"
+
+namespace qzz::ckt {
+namespace {
+
+using la::CMatrix;
+using la::distance;
+using la::kron;
+
+TEST(GateTest, NativePredicate)
+{
+    EXPECT_TRUE(Gate(GateKind::SX, {0}).isNative());
+    EXPECT_TRUE(Gate(GateKind::I, {0}).isNative());
+    EXPECT_TRUE(Gate(GateKind::RZ, {0}, {0.3}).isNative());
+    EXPECT_TRUE(Gate(GateKind::RZX, {0, 1}, {kPi / 2.0}).isNative());
+    EXPECT_FALSE(Gate(GateKind::RZX, {0, 1}, {kPi / 4.0}).isNative());
+    EXPECT_FALSE(Gate(GateKind::H, {0}).isNative());
+    EXPECT_FALSE(Gate(GateKind::CX, {0, 1}).isNative());
+}
+
+TEST(GateTest, VirtualPredicate)
+{
+    EXPECT_TRUE(Gate(GateKind::RZ, {0}, {0.1}).isVirtual());
+    EXPECT_FALSE(Gate(GateKind::SX, {0}).isVirtual());
+}
+
+TEST(GateTest, SxSquaredIsX)
+{
+    CMatrix sx = gateMatrix({GateKind::SX, {0}});
+    CMatrix x = gateMatrix({GateKind::X, {0}});
+    EXPECT_LT(la::phaseDistance(sx * sx, x), 1e-12);
+}
+
+TEST(GateTest, HadamardSelfInverse)
+{
+    CMatrix h = gateMatrix({GateKind::H, {0}});
+    EXPECT_TRUE((h * h).isIdentity(1e-12));
+}
+
+TEST(GateTest, SAndTPowers)
+{
+    CMatrix s = gateMatrix({GateKind::S, {0}});
+    CMatrix t = gateMatrix({GateKind::T, {0}});
+    CMatrix z = gateMatrix({GateKind::Z, {0}});
+    EXPECT_LT(distance(s * s, z), 1e-12);
+    EXPECT_LT(distance(t * t, s), 1e-12);
+    CMatrix sdg = gateMatrix({GateKind::SDG, {0}});
+    EXPECT_TRUE((s * sdg).isIdentity(1e-12));
+    CMatrix tdg = gateMatrix({GateKind::TDG, {0}});
+    EXPECT_TRUE((t * tdg).isIdentity(1e-12));
+}
+
+TEST(GateTest, RotationsMatchExponentials)
+{
+    const double th = 0.987;
+    EXPECT_LT(distance(gateMatrix({GateKind::RX, {0}, {th}}),
+                       la::expPauli(th / 2.0, 0.0, 0.0)),
+              1e-12);
+    EXPECT_LT(distance(gateMatrix({GateKind::RY, {0}, {th}}),
+                       la::expPauli(0.0, th / 2.0, 0.0)),
+              1e-12);
+    EXPECT_LT(distance(gateMatrix({GateKind::RZ, {0}, {th}}),
+                       la::expPauli(0.0, 0.0, th / 2.0)),
+              1e-12);
+}
+
+TEST(GateTest, U3Specializations)
+{
+    // U3(theta, -pi/2, pi/2) = RX(theta); U3(theta, 0, 0) = RY(theta).
+    const double th = 1.1;
+    EXPECT_LT(la::phaseDistance(
+                  gateMatrix({GateKind::U3, {0}, {th, -kPi / 2, kPi / 2}}),
+                  gateMatrix({GateKind::RX, {0}, {th}})),
+              1e-12);
+    EXPECT_LT(la::phaseDistance(
+                  gateMatrix({GateKind::U3, {0}, {th, 0.0, 0.0}}),
+                  gateMatrix({GateKind::RY, {0}, {th}})),
+              1e-12);
+}
+
+TEST(GateTest, CxActsOnBasis)
+{
+    CMatrix cx = gateMatrix({GateKind::CX, {0, 1}});
+    // |10> -> |11>.
+    EXPECT_EQ(cx(3, 2), la::cplx(1.0));
+    EXPECT_EQ(cx(2, 3), la::cplx(1.0));
+    EXPECT_EQ(cx(0, 0), la::cplx(1.0));
+}
+
+TEST(GateTest, CzIsDiagonal)
+{
+    CMatrix cz = gateMatrix({GateKind::CZ, {0, 1}});
+    EXPECT_EQ(cz(3, 3), la::cplx(-1.0));
+    EXPECT_EQ(cz(2, 2), la::cplx(1.0));
+}
+
+TEST(GateTest, RzxBlockStructure)
+{
+    // Rzx(pi/2) = |0><0| (x) Rx(pi/2) + |1><1| (x) Rx(-pi/2).
+    CMatrix rzx = gateMatrix({GateKind::RZX, {0, 1}, {kPi / 2.0}});
+    CMatrix rxp = la::expPauli(kPi / 4.0, 0.0, 0.0);
+    CMatrix rxm = la::expPauli(-kPi / 4.0, 0.0, 0.0);
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 2; ++c) {
+            EXPECT_NEAR(std::abs(rzx(r, c) - rxp(r, c)), 0.0, 1e-12);
+            EXPECT_NEAR(std::abs(rzx(2 + r, 2 + c) - rxm(r, c)), 0.0,
+                        1e-12);
+        }
+}
+
+TEST(GateTest, RzzIsDiagonalPhase)
+{
+    const double th = 0.4;
+    CMatrix rzz = gateMatrix({GateKind::RZZ, {0, 1}, {th}});
+    EXPECT_NEAR(std::abs(rzz(0, 0) - std::exp(-la::kI * th / 2.0)), 0.0,
+                1e-12);
+    EXPECT_NEAR(std::abs(rzz(1, 1) - std::exp(la::kI * th / 2.0)), 0.0,
+                1e-12);
+}
+
+TEST(GateTest, SwapMatrix)
+{
+    CMatrix sw = gateMatrix({GateKind::SWAP, {0, 1}});
+    EXPECT_EQ(sw(1, 2), la::cplx(1.0));
+    EXPECT_EQ(sw(2, 1), la::cplx(1.0));
+    EXPECT_TRUE((sw * sw).isIdentity(1e-12));
+}
+
+TEST(GateTest, CpMatchesDefinition)
+{
+    const double th = 1.3;
+    CMatrix cp = gateMatrix({GateKind::CP, {0, 1}, {th}});
+    EXPECT_NEAR(std::abs(cp(3, 3) - std::exp(la::kI * th)), 0.0, 1e-12);
+    EXPECT_EQ(cp(1, 1), la::cplx(1.0));
+}
+
+TEST(GateTest, AllMatricesUnitary)
+{
+    std::vector<Gate> gates = {
+        {GateKind::SX, {0}},
+        {GateKind::H, {0}},
+        {GateKind::U3, {0}, {0.3, 1.2, -0.4}},
+        {GateKind::RZX, {0, 1}, {kPi / 2.0}},
+        {GateKind::CX, {0, 1}},
+        {GateKind::CP, {0, 1}, {0.9}},
+        {GateKind::RZZ, {0, 1}, {0.7}},
+        {GateKind::SWAP, {0, 1}},
+    };
+    for (const Gate &g : gates)
+        EXPECT_TRUE(gateMatrix(g).isUnitary(1e-12)) << g.toString();
+}
+
+TEST(GateTest, ToStringFormat)
+{
+    Gate g(GateKind::CX, {2, 3});
+    EXPECT_EQ(g.toString(), "CX[2,3]");
+}
+
+} // namespace
+} // namespace qzz::ckt

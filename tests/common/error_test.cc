@@ -1,0 +1,56 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace qzz {
+namespace {
+
+TEST(ErrorTest, FatalThrowsUserError)
+{
+    EXPECT_THROW(fatal("bad input"), UserError);
+}
+
+TEST(ErrorTest, PanicThrowsInternalError)
+{
+    EXPECT_THROW(panic("broken invariant"), InternalError);
+}
+
+TEST(ErrorTest, RequirePassesOnTrue)
+{
+    EXPECT_NO_THROW(require(true, "unused"));
+}
+
+TEST(ErrorTest, RequireThrowsOnFalse)
+{
+    EXPECT_THROW(require(false, "nope"), UserError);
+}
+
+TEST(ErrorTest, EnsureThrowsOnFalse)
+{
+    EXPECT_THROW(ensure(false, "nope"), InternalError);
+}
+
+TEST(ErrorTest, MessagePropagates)
+{
+    try {
+        fatal("specific message");
+        FAIL() << "fatal did not throw";
+    } catch (const UserError &e) {
+        EXPECT_STREQ(e.what(), "specific message");
+    }
+}
+
+TEST(ErrorTest, PanicMessageIsPrefixed)
+{
+    try {
+        panic("oops");
+        FAIL() << "panic did not throw";
+    } catch (const InternalError &e) {
+        EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("internal"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace qzz

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace qzz {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int differences = 0;
+    for (int i = 0; i < 32; ++i)
+        if (a.uniform() != b.uniform())
+            ++differences;
+    EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversRange)
+{
+    Rng rng(7);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 2000; ++i) {
+        int v = rng.uniformInt(0, 4);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 4);
+        ++seen[v];
+    }
+    for (int count : seen)
+        EXPECT_GT(count, 200); // roughly balanced
+}
+
+TEST(RngTest, NormalMomentsApproximate)
+{
+    Rng rng(11);
+    const int n = 20000;
+    double sum = 0.0, sumsq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(3.0, 2.0);
+        sum += v;
+        sumsq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, TruncatedNormalRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.truncatedNormal(0.0, 10.0, -1.0, 1.0);
+        EXPECT_GE(v, -1.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(RngTest, SplitStreamsAreIndependentButDeterministic)
+{
+    Rng a(99), b(99);
+    Rng a1 = a.split(), b1 = b.split();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_DOUBLE_EQ(a1.uniform(), b1.uniform());
+    // The child differs from the continuing parent stream.
+    Rng c(99);
+    Rng c1 = c.split();
+    EXPECT_NE(c1.uniform(), c.uniform());
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(5);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+} // namespace
+} // namespace qzz

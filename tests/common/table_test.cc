@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qzz {
+namespace {
+
+TEST(TableTest, PrintsHeadersAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("beta"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RejectsWrongCellCount)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), UserError);
+}
+
+TEST(TableTest, RejectsEmptyHeader)
+{
+    EXPECT_THROW(Table({}), UserError);
+}
+
+TEST(TableTest, TitleAppears)
+{
+    Table t({"x"});
+    t.setTitle("My Title");
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("My Title"), std::string::npos);
+}
+
+TEST(FormatTest, FormatG)
+{
+    EXPECT_EQ(formatG(1.23456789, 3), "1.23");
+}
+
+TEST(FormatTest, FormatF)
+{
+    EXPECT_EQ(formatF(1.23456789, 2), "1.23");
+    EXPECT_EQ(formatF(2.0, 3), "2.000");
+}
+
+TEST(FormatTest, FormatX)
+{
+    EXPECT_EQ(formatX(12.34, 1), "12.3x");
+}
+
+} // namespace
+} // namespace qzz

@@ -1,0 +1,42 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace qzz {
+namespace {
+
+TEST(UnitsTest, MhzRoundTrip)
+{
+    EXPECT_NEAR(toMhz(mhz(1.5)), 1.5, 1e-12);
+    EXPECT_NEAR(toMhz(mhz(200.0)), 200.0, 1e-9);
+}
+
+TEST(UnitsTest, KhzRoundTrip)
+{
+    EXPECT_NEAR(toKhz(khz(200.0)), 200.0, 1e-9);
+}
+
+TEST(UnitsTest, KhzMhzConsistency)
+{
+    EXPECT_NEAR(khz(1000.0), mhz(1.0), 1e-15);
+}
+
+TEST(UnitsTest, AngularConvention)
+{
+    // A 1 GHz tone advances phase by 2 pi per ns.
+    EXPECT_NEAR(ghz(1.0), kTwoPi, 1e-15);
+}
+
+TEST(UnitsTest, PaperCouplingScale)
+{
+    // lambda/2pi = 200 kHz -> lambda ~ 1.2566e-3 rad/ns.
+    EXPECT_NEAR(khz(200.0), 1.2566370614e-3, 1e-9);
+}
+
+TEST(UnitsTest, MicrosecondConversion)
+{
+    EXPECT_DOUBLE_EQ(us(100.0), 1e5);
+}
+
+} // namespace
+} // namespace qzz

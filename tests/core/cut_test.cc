@@ -1,0 +1,83 @@
+#include "core/cut.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "graph/topologies.h"
+
+namespace qzz::core {
+namespace {
+
+TEST(CutTest, CheckerboardOnGridSuppressesEverything)
+{
+    auto t = graph::gridTopology(3, 4);
+    auto colors = t.g.twoColor();
+    ASSERT_TRUE(colors.has_value());
+    SuppressionMetrics m = evaluateCut(t.g, *colors);
+    EXPECT_EQ(m.nc, 0);
+    EXPECT_EQ(m.nq, 1);
+}
+
+TEST(CutTest, AllOneSideLeavesEverythingUnsuppressed)
+{
+    auto t = graph::gridTopology(3, 4);
+    std::vector<int> side(12, 1);
+    SuppressionMetrics m = evaluateCut(t.g, side);
+    EXPECT_EQ(m.nc, t.g.numEdges());
+    EXPECT_EQ(m.nq, 12);
+}
+
+TEST(CutTest, HalfSplitMetrics)
+{
+    // Line 0-1-2-3: S = {0, 1}, T = {2, 3} leaves edges 0-1 and 2-3
+    // unsuppressed; regions {0,1} and {2,3}.
+    auto t = graph::lineTopology(4);
+    std::vector<int> side{1, 1, 0, 0};
+    SuppressionMetrics m = evaluateCut(t.g, side);
+    EXPECT_EQ(m.nc, 2);
+    EXPECT_EQ(m.nq, 2);
+    EXPECT_EQ(m.region_of[0], m.region_of[1]);
+    EXPECT_NE(m.region_of[1], m.region_of[2]);
+}
+
+TEST(CutTest, UnsuppressedEdgeFlagsConsistent)
+{
+    auto t = graph::gridTopology(2, 3);
+    std::vector<int> side{1, 0, 1, 0, 1, 0};
+    SuppressionMetrics m = evaluateCut(t.g, side);
+    int count = 0;
+    for (const graph::Edge &e : t.g.edges()) {
+        EXPECT_EQ(bool(m.unsuppressed_edge[e.id]),
+                  side[e.u] == side[e.v]);
+        if (m.unsuppressed_edge[e.id])
+            ++count;
+    }
+    EXPECT_EQ(count, m.nc);
+}
+
+TEST(CutTest, ObjectiveCombinesMetrics)
+{
+    SuppressionMetrics m;
+    m.nq = 4;
+    m.nc = 9;
+    EXPECT_DOUBLE_EQ(m.objective(0.5), 11.0);
+    EXPECT_DOUBLE_EQ(m.objective(2.0), 17.0);
+}
+
+TEST(CutTest, SameSideHelper)
+{
+    std::vector<int> side{0, 1, 1, 0};
+    EXPECT_TRUE(sameSide(side, {1, 2}));
+    EXPECT_FALSE(sameSide(side, {0, 1}));
+    EXPECT_TRUE(sameSide(side, {3}));
+    EXPECT_TRUE(sameSide(side, {}));
+}
+
+TEST(CutTest, SizeMismatchRejected)
+{
+    auto t = graph::lineTopology(3);
+    EXPECT_THROW(evaluateCut(t.g, {0, 1}), UserError);
+}
+
+} // namespace
+} // namespace qzz::core

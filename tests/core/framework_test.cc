@@ -1,0 +1,101 @@
+#include "core/framework.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/benchmarks.h"
+#include "common/units.h"
+#include "graph/topologies.h"
+#include "sim/ideal_sim.h"
+
+namespace qzz::core {
+namespace {
+
+dev::Device
+device23(uint64_t seed = 3)
+{
+    Rng rng(seed);
+    return dev::Device(graph::gridTopology(2, 3), dev::DeviceParams{},
+                       rng);
+}
+
+TEST(FrameworkTest, PolicyNames)
+{
+    EXPECT_EQ(schedPolicyName(SchedPolicy::Par), "ParSched");
+    EXPECT_EQ(schedPolicyName(SchedPolicy::Zzx), "ZZXSched");
+}
+
+TEST(FrameworkTest, CompiledProgramIsComplete)
+{
+    auto dev = device23();
+    Rng rng(7);
+    ckt::QuantumCircuit c = ckt::qaoaMaxCut(6, 1, rng);
+    CompileOptions opt;
+    opt.pulse = PulseMethod::Gaussian;
+    opt.sched = SchedPolicy::Zzx;
+    CompiledProgram prog = compileForDevice(c, dev, opt);
+
+    EXPECT_TRUE(prog.native.isNative());
+    EXPECT_TRUE(ckt::respectsConnectivity(prog.native, dev.graph()));
+    ASSERT_NE(prog.library, nullptr);
+    EXPECT_EQ(prog.library->name(), "Gaussian");
+    EXPECT_EQ(prog.schedule.circuitGateCount(),
+              int(prog.native.size()));
+}
+
+TEST(FrameworkTest, BothPoliciesAgreeOnSemantics)
+{
+    auto dev = device23();
+    Rng rng(9);
+    ckt::QuantumCircuit c = ckt::hiddenShift(6, rng);
+    CompileOptions par;
+    par.pulse = PulseMethod::Gaussian;
+    par.sched = SchedPolicy::Par;
+    CompileOptions zzx = par;
+    zzx.sched = SchedPolicy::Zzx;
+    auto a = sim::runIdealSchedule(
+        compileForDevice(c, dev, par).schedule);
+    auto b = sim::runIdealSchedule(
+        compileForDevice(c, dev, zzx).schedule);
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-9);
+}
+
+TEST(FrameworkTest, DcgLibraryStretchesDurations)
+{
+    // DCG identity is 40 ns and SX 120 ns; schedules must reflect it.
+    auto dev = device23();
+    ckt::QuantumCircuit c(6);
+    c.sx(0);
+    CompileOptions opt;
+    opt.pulse = PulseMethod::DCG;
+    opt.sched = SchedPolicy::Zzx;
+    CompiledProgram prog = compileForDevice(c, dev, opt);
+    ASSERT_EQ(prog.schedule.physicalLayerCount(), 1);
+    // Layer duration = max(SX 120 ns, supplemented identity 40 ns).
+    EXPECT_DOUBLE_EQ(prog.schedule.executionTime(), 120.0);
+}
+
+TEST(FrameworkTest, EmptyCircuitYieldsEmptySchedule)
+{
+    auto dev = device23();
+    ckt::QuantumCircuit c(6, "empty");
+    CompileOptions opt;
+    opt.pulse = PulseMethod::Gaussian;
+    CompiledProgram prog = compileForDevice(c, dev, opt);
+    EXPECT_EQ(prog.schedule.physicalLayerCount(), 0);
+    EXPECT_DOUBLE_EQ(prog.schedule.executionTime(), 0.0);
+}
+
+TEST(FrameworkTest, RoutingHandlesNonAdjacentGates)
+{
+    auto dev = device23();
+    ckt::QuantumCircuit c(6);
+    c.cx(0, 5); // distance 3 on the 2x3 grid
+    CompileOptions opt;
+    opt.pulse = PulseMethod::Gaussian;
+    CompiledProgram prog = compileForDevice(c, dev, opt);
+    EXPECT_TRUE(ckt::respectsConnectivity(prog.native, dev.graph()));
+    EXPECT_GT(prog.native.twoQubitCount(), 1); // SWAPs inserted
+}
+
+} // namespace
+} // namespace qzz::core

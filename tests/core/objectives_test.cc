@@ -1,0 +1,147 @@
+#include "core/objectives.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "circuit/gate.h"
+#include "core/dcg.h"
+#include "linalg/expm.h"
+#include "pulse/library.h"
+
+namespace qzz::core {
+namespace {
+
+const la::CMatrix &
+sxTarget()
+{
+    static const la::CMatrix m = la::expPauli(kPi / 4.0, 0.0, 0.0);
+    return m;
+}
+
+TEST(ObjectivesTest, GaussianSxHasLargeFirstOrderTerm)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    // Unsuppressed pulses leave an O(1) normalized first-order term.
+    EXPECT_GT(firstOrderCrosstalkNorm(p, 0.0), 0.3);
+}
+
+TEST(ObjectivesTest, DcgIdentityFirstOrderTermVanishes)
+{
+    EXPECT_LT(firstOrderCrosstalkNorm(dcgIdentity(), 0.0, 0.005), 1e-3);
+}
+
+TEST(ObjectivesTest, PertLossRewardsGoodGates)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    ObjectiveConfig cfg;
+    const double loss = pertLossOneQubit(p, sxTarget(), cfg);
+    // The Gaussian implements the gate well, so the loss is dominated
+    // by the crosstalk term.
+    const double xtalk = firstOrderCrosstalkNorm(p, 0.0, cfg.dt);
+    EXPECT_NEAR(loss, xtalk, 0.05);
+}
+
+TEST(ObjectivesTest, PertLossPenalizesWrongGate)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    ObjectiveConfig cfg;
+    const double right = pertLossOneQubit(p, sxTarget(), cfg);
+    const double wrong =
+        pertLossOneQubit(p, la::pauliZ(), cfg); // not what it does
+    EXPECT_GT(wrong, right + 1.0);
+}
+
+TEST(ObjectivesTest, OptCtrlLossMatchesInfidelityAverage)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    ObjectiveConfig cfg;
+    cfg.lambda_samples = {khz(200.0)};
+    cfg.weight = 0.0; // isolate the crosstalk term
+    const double loss = optCtrlLossOneQubit(p, sxTarget(), cfg);
+    const double direct = oneQubitCrosstalkInfidelity(
+        p, sxTarget(), khz(200.0), {}, cfg.dt);
+    EXPECT_NEAR(loss, direct, 1e-12);
+}
+
+TEST(ObjectivesTest, OptCtrlRequiresLambdaSamples)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    ObjectiveConfig cfg; // empty samples
+    EXPECT_THROW(optCtrlLossOneQubit(p, sxTarget(), cfg), UserError);
+}
+
+TEST(ObjectivesTest, TwoQubitLossesRun)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::RZX);
+    const la::CMatrix rzx = ckt::gateMatrix(
+        {ckt::GateKind::RZX, {0, 1}, {kPi / 2.0}});
+    ObjectiveConfig cfg;
+    cfg.dt = 0.05;
+    cfg.lambda_intra = khz(200.0);
+    const double pert = pertLossTwoQubit(p, rzx, cfg);
+    EXPECT_GT(pert, 0.0);
+    cfg.lambda_samples = {khz(500.0)};
+    const double octrl = optCtrlLossTwoQubit(p, rzx, cfg);
+    EXPECT_GT(octrl, 0.0);
+}
+
+TEST(RegionsTest, ZeroCouplingMeansNoCrosstalkError)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    const double infid =
+        oneQubitCrosstalkInfidelity(p, sxTarget(), 0.0);
+    EXPECT_LT(infid, 1e-8);
+}
+
+TEST(RegionsTest, GaussianInfidelityGrowsQuadratically)
+{
+    // Unsuppressed first order => infidelity ~ lambda^2.
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    const double i1 =
+        oneQubitCrosstalkInfidelity(p, sxTarget(), khz(100.0));
+    const double i2 =
+        oneQubitCrosstalkInfidelity(p, sxTarget(), khz(200.0));
+    EXPECT_NEAR(i2 / i1, 4.0, 0.4);
+}
+
+TEST(RegionsTest, DetuningDegradesFidelity)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    DriveNoise noisy;
+    noisy.detuning = mhz(1.0);
+    const double clean =
+        oneQubitCrosstalkInfidelity(p, sxTarget(), khz(200.0));
+    const double detuned = oneQubitCrosstalkInfidelity(
+        p, sxTarget(), khz(200.0), noisy);
+    EXPECT_GT(detuned, clean);
+}
+
+TEST(RegionsTest, GateFidelityOfCalibratedGaussian)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    EXPECT_GT(gateFidelity(p, sxTarget()), 1.0 - 1e-9);
+}
+
+TEST(RegionsTest, TildeU2ReducesToRzxWithoutIntra)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::RZX);
+    const la::CMatrix rzx = ckt::gateMatrix(
+        {ckt::GateKind::RZX, {0, 1}, {kPi / 2.0}});
+    la::CMatrix u = tildeU2(p, 0.0);
+    EXPECT_LT(la::phaseDistance(u, rzx), 1e-6);
+}
+
+TEST(RegionsTest, TwoQubitInfidelitySymmetricInSpectators)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::RZX);
+    const double ab = twoQubitCrosstalkInfidelity(
+        p, khz(300.0), khz(100.0), khz(200.0), 0.02);
+    const double ba = twoQubitCrosstalkInfidelity(
+        p, khz(100.0), khz(300.0), khz(200.0), 0.02);
+    EXPECT_GT(ab, 0.0);
+    EXPECT_GT(ba, 0.0);
+}
+
+} // namespace
+} // namespace qzz::core

@@ -1,0 +1,141 @@
+#include "core/par_sched.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/decompose.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "graph/topologies.h"
+
+namespace qzz::core {
+namespace {
+
+dev::Device
+lineDevice(int n)
+{
+    Rng rng(1);
+    return dev::Device(graph::lineTopology(n), dev::DeviceParams{}, rng);
+}
+
+/** Every circuit gate appears exactly once across layers. */
+void
+expectCompleteAndValid(const Schedule &s, const ckt::QuantumCircuit &c)
+{
+    int total = 0;
+    for (const Layer &l : s.layers) {
+        std::vector<int> used(size_t(s.num_qubits), 0);
+        for (const ScheduledGate &sg : l.gates) {
+            if (!sg.supplemented)
+                ++total;
+            if (l.is_virtual)
+                continue;
+            for (int q : sg.gate.qubits) {
+                EXPECT_EQ(used[q], 0) << "qubit reused within a layer";
+                used[q] = 1;
+            }
+        }
+    }
+    EXPECT_EQ(total, int(c.size()));
+}
+
+TEST(ParSchedTest, IndependentGatesShareOneLayer)
+{
+    ckt::QuantumCircuit c(4);
+    c.sx(0);
+    c.sx(1);
+    c.sx(2);
+    c.sx(3);
+    auto dev = lineDevice(4);
+    Schedule s = parSchedule(c, dev, GateDurations{});
+    EXPECT_EQ(s.physicalLayerCount(), 1);
+    EXPECT_DOUBLE_EQ(s.executionTime(), 20.0);
+    expectCompleteAndValid(s, c);
+}
+
+TEST(ParSchedTest, DependentGatesSerialize)
+{
+    ckt::QuantumCircuit c(1);
+    c.sx(0);
+    c.sx(0);
+    c.sx(0);
+    auto dev = lineDevice(1);
+    Schedule s = parSchedule(c, dev, GateDurations{});
+    EXPECT_EQ(s.physicalLayerCount(), 3);
+    EXPECT_DOUBLE_EQ(s.executionTime(), 60.0);
+}
+
+TEST(ParSchedTest, VirtualGatesCostNothing)
+{
+    ckt::QuantumCircuit c(2);
+    c.rz(0, 0.3);
+    c.sx(0);
+    c.rz(0, -0.3);
+    auto dev = lineDevice(2);
+    Schedule s = parSchedule(c, dev, GateDurations{});
+    EXPECT_DOUBLE_EQ(s.executionTime(), 20.0);
+    expectCompleteAndValid(s, c);
+}
+
+TEST(ParSchedTest, AsapDepthMatchesCriticalPath)
+{
+    // sx(0); cx-like rzx(0,1); sx(1): critical path = 3 layers.
+    ckt::QuantumCircuit c(2);
+    c.sx(0);
+    c.rzx(0, 1, kPi / 2.0);
+    c.sx(1);
+    auto dev = lineDevice(2);
+    Schedule s = parSchedule(c, dev, GateDurations{});
+    EXPECT_EQ(s.physicalLayerCount(), 3);
+}
+
+TEST(ParSchedTest, NoIdentitySupplementation)
+{
+    ckt::QuantumCircuit c(3);
+    c.sx(0);
+    auto dev = lineDevice(3);
+    Schedule s = parSchedule(c, dev, GateDurations{});
+    for (const Layer &l : s.layers)
+        for (const ScheduledGate &sg : l.gates)
+            EXPECT_FALSE(sg.supplemented);
+}
+
+TEST(ParSchedTest, MetricsReflectDrivenQubits)
+{
+    // One driven qubit on a 3-line: regions are {driven} vs the idle
+    // pair; the idle-idle coupling is unsuppressed.
+    ckt::QuantumCircuit c(3);
+    c.sx(0);
+    auto dev = lineDevice(3);
+    Schedule s = parSchedule(c, dev, GateDurations{});
+    ASSERT_EQ(s.physicalLayerCount(), 1);
+    const Layer &l = s.layers.back();
+    EXPECT_EQ(l.metrics.nc, 1);
+    EXPECT_EQ(l.metrics.nq, 2);
+}
+
+TEST(ParSchedTest, RealisticNativeCircuit)
+{
+    Rng rng(5);
+    ckt::QuantumCircuit logical(5);
+    logical.h(0);
+    logical.cx(0, 1);
+    logical.cx(1, 2);
+    logical.cx(2, 3);
+    logical.cx(3, 4);
+    ckt::QuantumCircuit native = ckt::decomposeToNative(logical);
+    auto dev = lineDevice(5);
+    Schedule s = parSchedule(native, dev, GateDurations{});
+    expectCompleteAndValid(s, native);
+    EXPECT_GT(s.physicalLayerCount(), 0);
+}
+
+TEST(ParSchedTest, RejectsNonNativeCircuit)
+{
+    ckt::QuantumCircuit c(2);
+    c.h(0);
+    auto dev = lineDevice(2);
+    EXPECT_THROW(parSchedule(c, dev, GateDurations{}), UserError);
+}
+
+} // namespace
+} // namespace qzz::core

@@ -1,0 +1,91 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "core/dcg.h"
+
+namespace qzz::core {
+namespace {
+
+TEST(GateDurationsTest, NativeDurations)
+{
+    GateDurations d;
+    EXPECT_DOUBLE_EQ(d.of({ckt::GateKind::SX, {0}}), 20.0);
+    EXPECT_DOUBLE_EQ(d.of({ckt::GateKind::I, {0}}), 20.0);
+    EXPECT_DOUBLE_EQ(
+        d.of({ckt::GateKind::RZX, {0, 1}, {kPi / 2.0}}), 20.0);
+    EXPECT_DOUBLE_EQ(d.of({ckt::GateKind::RZ, {0}, {0.5}}), 0.0);
+    EXPECT_THROW(d.of({ckt::GateKind::H, {0}}), UserError);
+}
+
+TEST(GateDurationsTest, FromLibraryPicksProgramDurations)
+{
+    GateDurations d =
+        GateDurations::fromLibrary(dcgLibrary());
+    EXPECT_DOUBLE_EQ(d.sx, 120.0);
+    EXPECT_DOUBLE_EQ(d.identity, 40.0);
+    // DCG has no RZX program; the default stays.
+    EXPECT_DOUBLE_EQ(d.rzx, 20.0);
+}
+
+TEST(LayerTest, ActiveQubits)
+{
+    Layer layer;
+    layer.gates.push_back({ckt::Gate(ckt::GateKind::SX, {2}), false});
+    layer.gates.push_back(
+        {ckt::Gate(ckt::GateKind::RZX, {0, 3}, {kPi / 2.0}), false});
+    layer.gates.push_back(
+        {ckt::Gate(ckt::GateKind::RZ, {1}, {0.1}), false});
+    auto active = layer.activeQubits(4);
+    // RZ is virtual: qubit 1 carries no pulse.
+    EXPECT_EQ(active, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(ScheduleTest, ExecutionTimeSumsDurations)
+{
+    Schedule s;
+    s.num_qubits = 2;
+    Layer a;
+    a.duration = 20.0;
+    Layer b;
+    b.is_virtual = true;
+    Layer c;
+    c.duration = 40.0;
+    s.layers = {a, b, c};
+    EXPECT_DOUBLE_EQ(s.executionTime(), 60.0);
+    EXPECT_EQ(s.physicalLayerCount(), 2);
+}
+
+TEST(ScheduleTest, GateCountExcludesSupplemented)
+{
+    Schedule s;
+    s.num_qubits = 2;
+    Layer l;
+    l.gates.push_back({ckt::Gate(ckt::GateKind::SX, {0}), false});
+    l.gates.push_back({ckt::Gate(ckt::GateKind::I, {1}), true});
+    s.layers = {l};
+    EXPECT_EQ(s.circuitGateCount(), 1);
+}
+
+TEST(ScheduleTest, MeanNcAndMaxNq)
+{
+    Schedule s;
+    s.num_qubits = 4;
+    Layer a;
+    a.metrics.nc = 4;
+    a.metrics.nq = 3;
+    Layer b;
+    b.metrics.nc = 0;
+    b.metrics.nq = 1;
+    Layer v;
+    v.is_virtual = true;
+    v.metrics.nc = 99; // must be ignored
+    s.layers = {a, v, b};
+    EXPECT_DOUBLE_EQ(s.meanNc(), 2.0);
+    EXPECT_EQ(s.maxNq(), 3);
+}
+
+} // namespace
+} // namespace qzz::core

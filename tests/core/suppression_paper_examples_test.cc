@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Locks in the paper's worked examples: the NQ/NC numbers quoted in
+ * Figs. 3, 13-15 of Sec. 2 and Sec. 6, both as metric evaluations of
+ * the paper's drawn plans and as quality bounds on our Algorithm-1
+ * implementation.
+ *
+ * Mapping: the paper numbers qubits 1..N row-major; we use 0..N-1, so
+ * paper qubit k is vertex k-1.  The paper's "5x3 grid" (Fig. 3) is
+ * 3 rows x 5 columns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/suppression.h"
+#include "core/zzx_sched.h"
+#include "graph/topologies.h"
+
+namespace qzz::core {
+namespace {
+
+/** Build a side vector with the given vertices in S (= 1). */
+std::vector<int>
+sideWith(int n, std::initializer_list<int> s)
+{
+    std::vector<int> side(size_t(n), 0);
+    for (int v : s)
+        side[v] = 1;
+    return side;
+}
+
+TEST(PaperFig3, SingleLayerNoIdentities)
+{
+    // Fig. 3(b): gates on paper qubits {7,8,9,10} of the 5x3 grid,
+    // no identity supplementation: NQ = 11, NC = 13.
+    auto t = graph::gridTopology(3, 5);
+    ASSERT_EQ(t.g.numEdges(), 22);
+    auto m = evaluateCut(t.g, sideWith(15, {6, 7, 8, 9}));
+    EXPECT_EQ(m.nq, 11);
+    EXPECT_EQ(m.nc, 13);
+}
+
+TEST(PaperFig3, PlanAIdentities)
+{
+    // Fig. 3(c) Plan A: identities on paper {1, 11}: NQ = 4, NC = 9.
+    auto t = graph::gridTopology(3, 5);
+    auto m = evaluateCut(t.g, sideWith(15, {6, 7, 8, 9, 0, 10}));
+    EXPECT_EQ(m.nq, 4);
+    EXPECT_EQ(m.nc, 9);
+}
+
+TEST(PaperFig3, PlanBIdentities)
+{
+    // Fig. 3(c) Plan B: identities on paper {1, 11, 3, 13}:
+    // NQ = 6, NC = 7.
+    auto t = graph::gridTopology(3, 5);
+    auto m = evaluateCut(t.g, sideWith(15, {6, 7, 8, 9, 0, 10, 2, 12}));
+    EXPECT_EQ(m.nq, 6);
+    EXPECT_EQ(m.nc, 7);
+}
+
+TEST(PaperFig3, LayerOneOfTwoLayerPartition)
+{
+    // Fig. 3(d) layer 1 keeps only CNOT on paper {7,8}: the solver
+    // must reach the quoted NQ = 2, NC = 3.
+    SuppressionSolver solver(graph::gridTopology(3, 5));
+    SuppressionResult res = solver.solve({6, 7});
+    EXPECT_TRUE(res.constraint_ok);
+    EXPECT_EQ(res.metrics.nq, 2);
+    EXPECT_EQ(res.metrics.nc, 3);
+}
+
+TEST(PaperFig15, ParallelFarGatesMetrics)
+{
+    // Fig. 15(a): CNOT(1,4) + CNOT(3,6) on the 3x3 grid executes with
+    // NQ = 2, NC = 3 (identity on the center completes the plan); our
+    // solver must find exactly that optimum.
+    SuppressionSolver solver(graph::gridTopology(3, 3));
+    SuppressionResult res = solver.solve({0, 3, 2, 5});
+    EXPECT_TRUE(res.constraint_ok);
+    EXPECT_EQ(res.metrics.nq, 2);
+    EXPECT_EQ(res.metrics.nc, 3);
+}
+
+TEST(PaperFig15, CloseGatesPlanMetrics)
+{
+    // Fig. 15(b): CNOT(1,4) + CNOT(5,2): the paper's plan (identity
+    // on qubit 9) realizes NQ = 4, NC = 6.
+    auto t = graph::gridTopology(3, 3);
+    auto m = evaluateCut(t.g, sideWith(9, {0, 1, 3, 4, 8}));
+    EXPECT_EQ(m.nq, 4);
+    EXPECT_EQ(m.nc, 6);
+}
+
+TEST(PaperFig15, CloseGatesSolverNearOptimal)
+{
+    // Our greedy path relaxation must stay within one relaxation step
+    // of the drawn optimum (alpha*NQ + NC = 8 at alpha = 0.5).
+    SuppressionSolver solver(graph::gridTopology(3, 3));
+    SuppressionOptions opt;
+    opt.top_k = 5;
+    SuppressionResult res = solver.solve({0, 1, 3, 4}, opt);
+    EXPECT_TRUE(res.constraint_ok);
+    EXPECT_EQ(res.metrics.nc, 6);
+    EXPECT_LE(res.metrics.objective(0.5), 9.0);
+}
+
+TEST(PaperFig15, GateDistancesMatch)
+{
+    // D(CNOT 1-4, CNOT 3-6) = 10 and D(CNOT 1-4, CNOT 5-2) = 6.
+    auto t = graph::gridTopology(3, 3);
+    const auto dist = t.g.allPairsDistances();
+    ckt::Gate g14(ckt::GateKind::CX, {0, 3});
+    ckt::Gate g36(ckt::GateKind::CX, {2, 5});
+    ckt::Gate g52(ckt::GateKind::CX, {4, 1});
+    EXPECT_EQ(gateDistance(g14, g36, dist), 10);
+    EXPECT_EQ(gateDistance(g14, g52, dist), 6);
+    EXPECT_EQ(gateDistance(g52, g36, dist), 6);
+}
+
+TEST(PaperFig9, CompleteSuppressionOnBipartiteExamples)
+{
+    // Fig. 9: complete suppression exists on bipartite topologies.
+    for (auto topo :
+         {graph::gridTopology(3, 5), graph::gridTopology(2, 2),
+          graph::lineTopology(9)}) {
+        SuppressionSolver solver(topo);
+        SuppressionResult res = solver.solve({});
+        EXPECT_EQ(res.metrics.nc, 0) << topo.name;
+        EXPECT_EQ(res.metrics.nq, 1) << topo.name;
+    }
+}
+
+} // namespace
+} // namespace qzz::core

@@ -1,0 +1,150 @@
+#include "core/suppression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/topologies.h"
+
+namespace qzz::core {
+namespace {
+
+TEST(SuppressionTest, BipartiteGridAchievesCompleteSuppression)
+{
+    for (auto [r, c] : {std::pair{2, 2}, {2, 3}, {3, 3}, {3, 4}}) {
+        SuppressionSolver solver(graph::gridTopology(r, c));
+        SuppressionResult res = solver.solve({});
+        EXPECT_FALSE(res.used_fallback);
+        EXPECT_EQ(res.metrics.nc, 0) << r << "x" << c;
+        EXPECT_EQ(res.metrics.nq, 1) << r << "x" << c;
+    }
+}
+
+TEST(SuppressionTest, LineCompleteSuppression)
+{
+    SuppressionSolver solver(graph::lineTopology(7));
+    SuppressionResult res = solver.solve({});
+    EXPECT_EQ(res.metrics.nc, 0);
+    EXPECT_EQ(res.metrics.nq, 1);
+}
+
+TEST(SuppressionTest, OddRingCannotBeComplete)
+{
+    // A 5-ring is not bipartite: at least one edge stays unsuppressed.
+    SuppressionSolver solver(graph::ringTopology(5));
+    SuppressionResult res = solver.solve({});
+    EXPECT_GE(res.metrics.nc, 1);
+    // The minimum is exactly one edge (max-cut of C5 = 4 edges).
+    EXPECT_EQ(res.metrics.nc, 1);
+    EXPECT_EQ(res.metrics.nq, 2);
+}
+
+TEST(SuppressionTest, TriangulatedGridMinimizesObjective)
+{
+    SuppressionSolver solver(graph::triangulatedGridTopology(2, 2));
+    // 2 triangles -> exactly one unsuppressed edge is achievable.
+    SuppressionResult res = solver.solve({});
+    EXPECT_FALSE(res.used_fallback);
+    EXPECT_EQ(res.metrics.nc, 1);
+    EXPECT_EQ(res.metrics.nq, 2);
+}
+
+TEST(SuppressionTest, ConstraintKeepsGateQubitsTogether)
+{
+    SuppressionSolver solver(graph::gridTopology(3, 4));
+    // A two-qubit gate on the interior pair (5, 6).  Contracting the
+    // gate edge creates odd faces, so the minimum remaining-set is the
+    // gate edge plus a 2-edge odd-vertex pairing: NC = 3 with regions
+    // of size <= 2 (cf. Fig. 3(d) layer 1 of the paper: NQ=2, NC=3).
+    SuppressionResult res = solver.solve({5, 6});
+    EXPECT_TRUE(res.constraint_ok);
+    EXPECT_FALSE(res.used_fallback);
+    EXPECT_EQ(res.side[5], res.side[6]);
+    EXPECT_EQ(res.metrics.nc, 3);
+    EXPECT_LE(res.metrics.nq, 2);
+}
+
+TEST(SuppressionTest, TwoGatesFarApart)
+{
+    SuppressionSolver solver(graph::gridTopology(3, 4));
+    // Gates on (0, 1) and (10, 11).  Both gate edges stay in the
+    // remaining-set plus a small pairing (optimum: NC=4, NQ<=3).
+    SuppressionResult res = solver.solve({0, 1, 10, 11});
+    EXPECT_TRUE(res.constraint_ok);
+    EXPECT_EQ(res.side[0], res.side[1]);
+    EXPECT_EQ(res.side[10], res.side[11]);
+    EXPECT_EQ(res.side[0], res.side[10]);
+    EXPECT_GE(res.metrics.nc, 2);
+    EXPECT_LE(res.metrics.nc, 5);
+    // The shortest pairing (NC=4, NQ=3) splits Q across the cut; the
+    // best *valid* plan keeps NQ at 4.
+    EXPECT_LE(res.metrics.nq, 4);
+}
+
+TEST(SuppressionTest, SingleQubitGateConstraint)
+{
+    SuppressionSolver solver(graph::gridTopology(2, 3));
+    SuppressionResult res = solver.solve({0});
+    EXPECT_TRUE(res.constraint_ok);
+    // Complete suppression still possible: 0's side is the cut side.
+    EXPECT_EQ(res.metrics.nc, 0);
+}
+
+TEST(SuppressionTest, AlphaTradeoffMonotonicity)
+{
+    // Larger alpha weights NQ more heavily, so the returned NQ cannot
+    // grow as alpha grows.
+    SuppressionSolver solver(graph::triangulatedGridTopology(3, 3));
+    int last_nq = 1000;
+    for (double alpha : {0.0, 0.5, 2.0, 10.0}) {
+        SuppressionOptions opt;
+        opt.alpha = alpha;
+        opt.top_k = 4;
+        SuppressionResult res = solver.solve({}, opt);
+        EXPECT_LE(res.metrics.nq, last_nq) << "alpha=" << alpha;
+        last_nq = res.metrics.nq;
+    }
+}
+
+TEST(SuppressionTest, CutIsValidOnRandomConstrainedQueries)
+{
+    Rng rng(31);
+    SuppressionSolver solver(graph::gridTopology(3, 4));
+    const auto &g = solver.topologyGraph();
+    for (int trial = 0; trial < 25; ++trial) {
+        // Random adjacent pair as a gate.
+        const auto &e = g.edges()[size_t(
+            rng.uniformInt(0, g.numEdges() - 1))];
+        SuppressionResult res = solver.solve({e.u, e.v});
+        EXPECT_TRUE(res.constraint_ok);
+        EXPECT_EQ(res.side[e.u], res.side[e.v]);
+        // Metrics must be self-consistent with the cut.
+        SuppressionMetrics check = evaluateCut(g, res.side);
+        EXPECT_EQ(check.nc, res.metrics.nc);
+        EXPECT_EQ(check.nq, res.metrics.nq);
+    }
+}
+
+TEST(SuppressionTest, SideMaskOrientsTowardQ)
+{
+    SuppressionSolver solver(graph::gridTopology(2, 3));
+    SuppressionResult res = solver.solve({2});
+    auto mask = res.sideMask({2});
+    EXPECT_TRUE(mask[2]);
+}
+
+TEST(SuppressionTest, TopKExpandsSearch)
+{
+    // With k = 1 only shortest paths are available; larger k can only
+    // improve (or match) the objective.
+    SuppressionSolver solver(graph::triangulatedGridTopology(3, 3));
+    SuppressionOptions k1;
+    k1.top_k = 1;
+    SuppressionOptions k4;
+    k4.top_k = 4;
+    const double obj1 = solver.solve({}, k1).metrics.objective(0.5);
+    const double obj4 = solver.solve({}, k4).metrics.objective(0.5);
+    EXPECT_LE(obj4, obj1 + 1e-9);
+}
+
+} // namespace
+} // namespace qzz::core

@@ -1,0 +1,155 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qzz::graph {
+namespace {
+
+Graph
+triangle()
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    return g;
+}
+
+TEST(GraphTest, EdgeIdsAreInsertionOrder)
+{
+    Graph g(3);
+    EXPECT_EQ(g.addEdge(0, 1), 0);
+    EXPECT_EQ(g.addEdge(1, 2), 1);
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_EQ(g.edge(0).u, 0);
+    EXPECT_EQ(g.edge(1).other(1), 2);
+}
+
+TEST(GraphTest, SelfLoopCountsTwiceInDegree)
+{
+    Graph g(2);
+    g.addEdge(0, 0);
+    g.addEdge(0, 1);
+    EXPECT_EQ(g.degree(0), 3);
+    EXPECT_EQ(g.degree(1), 1);
+}
+
+TEST(GraphTest, OddDegreeVertices)
+{
+    Graph g(4); // path 0-1-2-3
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    auto odd = g.oddDegreeVertices();
+    EXPECT_EQ(odd, (std::vector<int>{0, 3}));
+}
+
+TEST(GraphTest, FindEdge)
+{
+    Graph g = triangle();
+    EXPECT_EQ(g.findEdge(0, 1), 0);
+    EXPECT_EQ(g.findEdge(2, 1), 1);
+    Graph g2(4);
+    g2.addEdge(0, 1);
+    EXPECT_EQ(g2.findEdge(2, 3), -1);
+}
+
+TEST(GraphTest, ParallelEdgesSupported)
+{
+    Graph g(2);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(GraphTest, ComponentsOfEdgeSubset)
+{
+    Graph g(5);
+    g.addEdge(0, 1); // 0
+    g.addEdge(1, 2); // 1
+    g.addEdge(3, 4); // 2
+    std::vector<char> subset{1, 0, 1};
+    auto comp = g.componentsOfEdgeSubset(subset);
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_NE(comp[1], comp[2]);
+    EXPECT_EQ(comp[3], comp[4]);
+    auto sizes = Graph::componentSizes(comp);
+    std::sort(sizes.begin(), sizes.end());
+    EXPECT_EQ(sizes, (std::vector<int>{1, 2, 2}));
+}
+
+TEST(GraphTest, TwoColorBipartite)
+{
+    Graph g(4); // 4-cycle
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 0);
+    auto colors = g.twoColor();
+    ASSERT_TRUE(colors.has_value());
+    for (const Edge &e : g.edges())
+        EXPECT_NE((*colors)[e.u], (*colors)[e.v]);
+}
+
+TEST(GraphTest, TwoColorOddCycleFails)
+{
+    EXPECT_FALSE(triangle().twoColor().has_value());
+}
+
+TEST(GraphTest, ContractionMakesTriangleColorable)
+{
+    Graph g = triangle();
+    // Contracting one edge of the triangle leaves a 2-path quotient.
+    std::vector<char> contracted{1, 0, 0};
+    auto colors = g.twoColorAfterContraction(contracted);
+    ASSERT_TRUE(colors.has_value());
+    EXPECT_EQ((*colors)[0], (*colors)[1]); // merged endpoints
+    EXPECT_NE((*colors)[0], (*colors)[2]);
+}
+
+TEST(GraphTest, ContractionConflictDetected)
+{
+    // A 4-cycle with one edge contracted leaves an odd quotient cycle.
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 0);
+    std::vector<char> contracted{1, 0, 0, 0};
+    EXPECT_FALSE(g.twoColorAfterContraction(contracted).has_value());
+}
+
+TEST(GraphTest, BfsDistances)
+{
+    Graph g(5); // path
+    for (int v = 0; v + 1 < 5; ++v)
+        g.addEdge(v, v + 1);
+    auto d = g.bfsDistances(0);
+    EXPECT_EQ(d[4], 4);
+    EXPECT_EQ(d[0], 0);
+    auto all = g.allPairsDistances();
+    EXPECT_EQ(all[1][3], 2);
+}
+
+TEST(GraphTest, BfsUnreachable)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    auto d = g.bfsDistances(0);
+    EXPECT_EQ(d[2], -1);
+}
+
+TEST(GraphTest, AddEdgeValidation)
+{
+    Graph g(2);
+    EXPECT_THROW(g.addEdge(0, 5), UserError);
+    EXPECT_THROW(g.addEdge(-1, 0), UserError);
+}
+
+} // namespace
+} // namespace qzz::graph

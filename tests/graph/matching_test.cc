@@ -1,0 +1,135 @@
+#include "graph/matching.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace qzz::graph {
+namespace {
+
+double
+bruteForceBest(int n, const std::function<double(int, int)> &w)
+{
+    // Exhaustive recursion over perfect matchings.
+    std::vector<int> partner(size_t(n), -1);
+    std::function<double()> rec = [&]() {
+        int i = -1;
+        for (int v = 0; v < n; ++v)
+            if (partner[v] == -1) {
+                i = v;
+                break;
+            }
+        if (i < 0)
+            return 0.0;
+        double best = -1e18;
+        for (int j = i + 1; j < n; ++j) {
+            if (partner[j] != -1)
+                continue;
+            partner[i] = j;
+            partner[j] = i;
+            best = std::max(best, w(i, j) + rec());
+            partner[i] = -1;
+            partner[j] = -1;
+        }
+        return best;
+    };
+    return rec();
+}
+
+TEST(MatchingTest, EmptyInput)
+{
+    auto res = maxWeightPerfectMatching(0, [](int, int) { return 1.0; });
+    EXPECT_TRUE(res.pairs.empty());
+    EXPECT_EQ(res.weight, 0.0);
+}
+
+TEST(MatchingTest, SinglePair)
+{
+    auto res =
+        maxWeightPerfectMatching(2, [](int, int) { return 3.5; });
+    ASSERT_EQ(res.pairs.size(), 1u);
+    EXPECT_EQ(res.pairs[0], std::make_pair(0, 1));
+    EXPECT_DOUBLE_EQ(res.weight, 3.5);
+}
+
+TEST(MatchingTest, PicksHeavyPairing)
+{
+    // Weights force {0,3},{1,2}.
+    auto w = [](int i, int j) {
+        if ((i == 0 && j == 3) || (i == 1 && j == 2))
+            return 10.0;
+        return 1.0;
+    };
+    auto res = maxWeightPerfectMatching(4, w);
+    EXPECT_DOUBLE_EQ(res.weight, 20.0);
+    EXPECT_EQ(res.pairs[0], std::make_pair(0, 3));
+    EXPECT_EQ(res.pairs[1], std::make_pair(1, 2));
+}
+
+TEST(MatchingTest, OddCountRejected)
+{
+    EXPECT_THROW(
+        maxWeightPerfectMatching(3, [](int, int) { return 1.0; }),
+        UserError);
+}
+
+TEST(MatchingTest, MatchesBruteForceOnRandomInstances)
+{
+    Rng rng(2022);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = 2 * rng.uniformInt(1, 4); // up to 8 vertices
+        std::vector<std::vector<double>> w(
+            size_t(n), std::vector<double>(size_t(n), 0.0));
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                w[i][j] = w[j][i] = rng.uniform(0.0, 10.0);
+        auto wf = [&](int i, int j) { return w[i][j]; };
+        auto res = maxWeightPerfectMatching(n, wf);
+        EXPECT_TRUE(res.exact);
+        EXPECT_NEAR(res.weight, bruteForceBest(n, wf), 1e-9)
+            << "n=" << n << " trial=" << trial;
+        // Pairs must partition the vertex set.
+        std::vector<int> covered(size_t(n), 0);
+        for (auto [i, j] : res.pairs) {
+            ++covered[i];
+            ++covered[j];
+        }
+        for (int c : covered)
+            EXPECT_EQ(c, 1);
+    }
+}
+
+TEST(MatchingTest, LargeInstanceUsesHeuristic)
+{
+    const int n = kExactMatchingLimit + 2;
+    auto w = [](int i, int j) { return double((i + j) % 7); };
+    auto res = maxWeightPerfectMatching(n, w);
+    EXPECT_FALSE(res.exact);
+    EXPECT_EQ(res.pairs.size(), size_t(n) / 2);
+    std::vector<int> covered(size_t(n), 0);
+    for (auto [i, j] : res.pairs) {
+        ++covered[i];
+        ++covered[j];
+    }
+    for (int c : covered)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(MatchingTest, HeuristicIsTwoOptStable)
+{
+    // On a metric-ish instance the heuristic should beat naive
+    // sequential pairing.
+    const int n = 24;
+    auto w = [](int i, int j) {
+        return 100.0 - std::abs(double(i - j));
+    };
+    auto res = maxWeightPerfectMatching(n, w);
+    // Optimal pairs adjacent indices: weight = 12 * 99.
+    EXPECT_GE(res.weight, 12.0 * 99.0 - 1e-9);
+}
+
+} // namespace
+} // namespace qzz::graph

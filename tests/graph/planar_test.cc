@@ -1,0 +1,134 @@
+#include "graph/planar.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/topologies.h"
+
+namespace qzz::graph {
+namespace {
+
+TEST(PlanarTest, GridFaceCountSatisfiesEuler)
+{
+    for (auto [r, c] : {std::pair{2, 2}, {3, 3}, {3, 4}, {5, 3}}) {
+        Topology t = gridTopology(r, c);
+        PlanarEmbedding emb = t.embedding();
+        const int n = t.g.numVertices();
+        const int m = t.g.numEdges();
+        EXPECT_EQ(n - m + emb.numFaces(), 2)
+            << "grid " << r << "x" << c;
+        // (r-1)(c-1) unit squares + outer face.
+        EXPECT_EQ(emb.numFaces(), (r - 1) * (c - 1) + 1);
+    }
+}
+
+TEST(PlanarTest, GridInnerFacesAreSquares)
+{
+    Topology t = gridTopology(3, 4);
+    PlanarEmbedding emb = t.embedding();
+    const int outer = emb.longestFace();
+    for (int f = 0; f < emb.numFaces(); ++f) {
+        if (f == outer)
+            continue;
+        EXPECT_EQ(emb.faceEdges(f).size(), 4u);
+    }
+    // Outer boundary of a 3x4 grid has 2*(2+3) = 10 edges.
+    EXPECT_EQ(emb.faceEdges(outer).size(), 10u);
+}
+
+TEST(PlanarTest, EveryEdgeBordersTwoFaceSlots)
+{
+    Topology t = gridTopology(3, 3);
+    PlanarEmbedding emb = t.embedding();
+    std::vector<int> incidence(size_t(t.g.numEdges()), 0);
+    for (int f = 0; f < emb.numFaces(); ++f)
+        for (int e : emb.faceEdges(f))
+            ++incidence[e];
+    for (int count : incidence)
+        EXPECT_EQ(count, 2);
+}
+
+TEST(PlanarTest, RingHasTwoFaces)
+{
+    Topology t = ringTopology(6);
+    PlanarEmbedding emb = t.embedding();
+    EXPECT_EQ(emb.numFaces(), 2);
+    EXPECT_EQ(emb.faceEdges(0).size(), 6u);
+    EXPECT_EQ(emb.faceEdges(1).size(), 6u);
+}
+
+TEST(PlanarTest, LineFacesAreOneWithDoubledEdges)
+{
+    // A tree has a single face walking each edge twice.
+    Topology t = lineTopology(5);
+    PlanarEmbedding emb = t.embedding();
+    EXPECT_EQ(emb.numFaces(), 1);
+    EXPECT_EQ(emb.faceEdges(0).size(), 2u * 4u);
+}
+
+TEST(PlanarTest, TriangulatedGridFaces)
+{
+    Topology t = triangulatedGridTopology(2, 2);
+    PlanarEmbedding emb = t.embedding();
+    // 4 vertices, 5 edges -> 3 faces (2 triangles + outer).
+    EXPECT_EQ(emb.numFaces(), 3);
+    std::vector<size_t> sizes;
+    for (int f = 0; f < emb.numFaces(); ++f)
+        sizes.push_back(emb.faceEdges(f).size());
+    std::sort(sizes.begin(), sizes.end());
+    EXPECT_EQ(sizes, (std::vector<size_t>{3, 3, 4}));
+}
+
+TEST(DualTest, DualDegreesEqualFaceSizes)
+{
+    Topology t = gridTopology(3, 4);
+    PlanarEmbedding emb = t.embedding();
+    DualGraph dual = buildDual(emb);
+    EXPECT_EQ(dual.g.numVertices(), emb.numFaces());
+    EXPECT_EQ(dual.g.numEdges(), t.g.numEdges());
+    for (int f = 0; f < emb.numFaces(); ++f)
+        EXPECT_EQ(dual.g.degree(f), int(emb.faceEdges(f).size()));
+}
+
+TEST(DualTest, GridDualIsAllEvenDegrees)
+{
+    // Bipartite planar graph -> all faces have even length.
+    Topology t = gridTopology(3, 4);
+    DualGraph dual = buildDual(t.embedding());
+    EXPECT_TRUE(dual.g.oddDegreeVertices().empty());
+}
+
+TEST(DualTest, TriangulatedGridDualHasOddVertices)
+{
+    Topology t = triangulatedGridTopology(2, 2);
+    DualGraph dual = buildDual(t.embedding());
+    // The two triangles are odd-degree dual vertices.
+    EXPECT_EQ(dual.g.oddDegreeVertices().size(), 2u);
+}
+
+TEST(DualTest, TreeDualIsSingleVertexWithLoops)
+{
+    Topology t = lineTopology(4);
+    DualGraph dual = buildDual(t.embedding());
+    EXPECT_EQ(dual.g.numVertices(), 1);
+    EXPECT_EQ(dual.g.numEdges(), 3);
+    for (const Edge &e : dual.g.edges())
+        EXPECT_TRUE(e.isSelfLoop());
+}
+
+TEST(DualTest, EdgeIdsMirrorPrimal)
+{
+    Topology t = gridTopology(2, 3);
+    PlanarEmbedding emb = t.embedding();
+    DualGraph dual = buildDual(emb);
+    for (int e = 0; e < t.g.numEdges(); ++e) {
+        auto [f1, f2] = emb.facesOfEdge(e);
+        const Edge &de = dual.g.edge(e);
+        EXPECT_TRUE((de.u == f1 && de.v == f2) ||
+                    (de.u == f2 && de.v == f1));
+    }
+}
+
+} // namespace
+} // namespace qzz::graph

@@ -1,0 +1,141 @@
+#include "graph/shortest_paths.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/topologies.h"
+
+namespace qzz::graph {
+namespace {
+
+TEST(ShortestPathTest, StraightLine)
+{
+    Topology t = lineTopology(5);
+    auto p = shortestPath(t.g, 0, 4);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->length(), 4);
+    EXPECT_EQ(p->vertices.front(), 0);
+    EXPECT_EQ(p->vertices.back(), 4);
+}
+
+TEST(ShortestPathTest, GridDistance)
+{
+    Topology t = gridTopology(3, 4);
+    auto p = shortestPath(t.g, 0, 11); // (0,0) -> (2,3)
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->length(), 5); // Manhattan distance
+}
+
+TEST(ShortestPathTest, PathEdgesMatchVertices)
+{
+    Topology t = gridTopology(3, 3);
+    auto p = shortestPath(t.g, 0, 8);
+    ASSERT_TRUE(p.has_value());
+    ASSERT_EQ(p->edges.size() + 1, p->vertices.size());
+    for (size_t i = 0; i < p->edges.size(); ++i) {
+        const Edge &e = t.g.edge(p->edges[i]);
+        const int a = p->vertices[i], b = p->vertices[i + 1];
+        EXPECT_TRUE((e.u == a && e.v == b) || (e.u == b && e.v == a));
+    }
+}
+
+TEST(ShortestPathTest, BlockedEdgeForcesDetour)
+{
+    Topology t = ringTopology(6);
+    std::vector<char> blocked(size_t(t.g.numEdges()), 0);
+    blocked[t.g.findEdge(0, 1)] = 1;
+    auto p = shortestPath(t.g, 0, 1, blocked);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->length(), 5); // all the way around
+}
+
+TEST(ShortestPathTest, BlockedVertexForcesDetour)
+{
+    Topology t = gridTopology(3, 3);
+    std::vector<char> bv(size_t(t.g.numVertices()), 0);
+    bv[4] = 1; // center
+    auto p = shortestPath(t.g, 3, 5, {}, bv);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->length(), 4);
+}
+
+TEST(ShortestPathTest, DisconnectedReturnsNull)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_FALSE(shortestPath(g, 0, 3).has_value());
+}
+
+TEST(ShortestPathTest, SourceEqualsDestination)
+{
+    Topology t = lineTopology(3);
+    auto p = shortestPath(t.g, 1, 1);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->length(), 0);
+}
+
+TEST(YenTest, FirstPathIsShortest)
+{
+    Topology t = gridTopology(3, 3);
+    auto paths = yenKShortestPaths(t.g, 0, 8, 3);
+    ASSERT_GE(paths.size(), 1u);
+    EXPECT_EQ(paths[0].length(), 4);
+}
+
+TEST(YenTest, PathsSortedAndDistinct)
+{
+    Topology t = gridTopology(3, 3);
+    auto paths = yenKShortestPaths(t.g, 0, 8, 6);
+    ASSERT_GE(paths.size(), 2u);
+    for (size_t i = 1; i < paths.size(); ++i) {
+        EXPECT_GE(paths[i].length(), paths[i - 1].length());
+        EXPECT_NE(paths[i].edges, paths[i - 1].edges);
+    }
+}
+
+TEST(YenTest, CountsAllSimplePathsOnRing)
+{
+    // A ring has exactly two simple paths between any two vertices.
+    Topology t = ringTopology(6);
+    auto paths = yenKShortestPaths(t.g, 0, 3, 5);
+    EXPECT_EQ(paths.size(), 2u);
+    EXPECT_EQ(paths[0].length(), 3);
+    EXPECT_EQ(paths[1].length(), 3);
+}
+
+TEST(YenTest, PathsAreLoopless)
+{
+    Topology t = gridTopology(3, 4);
+    auto paths = yenKShortestPaths(t.g, 0, 11, 8);
+    for (const Path &p : paths) {
+        std::vector<int> v = p.vertices;
+        std::sort(v.begin(), v.end());
+        EXPECT_TRUE(std::adjacent_find(v.begin(), v.end()) == v.end())
+            << "path revisits a vertex";
+    }
+}
+
+TEST(YenTest, MultigraphParallelEdgesAreDistinctPaths)
+{
+    Graph g(2);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    auto paths = yenKShortestPaths(g, 0, 1, 4);
+    EXPECT_EQ(paths.size(), 2u);
+    EXPECT_EQ(paths[0].length(), 1);
+    EXPECT_EQ(paths[1].length(), 1);
+    EXPECT_NE(paths[0].edges[0], paths[1].edges[0]);
+}
+
+TEST(YenTest, RespectsGlobalBlockedEdges)
+{
+    Topology t = ringTopology(5);
+    std::vector<char> blocked(size_t(t.g.numEdges()), 0);
+    blocked[t.g.findEdge(0, 1)] = 1;
+    auto paths = yenKShortestPaths(t.g, 0, 1, 4, blocked);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0].length(), 4);
+}
+
+} // namespace
+} // namespace qzz::graph

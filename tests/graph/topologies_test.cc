@@ -1,0 +1,75 @@
+#include "graph/topologies.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace qzz::graph {
+namespace {
+
+TEST(TopologiesTest, GridCounts)
+{
+    Topology t = gridTopology(3, 4);
+    EXPECT_EQ(t.g.numVertices(), 12);
+    // 3 rows x 3 horizontal + 4 cols x 2 vertical = 9 + 8 = 17.
+    EXPECT_EQ(t.g.numEdges(), 17);
+    EXPECT_EQ(t.name, "grid-3x4");
+}
+
+TEST(TopologiesTest, GridAdjacency)
+{
+    Topology t = gridTopology(3, 4);
+    // Vertex 5 = (1,1): neighbors 1, 4, 6, 9.
+    EXPECT_NE(t.g.findEdge(5, 1), -1);
+    EXPECT_NE(t.g.findEdge(5, 4), -1);
+    EXPECT_NE(t.g.findEdge(5, 6), -1);
+    EXPECT_NE(t.g.findEdge(5, 9), -1);
+    EXPECT_EQ(t.g.findEdge(5, 10), -1); // diagonal absent
+    EXPECT_EQ(t.g.degree(0), 2);
+    EXPECT_EQ(t.g.degree(5), 4);
+}
+
+TEST(TopologiesTest, GridIsBipartite)
+{
+    for (auto [r, c] : {std::pair{2, 2}, {2, 3}, {3, 3}, {3, 4}}) {
+        Topology t = gridTopology(r, c);
+        EXPECT_TRUE(t.g.twoColor().has_value());
+    }
+}
+
+TEST(TopologiesTest, LineAndRing)
+{
+    Topology line = lineTopology(7);
+    EXPECT_EQ(line.g.numEdges(), 6);
+    Topology ring = ringTopology(7);
+    EXPECT_EQ(ring.g.numEdges(), 7);
+    for (int v = 0; v < 7; ++v)
+        EXPECT_EQ(ring.g.degree(v), 2);
+}
+
+TEST(TopologiesTest, TriangulatedGridNotBipartite)
+{
+    Topology t = triangulatedGridTopology(2, 3);
+    EXPECT_FALSE(t.g.twoColor().has_value());
+    // grid edges (7) + diagonals (2).
+    EXPECT_EQ(t.g.numEdges(), 9);
+}
+
+TEST(TopologiesTest, CustomTopologyValidation)
+{
+    auto t = customTopology("tiny", 3, {{0, 1}, {1, 2}},
+                            {{0, 0}, {1, 0}, {2, 0}});
+    EXPECT_EQ(t.g.numEdges(), 2);
+    EXPECT_THROW(customTopology("bad", 3, {}, {{0, 0}}), UserError);
+}
+
+TEST(TopologiesTest, EmbeddingRotationsMatchDegrees)
+{
+    Topology t = triangulatedGridTopology(3, 3);
+    PlanarEmbedding emb = t.embedding();
+    // Smoke-check Euler for the triangulated grid too.
+    EXPECT_EQ(t.g.numVertices() - t.g.numEdges() + emb.numFaces(), 2);
+}
+
+} // namespace
+} // namespace qzz::graph

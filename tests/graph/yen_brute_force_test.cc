@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Verifies Yen's algorithm against exhaustive simple-path enumeration
+ * on randomized small multigraphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/shortest_paths.h"
+
+namespace qzz::graph {
+namespace {
+
+/** Enumerate every loopless path src -> dst (edge-id sequences). */
+void
+allSimplePaths(const Graph &g, int v, int dst,
+               std::vector<char> &visited, std::vector<int> &edges,
+               std::vector<std::vector<int>> &out)
+{
+    if (v == dst) {
+        out.push_back(edges);
+        return;
+    }
+    for (const auto &a : g.neighbors(v)) {
+        if (a.to == v || visited[a.to])
+            continue;
+        // Avoid walking the same adjacency entry twice for self-loop
+        // bookkeeping (self-loops appear twice in the list).
+        visited[a.to] = 1;
+        edges.push_back(a.edge);
+        allSimplePaths(g, a.to, dst, visited, edges, out);
+        edges.pop_back();
+        visited[a.to] = 0;
+    }
+}
+
+class YenBruteForceTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(YenBruteForceTest, MatchesExhaustiveEnumeration)
+{
+    Rng rng(GetParam());
+    const int n = rng.uniformInt(4, 7);
+    Graph g(n);
+    const int m = rng.uniformInt(n, 2 * n);
+    for (int i = 0; i < m; ++i) {
+        int u = rng.uniformInt(0, n - 1), v = rng.uniformInt(0, n - 1);
+        if (u != v)
+            g.addEdge(u, v); // parallel edges allowed
+    }
+    const int src = 0, dst = n - 1;
+
+    std::vector<char> visited(size_t(n), 0);
+    visited[src] = 1;
+    std::vector<int> edges;
+    std::vector<std::vector<int>> exhaustive;
+    allSimplePaths(g, src, dst, visited, edges, exhaustive);
+
+    const int k = 8;
+    auto yen = yenKShortestPaths(g, src, dst, k);
+
+    // Count matches.
+    ASSERT_EQ(yen.size(),
+              std::min<size_t>(exhaustive.size(), size_t(k)));
+
+    // Yen's lengths must equal the k smallest exhaustive lengths.
+    std::vector<size_t> lengths;
+    for (const auto &p : exhaustive)
+        lengths.push_back(p.size());
+    std::sort(lengths.begin(), lengths.end());
+    for (size_t i = 0; i < yen.size(); ++i)
+        EXPECT_EQ(size_t(yen[i].length()), lengths[i]) << "rank " << i;
+
+    // Every Yen path must appear in the exhaustive set, distinct.
+    for (size_t i = 0; i < yen.size(); ++i) {
+        EXPECT_NE(std::find(exhaustive.begin(), exhaustive.end(),
+                            yen[i].edges),
+                  exhaustive.end());
+        for (size_t j = i + 1; j < yen.size(); ++j)
+            EXPECT_NE(yen[i].edges, yen[j].edges);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, YenBruteForceTest,
+                         ::testing::Range(uint64_t(1), uint64_t(16)));
+
+} // namespace
+} // namespace qzz::graph

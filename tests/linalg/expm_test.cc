@@ -1,0 +1,123 @@
+#include "linalg/expm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::la {
+namespace {
+
+TEST(LuSolveTest, SolvesKnownSystem)
+{
+    CMatrix a{{2, 1}, {1, 3}};
+    CMatrix b{{5}, {10}};
+    CMatrix x = luSolve(a, b);
+    EXPECT_NEAR(std::abs(x(0, 0) - cplx(1.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(x(1, 0) - cplx(3.0)), 0.0, 1e-12);
+}
+
+TEST(LuSolveTest, ComplexSystem)
+{
+    CMatrix a{{kI, 1}, {1, kI}};
+    CMatrix rhs = a * CMatrix{{cplx(2.0)}, {cplx(0.0, 3.0)}};
+    CMatrix x = luSolve(a, rhs);
+    EXPECT_NEAR(std::abs(x(0, 0) - cplx(2.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(x(1, 0) - cplx(0.0, 3.0)), 0.0, 1e-12);
+}
+
+TEST(LuSolveTest, SingularMatrixRejected)
+{
+    CMatrix a{{1, 1}, {1, 1}};
+    EXPECT_THROW(luSolve(a, CMatrix::identity(2)), UserError);
+}
+
+TEST(InverseTest, InverseTimesSelfIsIdentity)
+{
+    CMatrix a{{1, 2, 0}, {kI, 1, 3}, {0, 2, 1}};
+    CMatrix inv = inverse(a);
+    EXPECT_TRUE((a * inv).isIdentity(1e-10));
+    EXPECT_TRUE((inv * a).isIdentity(1e-10));
+}
+
+TEST(ExpmTest, ZeroGivesIdentity)
+{
+    EXPECT_TRUE(expm(CMatrix::zero(4)).isIdentity(1e-13));
+}
+
+TEST(ExpmTest, DiagonalCase)
+{
+    CMatrix d = CMatrix::diag({cplx(1.0), cplx(0.0, 2.0)});
+    CMatrix e = expm(d);
+    EXPECT_NEAR(std::abs(e(0, 0) - std::exp(cplx(1.0))), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(e(1, 1) - std::exp(cplx(0.0, 2.0))), 0.0,
+                1e-12);
+    EXPECT_NEAR(std::abs(e(0, 1)), 0.0, 1e-13);
+}
+
+TEST(ExpmTest, PauliRotationMatchesClosedForm)
+{
+    for (double theta : {0.1, 1.0, 2.5, 7.0, 20.0}) {
+        CMatrix gen = pauliX();
+        gen *= cplx{0.0, -theta};
+        CMatrix viaPade = expm(gen);
+        CMatrix closed = expPauli(theta, 0.0, 0.0);
+        EXPECT_LT(distance(viaPade, closed), 1e-11)
+            << "theta=" << theta;
+    }
+}
+
+TEST(ExpmTest, LargeNormScalingSquaring)
+{
+    // Norm >> Pade radius exercises the squaring phase.
+    CMatrix gen = pauliY();
+    gen *= cplx{0.0, -300.0};
+    CMatrix e = expm(gen);
+    CMatrix closed = expPauli(0.0, 300.0, 0.0);
+    EXPECT_LT(distance(e, closed), 1e-8);
+}
+
+TEST(ExpmTest, PropagatorIsUnitaryForHermitianH)
+{
+    CMatrix h{{1.0, cplx(0.5, 0.2)}, {cplx(0.5, -0.2), -0.3}};
+    ASSERT_TRUE(h.isHermitian());
+    CMatrix u = expmPropagator(h, 2.7);
+    EXPECT_TRUE(u.isUnitary(1e-12));
+}
+
+TEST(ExpPauliTest, AgreesWithRotationFormulas)
+{
+    // exp(-i theta/2 sx) = Rx(theta).
+    const double theta = 1.234;
+    CMatrix u = expPauli(theta / 2.0, 0.0, 0.0);
+    EXPECT_NEAR(u(0, 0).real(), std::cos(theta / 2.0), 1e-14);
+    EXPECT_NEAR(u(0, 1).imag(), -std::sin(theta / 2.0), 1e-14);
+    // Zero rotation.
+    EXPECT_TRUE(expPauli(0.0, 0.0, 0.0).isIdentity(1e-15));
+}
+
+TEST(ExpPauliTest, GeneralAxisIsUnitary)
+{
+    CMatrix u = expPauli(0.3, -0.7, 1.1);
+    EXPECT_TRUE(u.isUnitary(1e-13));
+    // Compare against Pade on the same generator.
+    CMatrix gen = 0.3 * pauliX() + (-0.7) * pauliY() + 1.1 * pauliZ();
+    gen *= cplx{0.0, -1.0};
+    EXPECT_LT(distance(u, expm(gen)), 1e-12);
+}
+
+TEST(ExpInvolutoryTest, MatchesExpm)
+{
+    CMatrix p = kron(pauliZ(), pauliX());
+    const double theta = 0.77;
+    CMatrix closed = expInvolutory(p, theta);
+    CMatrix gen = p;
+    gen *= cplx{0.0, -theta};
+    EXPECT_LT(distance(closed, expm(gen)), 1e-12);
+    EXPECT_TRUE(closed.isUnitary(1e-12));
+}
+
+} // namespace
+} // namespace qzz::la

@@ -1,0 +1,75 @@
+#include "linalg/fidelity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "linalg/expm.h"
+
+namespace qzz::la {
+namespace {
+
+TEST(FidelityTest, IdenticalUnitariesGiveOne)
+{
+    CMatrix u = expPauli(0.3, 0.1, -0.2);
+    EXPECT_NEAR(averageGateFidelity(u, u), 1.0, 1e-13);
+    EXPECT_NEAR(processFidelity(u, u), 1.0, 1e-13);
+}
+
+TEST(FidelityTest, GlobalPhaseInvariance)
+{
+    CMatrix u = expPauli(0.4, 0.0, 0.9);
+    CMatrix v = std::exp(kI * 1.2345) * u;
+    EXPECT_NEAR(averageGateFidelity(u, v), 1.0, 1e-13);
+}
+
+TEST(FidelityTest, OrthogonalGatesScoreLow)
+{
+    // F_avg(X, I) = (d + |tr(X)|^2)/(d(d+1)) = 2/6 = 1/3 for d = 2.
+    EXPECT_NEAR(averageGateFidelity(pauliX(), identity2()), 1.0 / 3.0,
+                1e-13);
+}
+
+TEST(FidelityTest, SmallRotationQuadraticInAngle)
+{
+    // For d = 2: F = (4 + 2 cos(eps)) / 6, so 1 - F ~ eps^2 / 6.
+    for (double eps : {1e-2, 1e-3}) {
+        CMatrix u = expPauli(eps / 2.0, 0.0, 0.0);
+        double infid = 1.0 - averageGateFidelity(u, identity2());
+        EXPECT_NEAR(infid, eps * eps / 6.0, eps * eps * 0.02)
+            << "eps=" << eps;
+    }
+}
+
+TEST(FidelityTest, ProcessVsAverageRelation)
+{
+    // F_avg = (d F_pro + 1) / (d + 1).
+    CMatrix u = expPauli(0.2, 0.5, -0.1);
+    CMatrix v = expPauli(0.1, 0.4, 0.3);
+    const double d = 2.0;
+    const double f_pro = processFidelity(u, v);
+    const double f_avg = averageGateFidelity(u, v);
+    EXPECT_NEAR(f_avg, (d * f_pro + 1.0) / (d + 1.0), 1e-13);
+}
+
+TEST(FidelityTest, NonUnitaryProjectionPenalized)
+{
+    // A "leaky" comparison operator with tr(MM^dag) < d must score
+    // below 1 even when aligned.
+    CMatrix m{{1.0, 0.0}, {0.0, 0.9}};
+    const double f = averageGateFidelityFromM(m);
+    EXPECT_LT(f, 1.0);
+    EXPECT_GT(f, 0.8);
+}
+
+TEST(FidelityTest, StateFidelityBasics)
+{
+    CVector a{1.0, 0.0};
+    CVector b{0.0, 1.0};
+    EXPECT_NEAR(stateFidelity(a, a), 1.0, 1e-14);
+    EXPECT_NEAR(stateFidelity(a, b), 0.0, 1e-14);
+    CVector c{std::sqrt(0.5), std::sqrt(0.5)};
+    EXPECT_NEAR(stateFidelity(a, c), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace qzz::la

@@ -1,0 +1,166 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace qzz::la {
+namespace {
+
+TEST(MatrixTest, IdentityAndZero)
+{
+    auto id = CMatrix::identity(3);
+    EXPECT_TRUE(id.isIdentity());
+    auto z = CMatrix::zero(3);
+    EXPECT_EQ(z.frobeniusNorm(), 0.0);
+}
+
+TEST(MatrixTest, InitializerListAndAccess)
+{
+    CMatrix m{{1.0, 2.0}, {3.0, kI}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m(1, 1), kI);
+    EXPECT_THROW((CMatrix{{1.0}, {1.0, 2.0}}), UserError);
+}
+
+TEST(MatrixTest, ArithmeticOps)
+{
+    CMatrix a{{1, 2}, {3, 4}};
+    CMatrix b{{5, 6}, {7, 8}};
+    CMatrix sum = a + b;
+    EXPECT_EQ(sum(0, 0), cplx(6.0));
+    CMatrix diff = b - a;
+    EXPECT_EQ(diff(1, 1), cplx(4.0));
+    CMatrix prod = a * b;
+    EXPECT_EQ(prod(0, 0), cplx(19.0));
+    EXPECT_EQ(prod(1, 1), cplx(50.0));
+    CMatrix scaled = 2.0 * a;
+    EXPECT_EQ(scaled(1, 0), cplx(6.0));
+}
+
+TEST(MatrixTest, DaggerConjTranspose)
+{
+    CMatrix m{{1.0, kI}, {2.0, -kI}};
+    CMatrix d = m.dagger();
+    EXPECT_EQ(d(0, 1), cplx(2.0));
+    EXPECT_EQ(d(1, 0), -kI);
+    EXPECT_EQ(m.transpose()(0, 1), cplx(2.0));
+    EXPECT_EQ(m.conj()(0, 1), -kI);
+}
+
+TEST(MatrixTest, TraceAndNorm)
+{
+    CMatrix m{{1, 2}, {3, 4}};
+    EXPECT_EQ(m.trace(), cplx(5.0));
+    EXPECT_NEAR(m.frobeniusNorm(), std::sqrt(30.0), 1e-12);
+    EXPECT_EQ(m.maxAbs(), 4.0);
+}
+
+TEST(MatrixTest, PauliAlgebra)
+{
+    // sx sy = i sz and friends.
+    CMatrix sxsy = pauliX() * pauliY();
+    CMatrix isz = kI * pauliZ();
+    EXPECT_LT(distance(sxsy, isz), 1e-14);
+    // Paulis are Hermitian, unitary, traceless.
+    for (const CMatrix &p : {pauliX(), pauliY(), pauliZ()}) {
+        EXPECT_TRUE(p.isHermitian());
+        EXPECT_TRUE(p.isUnitary());
+        EXPECT_NEAR(std::abs(p.trace()), 0.0, 1e-14);
+    }
+}
+
+TEST(MatrixTest, MatrixVectorProduct)
+{
+    CMatrix m{{0, 1}, {1, 0}};
+    CVector v{1.0, 0.0};
+    CVector r = m * v;
+    EXPECT_EQ(r[0], cplx(0.0));
+    EXPECT_EQ(r[1], cplx(1.0));
+}
+
+TEST(MatrixTest, KronDimensionsAndValues)
+{
+    CMatrix k = kron(pauliZ(), pauliX());
+    EXPECT_EQ(k.rows(), 4u);
+    EXPECT_EQ(k(0, 1), cplx(1.0));
+    EXPECT_EQ(k(2, 3), cplx(-1.0));
+    // Mixed-product property: (A(x)B)(C(x)D) = AC (x) BD.
+    CMatrix lhs = kron(pauliX(), pauliY()) * kron(pauliY(), pauliZ());
+    CMatrix rhs = kron(pauliX() * pauliY(), pauliY() * pauliZ());
+    EXPECT_LT(distance(lhs, rhs), 1e-14);
+}
+
+TEST(MatrixTest, KronAll)
+{
+    CMatrix k =
+        kronAll({identity2(), pauliX(), identity2()});
+    EXPECT_EQ(k.rows(), 8u);
+    CMatrix viaEmbed = embed(pauliX(), {1}, 3);
+    EXPECT_LT(distance(k, viaEmbed), 1e-14);
+}
+
+TEST(MatrixTest, InnerProductAndDot)
+{
+    CMatrix a{{1, 0}, {0, 1}};
+    CMatrix b{{2, 0}, {0, 3}};
+    EXPECT_EQ(innerProduct(a, b), cplx(5.0));
+    CVector u{kI, 1.0}, v{1.0, kI};
+    // <u|v> = conj(i)*1 + 1*i = -i + i = 0.
+    EXPECT_NEAR(std::abs(dot(u, v)), 0.0, 1e-14);
+}
+
+TEST(MatrixTest, NormalizeVector)
+{
+    CVector v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(normalize(v), 5.0);
+    EXPECT_NEAR(norm(v), 1.0, 1e-14);
+}
+
+TEST(MatrixTest, PhaseDistanceIgnoresGlobalPhase)
+{
+    CMatrix u = pauliX();
+    CMatrix v = std::exp(kI * 0.7) * pauliX();
+    EXPECT_GT(distance(u, v), 0.1);
+    // Cancellation limits the precision to ~sqrt(machine epsilon).
+    EXPECT_LT(phaseDistance(u, v), 1e-7);
+}
+
+TEST(MatrixTest, EmbedSingleQubitOnEachPosition)
+{
+    // X on qubit 0 of 2 (MSB) flips the high bit.
+    CMatrix x0 = embed(pauliX(), {0}, 2);
+    EXPECT_EQ(x0(0, 2), cplx(1.0));
+    EXPECT_EQ(x0(1, 3), cplx(1.0));
+    CMatrix x1 = embed(pauliX(), {1}, 2);
+    EXPECT_EQ(x1(0, 1), cplx(1.0));
+    EXPECT_EQ(x1(2, 3), cplx(1.0));
+}
+
+TEST(MatrixTest, EmbedTwoQubitRespectsOrder)
+{
+    // CNOT with control=qubit 1, target=qubit 0 in a 2-qubit register
+    // (standard matrix: control is the operator's first factor).
+    CMatrix cnot{{1, 0, 0, 0},
+                 {0, 1, 0, 0},
+                 {0, 0, 0, 1},
+                 {0, 0, 1, 0}};
+    // As an operator on (control, target) = (q1, q0): |c t> ordering of
+    // the embedded register is |q0 q1>.
+    CMatrix e = embed(cnot, {1, 0}, 2);
+    // Basis |q0 q1>: control q1 is the LSB.  |01> -> |11>, |11> -> |01>.
+    EXPECT_EQ(e(3, 1), cplx(1.0));
+    EXPECT_EQ(e(1, 3), cplx(1.0));
+    EXPECT_EQ(e(0, 0), cplx(1.0));
+    EXPECT_EQ(e(2, 2), cplx(1.0));
+}
+
+TEST(MatrixTest, EmbedRejectsBadArgs)
+{
+    EXPECT_THROW(embed(pauliX(), {5}, 2), UserError);
+    EXPECT_THROW(embed(pauliX(), {0, 1}, 2), UserError);
+    EXPECT_THROW(embed(pauliX(), {0}, 0), UserError);
+}
+
+} // namespace
+} // namespace qzz::la

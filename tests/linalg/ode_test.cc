@@ -1,0 +1,140 @@
+#include "ode/propagator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "linalg/expm.h"
+#include "linalg/fidelity.h"
+
+namespace qzz::ode {
+namespace {
+
+using la::CMatrix;
+using la::cplx;
+
+TEST(PropagatorTest, ConstantHamiltonianMatchesExpm)
+{
+    CMatrix h = 0.3 * la::pauliX() + 0.1 * la::pauliZ();
+    auto hfn = [&](double, CMatrix &out) { out = h; };
+    CMatrix u = propagate(hfn, 2, 0.0, 5.0);
+    CMatrix exact = la::expmPropagator(h, 5.0);
+    EXPECT_LT(la::distance(u, exact), 1e-9);
+}
+
+TEST(PropagatorTest, ZeroHamiltonianIsIdentity)
+{
+    auto hfn = [](double, CMatrix &) {};
+    CMatrix u = propagate(hfn, 3, 0.0, 10.0);
+    EXPECT_TRUE(u.isIdentity(1e-12));
+}
+
+TEST(PropagatorTest, PreservesUnitarity)
+{
+    auto hfn = [](double t, CMatrix &h) {
+        h(0, 1) = cplx{0.2 * std::sin(t), 0.0};
+        h(1, 0) = cplx{0.2 * std::sin(t), 0.0};
+        h(0, 0) = 0.1 * std::cos(t);
+        h(1, 1) = -0.1 * std::cos(t);
+    };
+    CMatrix u = propagate(hfn, 2, 0.0, 20.0);
+    EXPECT_TRUE(u.isUnitary(1e-9));
+}
+
+TEST(PropagatorTest, RotatingDriveAnalyticSolution)
+{
+    // H = w/2 sz is solvable: U(t) = exp(-i w t sz / 2).
+    const double w = 0.7;
+    auto hfn = [&](double, CMatrix &h) {
+        h(0, 0) = w / 2.0;
+        h(1, 1) = -w / 2.0;
+    };
+    CMatrix u = propagate(hfn, 2, 0.0, 3.0);
+    EXPECT_NEAR(std::abs(u(0, 0) - std::exp(cplx{0.0, -w * 1.5})), 0.0,
+                1e-10);
+}
+
+TEST(PropagatorTest, FourthOrderConvergence)
+{
+    auto hfn = [](double t, CMatrix &h) {
+        const double o = 0.3 * (1.0 - std::cos(kTwoPi * t / 20.0));
+        h(0, 1) = o;
+        h(1, 0) = o;
+    };
+    PropagationOptions fine;
+    fine.dt = 0.002;
+    CMatrix ref = propagate(hfn, 2, 0.0, 20.0, fine);
+
+    auto err = [&](double dt) {
+        PropagationOptions o;
+        o.dt = dt;
+        return la::distance(propagate(hfn, 2, 0.0, 20.0, o), ref);
+    };
+    const double e1 = err(0.2);
+    const double e2 = err(0.1);
+    // Order 4: halving dt shrinks the error ~16x.
+    EXPECT_GT(e1 / e2, 10.0);
+}
+
+TEST(PropagatorTest, TimeWindowOffset)
+{
+    // Integrating over [t0, t1] only sees H on that window.
+    auto hfn = [](double t, CMatrix &h) {
+        const double o = (t >= 5.0) ? 0.4 : 0.0;
+        h(0, 1) = o;
+        h(1, 0) = o;
+    };
+    CMatrix u_early = propagate(hfn, 2, 0.0, 4.9);
+    EXPECT_TRUE(u_early.isIdentity(1e-9));
+}
+
+TEST(DysonTest, FreeEvolutionIntegralIsLinear)
+{
+    // With H = 0, M = int sz dt = T sz.
+    auto hfn = [](double, CMatrix &) {};
+    auto res =
+        propagateWithDyson(hfn, {la::pauliZ()}, 2, 0.0, 7.0);
+    CMatrix expected = 7.0 * la::pauliZ();
+    EXPECT_LT(la::distance(res.firstOrder[0], expected), 1e-9);
+    EXPECT_TRUE(res.u.isIdentity(1e-10));
+}
+
+TEST(DysonTest, SpinEchoCancelsFirstOrder)
+{
+    // A hard pi pulse at T/2 (strong square x drive) echoes sigma_z:
+    // the first-order integral nearly vanishes.
+    const double T = 10.0;
+    const double width = 0.2;
+    const double amp = kPi / 2.0 / width; // theta = 2*amp*width = pi
+    auto hfn = [&](double t, CMatrix &h) {
+        const bool on = std::abs(t - T / 2.0) < width / 2.0;
+        const double o = on ? amp : 0.0;
+        h(0, 1) = o;
+        h(1, 0) = o;
+    };
+    PropagationOptions opt;
+    opt.dt = 0.001;
+    auto res = propagateWithDyson(hfn, {la::pauliZ()}, 2, 0.0, T, opt);
+    // Without the echo the norm would be ~ T * ||sz|| = 14.1.
+    EXPECT_LT(res.firstOrder[0].frobeniusNorm(), 0.5);
+}
+
+TEST(DysonTest, FirstOrderPredictsWeakCouplingError)
+{
+    // For H = H0 + lambda sz with H0 = 0, U = exp(-i lambda T sz);
+    // first-order Dyson reproduces it: U ~ I - i lambda M.
+    const double T = 5.0;
+    auto hfn = [](double, CMatrix &) {};
+    auto res = propagateWithDyson(hfn, {la::pauliZ()}, 2, 0.0, T);
+    const double lambda = 1e-3;
+    CMatrix approx = la::CMatrix::identity(2);
+    CMatrix corr = res.firstOrder[0];
+    corr *= cplx{0.0, -lambda};
+    approx += corr;
+    CMatrix exact = la::expmPropagator(la::pauliZ(), lambda * T);
+    EXPECT_LT(la::distance(approx, exact), 2.0 * lambda * lambda * T * T);
+}
+
+} // namespace
+} // namespace qzz::ode

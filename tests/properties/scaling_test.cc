@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Property tests for the perturbative scaling laws behind Fig. 16.
+ *
+ * With the first-order Dyson term intact (Gaussian pulses), the
+ * suppression infidelity scales as lambda^2; with the first-order
+ * term cancelled (DCG identity, whose echo is exact), the residual
+ * scales as lambda^4.  The log-log slopes are measured over a decade.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "core/dcg.h"
+#include "core/objectives.h"
+#include "core/regions.h"
+#include "linalg/expm.h"
+#include "pulse/library.h"
+
+namespace qzz::core {
+namespace {
+
+/** Fit the log-log slope of infidelity(lambda) over points. */
+double
+slopeOf(const std::function<double(double)> &infid,
+        const std::vector<double> &lambdas)
+{
+    // Least-squares slope in log-log space.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double n = double(lambdas.size());
+    for (double l : lambdas) {
+        const double x = std::log(l);
+        const double y = std::log(std::max(infid(l), 1e-300));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+TEST(ScalingTest, GaussianSxIsQuadraticInLambda)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    const la::CMatrix target = la::expPauli(kPi / 4.0, 0.0, 0.0);
+    auto infid = [&](double l) {
+        return oneQubitCrosstalkInfidelity(p, target, l, {}, 0.02);
+    };
+    const double slope =
+        slopeOf(infid, {khz(50), khz(100), khz(200), khz(400)});
+    EXPECT_NEAR(slope, 2.0, 0.1);
+}
+
+TEST(ScalingTest, GaussianIdentityIsQuadraticInLambda)
+{
+    auto p = pulse::PulseLibrary::gaussian().get(
+        pulse::PulseGate::Identity);
+    auto infid = [&](double l) {
+        return oneQubitCrosstalkInfidelity(p, la::identity2(), l, {},
+                                           0.02);
+    };
+    const double slope =
+        slopeOf(infid, {khz(50), khz(100), khz(200), khz(400)});
+    EXPECT_NEAR(slope, 2.0, 0.1);
+}
+
+TEST(ScalingTest, DcgIdentityIsQuarticInLambda)
+{
+    auto p = dcgIdentity();
+    auto infid = [&](double l) {
+        return oneQubitCrosstalkInfidelity(p, la::identity2(), l, {},
+                                           0.005);
+    };
+    // Larger strengths keep the quartic term above integrator noise.
+    const double slope =
+        slopeOf(infid, {mhz(0.5), mhz(0.75), mhz(1.0), mhz(1.5)});
+    EXPECT_GT(slope, 3.4);
+}
+
+TEST(ScalingTest, IdleQubitAccumulatesLinearPhase)
+{
+    // Sanity anchor for the circuit-level story: an undriven pulse
+    // program (pure idling next to a spectator) has first-order
+    // norm exactly ||sz||_F = sqrt(2) after normalization.
+    auto idle = pulse::PulseProgram::idle(20.0);
+    EXPECT_NEAR(firstOrderCrosstalkNorm(idle, 0.0, 0.01),
+                std::sqrt(2.0), 1e-6);
+}
+
+class GaussianQuadraticSweep
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GaussianQuadraticSweep, LocalQuadraticRatioHolds)
+{
+    // Doubling lambda quadruples the Gaussian infidelity, pointwise
+    // across the sweep (the property behind the Fig. 16 slope).
+    const double l = GetParam();
+    auto p = pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+    const la::CMatrix target = la::expPauli(kPi / 4.0, 0.0, 0.0);
+    const double i1 =
+        oneQubitCrosstalkInfidelity(p, target, l, {}, 0.02);
+    const double i2 =
+        oneQubitCrosstalkInfidelity(p, target, 2.0 * l, {}, 0.02);
+    EXPECT_NEAR(i2 / i1, 4.0, 0.5) << "lambda = " << toKhz(l) << " kHz";
+}
+
+INSTANTIATE_TEST_SUITE_P(LambdaSweep, GaussianQuadraticSweep,
+                         ::testing::Values(khz(25.0), khz(50.0),
+                                           khz(100.0), khz(200.0),
+                                           khz(300.0)));
+
+} // namespace
+} // namespace qzz::core

@@ -1,0 +1,70 @@
+#include "core/dcg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/objectives.h"
+#include "core/regions.h"
+#include "linalg/expm.h"
+#include "linalg/fidelity.h"
+#include "ode/propagator.h"
+
+namespace qzz::core {
+namespace {
+
+TEST(DcgTest, Durations)
+{
+    EXPECT_DOUBLE_EQ(dcgIdentity().duration, 40.0);
+    EXPECT_DOUBLE_EQ(dcgSx().duration, 120.0);
+}
+
+TEST(DcgTest, IdentityImplementsIdentity)
+{
+    // Total rotation 2 pi = identity up to global phase.
+    const double f =
+        gateFidelity(dcgIdentity(), la::identity2(), 0.005);
+    EXPECT_GT(f, 1.0 - 1e-8);
+}
+
+TEST(DcgTest, SxImplementsSqrtX)
+{
+    const la::CMatrix sx = la::expPauli(kPi / 4.0, 0.0, 0.0);
+    const double f = gateFidelity(dcgSx(), sx, 0.005);
+    EXPECT_GT(f, 1.0 - 1e-8);
+}
+
+TEST(DcgTest, IdentityEchoesFirstOrderCrosstalk)
+{
+    // The pi-pi sequence cancels the first-order ZZ term exactly.
+    const double norm = firstOrderCrosstalkNorm(dcgIdentity(), 0.0,
+                                                0.005);
+    EXPECT_LT(norm, 1e-3);
+    // Reference scale: doing nothing leaves norm ~ ||sz|| = sqrt(2).
+    EXPECT_LT(norm, 0.01 * std::sqrt(2.0));
+}
+
+TEST(DcgTest, SxSuppressesCrosstalkVsGaussian)
+{
+    const la::CMatrix sx = la::expPauli(kPi / 4.0, 0.0, 0.0);
+    const double lambda = khz(200.0);
+    const double dcg_infid =
+        oneQubitCrosstalkInfidelity(dcgSx(), sx, lambda, {}, 0.005);
+    // Plain Gaussian SX of the same primitive duration.
+    auto gauss = pulse::PulseLibrary::gaussian().get(
+        pulse::PulseGate::SX);
+    const double gauss_infid =
+        oneQubitCrosstalkInfidelity(gauss, sx, lambda, {}, 0.005);
+    EXPECT_LT(dcg_infid, gauss_infid / 3.0)
+        << "dcg=" << dcg_infid << " gauss=" << gauss_infid;
+}
+
+TEST(DcgTest, LibraryHasNoTwoQubitProgram)
+{
+    pulse::PulseLibrary lib = dcgLibrary();
+    EXPECT_TRUE(lib.has(pulse::PulseGate::SX));
+    EXPECT_TRUE(lib.has(pulse::PulseGate::Identity));
+    EXPECT_FALSE(lib.has(pulse::PulseGate::RZX));
+}
+
+} // namespace
+} // namespace qzz::core

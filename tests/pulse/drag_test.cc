@@ -1,0 +1,60 @@
+#include "pulse/drag.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::pulse {
+namespace {
+
+TEST(DragTest, QuadratureCrossCoupling)
+{
+    auto x = std::make_shared<GaussianWaveform>(0.3, 20.0, 5.0);
+    const double alpha = -mhz(300.0);
+    QuadraturePair out = applyDrag(x, nullptr, alpha);
+    // y' = -x'/alpha, x' unchanged (no original y).
+    for (double t : {4.0, 10.0, 15.0}) {
+        EXPECT_NEAR(out.x->value(t), x->value(t), 1e-12);
+        EXPECT_NEAR(out.y->value(t), -x->derivative(t) / alpha, 1e-9);
+    }
+}
+
+TEST(DragTest, ZeroDerivativeAtPeakGivesZeroCorrection)
+{
+    auto x = std::make_shared<GaussianWaveform>(0.3, 20.0, 5.0);
+    QuadraturePair out = applyDrag(x, nullptr, -mhz(200.0));
+    EXPECT_NEAR(out.y->value(10.0), 0.0, 1e-9);
+}
+
+TEST(DragTest, BothQuadratures)
+{
+    auto x = std::make_shared<GaussianWaveform>(0.2, 20.0, 5.0);
+    auto y = std::make_shared<GaussianWaveform>(0.1, 20.0, 5.0);
+    const double alpha = -mhz(250.0);
+    QuadraturePair out = applyDrag(x, y, alpha);
+    for (double t : {5.0, 12.0}) {
+        EXPECT_NEAR(out.x->value(t),
+                    x->value(t) + y->derivative(t) / alpha, 1e-9);
+        EXPECT_NEAR(out.y->value(t),
+                    y->value(t) - x->derivative(t) / alpha, 1e-9);
+    }
+}
+
+TEST(DragTest, Validation)
+{
+    auto x = std::make_shared<GaussianWaveform>(0.2, 20.0, 5.0);
+    EXPECT_THROW(applyDrag(x, nullptr, 0.0), UserError);
+    EXPECT_THROW(applyDrag(nullptr, nullptr, 1.0), UserError);
+}
+
+TEST(DragTest, DurationPreserved)
+{
+    auto x = std::make_shared<GaussianWaveform>(0.2, 20.0, 5.0);
+    QuadraturePair out = applyDrag(x, nullptr, -1.0);
+    EXPECT_DOUBLE_EQ(out.x->duration(), 20.0);
+    EXPECT_DOUBLE_EQ(out.y->duration(), 20.0);
+}
+
+} // namespace
+} // namespace qzz::pulse

@@ -1,0 +1,80 @@
+#include "pulse/library.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::pulse {
+namespace {
+
+TEST(LibraryTest, GaussianDefaultsPresent)
+{
+    PulseLibrary lib = PulseLibrary::gaussian();
+    EXPECT_EQ(lib.name(), "Gaussian");
+    EXPECT_TRUE(lib.has(PulseGate::SX));
+    EXPECT_TRUE(lib.has(PulseGate::Identity));
+    EXPECT_TRUE(lib.has(PulseGate::RZX));
+}
+
+TEST(LibraryTest, GaussianAreasCalibrated)
+{
+    PulseLibrary lib = PulseLibrary::gaussian();
+    // SX: rotation pi/2 -> x-area pi/4.
+    EXPECT_NEAR(lib.get(PulseGate::SX).x_a->area(), kPi / 4.0, 1e-8);
+    // Identity = Rx(2 pi) -> area pi.
+    EXPECT_NEAR(lib.get(PulseGate::Identity).x_a->area(), kPi, 1e-8);
+    // RZX coupling channel: pi/4.
+    EXPECT_NEAR(lib.get(PulseGate::RZX).coupling->area(), kPi / 4.0,
+                1e-8);
+}
+
+TEST(LibraryTest, DurationsMatchConfiguredGateTime)
+{
+    PulseLibrary lib = PulseLibrary::gaussian(32.0);
+    EXPECT_DOUBLE_EQ(lib.get(PulseGate::SX).duration, 32.0);
+    EXPECT_DOUBLE_EQ(lib.get(PulseGate::RZX).duration, 32.0);
+}
+
+TEST(LibraryTest, MissingGateIsFatal)
+{
+    PulseLibrary lib("empty");
+    EXPECT_THROW(lib.get(PulseGate::SX), UserError);
+    EXPECT_FALSE(lib.has(PulseGate::SX));
+}
+
+TEST(LibraryTest, SetOverridesProgram)
+{
+    PulseLibrary lib("custom");
+    auto wf = std::make_shared<GaussianWaveform>(0.1, 10.0, 2.5);
+    lib.set(PulseGate::SX, PulseProgram::singleQubit(wf, nullptr));
+    EXPECT_DOUBLE_EQ(lib.get(PulseGate::SX).duration, 10.0);
+}
+
+TEST(LibraryTest, TwoQubitProgramShape)
+{
+    PulseLibrary lib = PulseLibrary::gaussian();
+    const PulseProgram &rzx = lib.get(PulseGate::RZX);
+    EXPECT_TRUE(rzx.two_qubit);
+    EXPECT_NE(rzx.coupling, nullptr);
+    const PulseProgram &sx = lib.get(PulseGate::SX);
+    EXPECT_FALSE(sx.two_qubit);
+}
+
+TEST(LibraryTest, ScaledProgram)
+{
+    PulseLibrary lib = PulseLibrary::gaussian();
+    PulseProgram scaled = lib.get(PulseGate::SX).scaled(1.001);
+    EXPECT_NEAR(scaled.x_a->area(),
+                lib.get(PulseGate::SX).x_a->area() * 1.001, 1e-9);
+}
+
+TEST(LibraryTest, GateNames)
+{
+    EXPECT_EQ(pulseGateName(PulseGate::SX), "Rx(pi/2)");
+    EXPECT_EQ(pulseGateName(PulseGate::Identity), "I");
+    EXPECT_EQ(pulseGateName(PulseGate::RZX), "Rzx(pi/2)");
+}
+
+} // namespace
+} // namespace qzz::pulse

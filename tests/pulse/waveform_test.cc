@@ -1,0 +1,117 @@
+#include "pulse/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::pulse {
+namespace {
+
+TEST(GaussianTest, ZeroAtBoundaries)
+{
+    GaussianWaveform g(0.5, 20.0, 5.0);
+    EXPECT_NEAR(g.value(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(g.value(20.0), 0.0, 1e-12);
+    EXPECT_NEAR(g.value(10.0), 0.5, 1e-12); // peak at center
+    EXPECT_EQ(g.value(-1.0), 0.0);
+    EXPECT_EQ(g.value(21.0), 0.0);
+}
+
+TEST(GaussianTest, AreaCalibration)
+{
+    auto g = GaussianWaveform::withArea(kPi / 4.0, 20.0, 5.0);
+    EXPECT_NEAR(g.area(), kPi / 4.0, 1e-9);
+}
+
+TEST(GaussianTest, DerivativeMatchesNumerical)
+{
+    GaussianWaveform g(0.3, 20.0, 5.0);
+    for (double t : {3.0, 7.5, 10.0, 16.0}) {
+        const double h = 1e-5;
+        const double num = (g.value(t + h) - g.value(t - h)) / (2 * h);
+        EXPECT_NEAR(g.derivative(t), num, 1e-6);
+    }
+}
+
+TEST(FourierTest, ZeroAtBoundaries)
+{
+    FourierWaveform f({0.1, -0.05, 0.02, 0.0, 0.01}, 20.0);
+    EXPECT_NEAR(f.value(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(f.value(20.0), 0.0, 1e-12);
+}
+
+TEST(FourierTest, ExactAreaMatchesNumeric)
+{
+    FourierWaveform f({0.1, -0.05, 0.02}, 20.0);
+    EXPECT_NEAR(f.exactArea(), f.area(), 1e-9);
+    EXPECT_NEAR(f.exactArea(), 20.0 / 2.0 * (0.1 - 0.05 + 0.02), 1e-12);
+}
+
+TEST(FourierTest, SingleHarmonicShape)
+{
+    // A_1 only: Omega(t) = A/2 (1 - cos(2 pi t / T)), peak A at T/2.
+    FourierWaveform f({0.2}, 10.0);
+    EXPECT_NEAR(f.value(5.0), 0.2, 1e-12);
+    EXPECT_NEAR(f.value(2.5), 0.1, 1e-12);
+}
+
+TEST(FourierTest, DerivativeMatchesNumerical)
+{
+    FourierWaveform f({0.1, 0.07, -0.03}, 20.0);
+    for (double t : {1.0, 8.0, 13.0, 19.0}) {
+        const double h = 1e-5;
+        const double num = (f.value(t + h) - f.value(t - h)) / (2 * h);
+        EXPECT_NEAR(f.derivative(t), num, 1e-6);
+    }
+}
+
+TEST(SequenceTest, ConcatenatesSegments)
+{
+    auto a = std::make_shared<ConstantWaveform>(1.0, 2.0);
+    auto b = std::make_shared<ConstantWaveform>(-2.0, 3.0);
+    SequenceWaveform seq({a, b});
+    EXPECT_DOUBLE_EQ(seq.duration(), 5.0);
+    EXPECT_DOUBLE_EQ(seq.value(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(seq.value(3.0), -2.0);
+    EXPECT_DOUBLE_EQ(seq.value(6.0), 0.0);
+}
+
+TEST(SequenceTest, AreaAdds)
+{
+    auto a = std::make_shared<ConstantWaveform>(1.0, 2.0);
+    auto b = std::make_shared<ConstantWaveform>(2.0, 1.0);
+    SequenceWaveform seq({a, b});
+    // Simpson over the step discontinuity converges only linearly.
+    EXPECT_NEAR(seq.area(8001), 4.0, 1e-2);
+}
+
+TEST(ScaledTest, ScalesValueAndDerivative)
+{
+    auto base = std::make_shared<GaussianWaveform>(0.4, 20.0, 5.0);
+    ScaledWaveform s(base, 0.5);
+    EXPECT_NEAR(s.value(10.0), 0.2, 1e-12);
+    EXPECT_NEAR(s.derivative(7.0), 0.5 * base->derivative(7.0), 1e-12);
+    auto neg = negate(base);
+    EXPECT_NEAR(neg->value(10.0), -0.4, 1e-12);
+}
+
+TEST(ZeroTest, AlwaysZero)
+{
+    ZeroWaveform z(15.0);
+    EXPECT_EQ(z.value(7.0), 0.0);
+    EXPECT_EQ(z.duration(), 15.0);
+    EXPECT_NEAR(z.area(), 0.0, 1e-15);
+}
+
+TEST(WaveformTest, ValidationErrors)
+{
+    EXPECT_THROW(GaussianWaveform(1.0, -5.0, 1.0), UserError);
+    EXPECT_THROW(FourierWaveform({}, 20.0), UserError);
+    EXPECT_THROW(SequenceWaveform({}), UserError);
+}
+
+} // namespace
+} // namespace qzz::pulse

@@ -1,0 +1,85 @@
+#include "sim/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace qzz::sim {
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>>
+makeSinusoid(double f, double amp, double phase, double offset,
+             double t_max, int n)
+{
+    std::vector<double> t, y;
+    for (int i = 0; i < n; ++i) {
+        const double ti = t_max * double(i) / double(n - 1);
+        t.push_back(ti);
+        y.push_back(offset + amp * std::cos(kTwoPi * f * ti + phase));
+    }
+    return {t, y};
+}
+
+TEST(FittingTest, RecoversFrequencyExactly)
+{
+    auto [t, y] = makeSinusoid(1e-3, 0.5, 0.3, 0.5, 8000.0, 400);
+    auto fit = fitSinusoid(t, y, 0.0, 3e-3);
+    EXPECT_NEAR(fit.frequency, 1e-3, 1e-8);
+    EXPECT_NEAR(fit.amplitude, 0.5, 1e-6);
+    EXPECT_NEAR(fit.offset, 0.5, 1e-6);
+    EXPECT_LT(fit.rms_residual, 1e-6);
+}
+
+TEST(FittingTest, ResolvesCloseFrequencies)
+{
+    // Two fits 10 kHz apart (in GHz units: 1e-5) must be separable.
+    auto [t1, y1] = makeSinusoid(1.00e-3, 0.5, 0.0, 0.5, 50000.0, 500);
+    auto [t2, y2] = makeSinusoid(1.01e-3, 0.5, 0.0, 0.5, 50000.0, 500);
+    auto f1 = fitSinusoid(t1, y1, 0.0, 3e-3);
+    auto f2 = fitSinusoid(t2, y2, 0.0, 3e-3);
+    EXPECT_NEAR((f2.frequency - f1.frequency) * 1e6, 10.0, 0.5);
+}
+
+TEST(FittingTest, PhaseRecovered)
+{
+    auto [t, y] = makeSinusoid(2e-3, 1.0, 1.1, 0.0, 5000.0, 300);
+    auto fit = fitSinusoid(t, y, 1e-3, 3e-3);
+    EXPECT_NEAR(std::remainder(fit.phase - 1.1, kTwoPi), 0.0, 1e-4);
+}
+
+TEST(FittingTest, HandlesZeroFrequency)
+{
+    std::vector<double> t, y;
+    for (int i = 0; i < 100; ++i) {
+        t.push_back(double(i));
+        y.push_back(0.7);
+    }
+    auto fit = fitSinusoid(t, y, 0.0, 1e-2);
+    EXPECT_NEAR(fit.amplitude * std::cos(fit.phase) + fit.offset, 0.7,
+                1e-6);
+    EXPECT_LT(fit.rms_residual, 1e-9);
+}
+
+TEST(FittingTest, RobustToSmallModelMismatch)
+{
+    auto [t, y] = makeSinusoid(1e-3, 0.5, 0.0, 0.5, 10000.0, 400);
+    // Inject a slow quadratic drift.
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] += 1e-3 * (t[i] / 10000.0) * (t[i] / 10000.0);
+    auto fit = fitSinusoid(t, y, 0.0, 3e-3);
+    EXPECT_NEAR(fit.frequency, 1e-3, 1e-6);
+}
+
+TEST(FittingTest, InputValidation)
+{
+    std::vector<double> t{1, 2, 3}, y{1, 2, 3};
+    EXPECT_THROW(fitSinusoid(t, y, 0.0, 1.0), UserError);
+    auto [tt, yy] = makeSinusoid(1e-3, 1, 0, 0, 100.0, 50);
+    EXPECT_THROW(fitSinusoid(tt, yy, 1.0, 0.5), UserError);
+}
+
+} // namespace
+} // namespace qzz::sim

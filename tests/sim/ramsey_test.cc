@@ -1,0 +1,89 @@
+#include "sim/ramsey.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "core/dcg.h"
+
+namespace qzz::sim {
+namespace {
+
+RamseyConfig
+baseConfig(const pulse::PulseLibrary &lib)
+{
+    RamseyConfig cfg;
+    // lambda/2pi = 50 kHz per coupling -> measured ZZ ~ 200 kHz.
+    cfg.lambda12 = khz(50.0);
+    cfg.lambda23 = khz(50.0);
+    cfg.library = &lib;
+    cfg.segments = 300;
+    cfg.dt = 0.02;
+    return cfg;
+}
+
+TEST(RamseyTest, TraceOscillatesNearDetuning)
+{
+    static const pulse::PulseLibrary lib =
+        pulse::PulseLibrary::gaussian();
+    RamseyConfig cfg = baseConfig(lib);
+    RamseyTrace trace = runRamsey(cfg);
+    ASSERT_EQ(trace.p1.size(), size_t(cfg.segments) + 1);
+    // Population stays in [0, 1].
+    for (double p : trace.p1) {
+        EXPECT_GE(p, -1e-9);
+        EXPECT_LE(p, 1.0 + 1e-9);
+    }
+    // Frequency near the 1 MHz software detuning (shifted by ZZ).
+    EXPECT_NEAR(trace.frequency, 1e-3, 0.3e-3);
+}
+
+TEST(RamseyTest, BaselineMeasuresFullZzStrength)
+{
+    static const pulse::PulseLibrary lib =
+        pulse::PulseLibrary::gaussian();
+    RamseyConfig cfg = baseConfig(lib);
+    cfg.circuit = RamseyCircuit::A;
+    ZzMeasurement zz = measureEffectiveZz(cfg, true, false);
+    // H = lambda sz sz shifts the Q2 frequency by +-2 lambda, so the
+    // difference is 4 lambda / 2 pi = 4 * 50 kHz = 200 kHz.
+    EXPECT_NEAR(zz.zz_khz, 200.0, 20.0);
+}
+
+TEST(RamseyTest, BothNeighborsDoubleTheShift)
+{
+    static const pulse::PulseLibrary lib =
+        pulse::PulseLibrary::gaussian();
+    RamseyConfig cfg = baseConfig(lib);
+    ZzMeasurement zz = measureEffectiveZz(cfg, true, true);
+    EXPECT_NEAR(zz.zz_khz, 400.0, 40.0);
+}
+
+TEST(RamseyTest, DcgIdentityOnQ2SuppressesZz)
+{
+    static const pulse::PulseLibrary lib = core::dcgLibrary();
+    RamseyConfig cfg = baseConfig(lib);
+    cfg.circuit = RamseyCircuit::B;
+    ZzMeasurement zz = measureEffectiveZz(cfg, true, false);
+    // The paper's headline: ~200 kHz -> < 11 kHz.
+    EXPECT_LT(zz.zz_khz, 11.0);
+}
+
+TEST(RamseyTest, DcgIdentityOnNeighborsSuppressesZz)
+{
+    static const pulse::PulseLibrary lib = core::dcgLibrary();
+    RamseyConfig cfg = baseConfig(lib);
+    cfg.circuit = RamseyCircuit::C;
+    ZzMeasurement zz = measureEffectiveZz(cfg, true, true);
+    EXPECT_LT(zz.zz_khz, 22.0);
+}
+
+TEST(RamseyTest, RequiresLibrary)
+{
+    RamseyConfig cfg;
+    cfg.segments = 100;
+    EXPECT_THROW(runRamsey(cfg), UserError);
+}
+
+} // namespace
+} // namespace qzz::sim

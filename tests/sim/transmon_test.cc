@@ -1,0 +1,106 @@
+#include "sim/transmon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "linalg/expm.h"
+#include "pulse/drag.h"
+#include "pulse/library.h"
+
+namespace qzz::sim {
+namespace {
+
+const la::CMatrix &
+sxTarget()
+{
+    static const la::CMatrix m = la::expPauli(kPi / 4.0, 0.0, 0.0);
+    return m;
+}
+
+pulse::PulseProgram
+gaussianSx()
+{
+    return pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX);
+}
+
+pulse::PulseProgram
+withDrag(const pulse::PulseProgram &p, double alpha)
+{
+    auto pair = pulse::applyDrag(p.x_a, p.y_a, alpha);
+    return pulse::PulseProgram::singleQubit(pair.x, pair.y);
+}
+
+TEST(TransmonTest, LeakageVisibleWithoutDrag)
+{
+    TransmonConfig cfg;
+    cfg.anharmonicity = -mhz(300.0);
+    cfg.lambda = 0.0;
+    const double infid =
+        transmonCrosstalkInfidelity(gaussianSx(), sxTarget(), cfg);
+    // A plain 20 ns Gaussian leaks noticeably at -300 MHz.
+    EXPECT_GT(infid, 2e-6); // pure leakage, frame-calibrated
+}
+
+TEST(TransmonTest, DragReducesLeakage)
+{
+    TransmonConfig cfg;
+    cfg.anharmonicity = -mhz(300.0);
+    cfg.lambda = 0.0;
+    const double bare =
+        transmonCrosstalkInfidelity(gaussianSx(), sxTarget(), cfg);
+    const double dragged = transmonCrosstalkInfidelity(
+        withDrag(gaussianSx(), cfg.anharmonicity), sxTarget(), cfg);
+    EXPECT_LT(dragged, bare / 5.0);
+}
+
+TEST(TransmonTest, SmallerAnharmonicityLeaksMore)
+{
+    TransmonConfig narrow;
+    narrow.anharmonicity = -mhz(200.0);
+    TransmonConfig wide;
+    wide.anharmonicity = -mhz(400.0);
+    const double i_narrow =
+        transmonCrosstalkInfidelity(gaussianSx(), sxTarget(), narrow);
+    const double i_wide =
+        transmonCrosstalkInfidelity(gaussianSx(), sxTarget(), wide);
+    EXPECT_GT(i_narrow, i_wide);
+}
+
+TEST(TransmonTest, CrosstalkAddsOnTopOfLeakage)
+{
+    TransmonConfig cfg;
+    cfg.anharmonicity = -mhz(300.0);
+    cfg.lambda = 0.0;
+    const double base =
+        transmonCrosstalkInfidelity(gaussianSx(), sxTarget(), cfg);
+    cfg.lambda = mhz(1.0);
+    const double with_zz =
+        transmonCrosstalkInfidelity(gaussianSx(), sxTarget(), cfg);
+    EXPECT_GT(with_zz, base);
+}
+
+TEST(TransmonTest, TwoLevelLimitMatchesQubitModel)
+{
+    // With large anharmonicity the 5-level result approaches the
+    // ideal two-level gate: tiny infidelity at lambda = 0.  (The step
+    // must resolve the fast anharmonic phases, hence dt = 0.001.)
+    TransmonConfig cfg;
+    cfg.anharmonicity = -mhz(3000.0);
+    cfg.lambda = 0.0;
+    const double infid = transmonCrosstalkInfidelity(
+        gaussianSx(), sxTarget(), cfg, 0.001);
+    EXPECT_LT(infid, 1e-5);
+}
+
+TEST(TransmonTest, ValidatesConfig)
+{
+    TransmonConfig cfg;
+    cfg.levels = 2;
+    EXPECT_THROW(
+        transmonCrosstalkInfidelity(gaussianSx(), sxTarget(), cfg),
+        UserError);
+}
+
+} // namespace
+} // namespace qzz::sim
