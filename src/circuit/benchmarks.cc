@@ -150,13 +150,13 @@ googleRandom(int n, int depth, Rng &rng)
                 pick = (pick + 1) % 3;
             last[q] = pick;
             switch (pick) {
-              case 0:
+            case 0:
                 c.sx(q);
                 break;
-              case 1:
+            case 1:
                 c.ry(q, kPi / 2.0);
                 break;
-              default:
+            default:
                 c.t(q);
                 break;
             }

@@ -57,66 +57,66 @@ emitNative(const Gate &g, QuantumCircuit &out)
     auto p = [&](size_t i) { return g.params[i]; };
 
     switch (g.kind) {
-      case GateKind::SX:
-      case GateKind::I:
-      case GateKind::RZ:
+    case GateKind::SX:
+    case GateKind::I:
+    case GateKind::RZ:
         out.add(g);
         return;
-      case GateKind::RZX:
+    case GateKind::RZX:
         require(std::abs(p(0) - kPi / 2.0) < 1e-12,
                 "emitNative: only RZX(pi/2) is native");
         out.add(g);
         return;
 
-      case GateKind::Z:
+    case GateKind::Z:
         out.rz(q0, kPi);
         return;
-      case GateKind::S:
+    case GateKind::S:
         out.rz(q0, kPi / 2.0);
         return;
-      case GateKind::SDG:
+    case GateKind::SDG:
         out.rz(q0, -kPi / 2.0);
         return;
-      case GateKind::T:
+    case GateKind::T:
         out.rz(q0, kPi / 4.0);
         return;
-      case GateKind::TDG:
+    case GateKind::TDG:
         out.rz(q0, -kPi / 4.0);
         return;
 
-      case GateKind::X:
+    case GateKind::X:
         out.sx(q0);
         out.sx(q0);
         return;
-      case GateKind::Y:
+    case GateKind::Y:
         emitU3(q0, kPi, kPi / 2.0, kPi / 2.0, out);
         return;
-      case GateKind::H:
+    case GateKind::H:
         // H ~ RZ(pi/2) SX RZ(pi/2) up to global phase.
         out.rz(q0, kPi / 2.0);
         out.sx(q0);
         out.rz(q0, kPi / 2.0);
         return;
-      case GateKind::RX:
+    case GateKind::RX:
         emitU3(q0, p(0), -kPi / 2.0, kPi / 2.0, out);
         return;
-      case GateKind::RY:
+    case GateKind::RY:
         emitU3(q0, p(0), 0.0, 0.0, out);
         return;
-      case GateKind::U3:
+    case GateKind::U3:
         emitU3(q0, p(0), p(1), p(2), out);
         return;
 
-      case GateKind::CX:
+    case GateKind::CX:
         emitCx(q0, q1, out);
         return;
-      case GateKind::CZ:
+    case GateKind::CZ:
         // CZ = (I (x) H) CX (I (x) H).
         emitNative({GateKind::H, {q1}}, out);
         emitCx(q0, q1, out);
         emitNative({GateKind::H, {q1}}, out);
         return;
-      case GateKind::CP: {
+    case GateKind::CP: {
         // CP(th) ~ RZ(th/2)_a RZ(th/2)_b CX (I (x) RZ(-th/2)) CX.
         const double th = p(0);
         emitCx(q0, q1, out);
@@ -125,15 +125,15 @@ emitNative(const Gate &g, QuantumCircuit &out)
         out.rz(q0, wrapAngle(th / 2.0));
         out.rz(q1, wrapAngle(th / 2.0));
         return;
-      }
-      case GateKind::RZZ: {
+    }
+    case GateKind::RZZ: {
         const double th = p(0);
         emitCx(q0, q1, out);
         out.rz(q1, wrapAngle(th));
         emitCx(q0, q1, out);
         return;
-      }
-      case GateKind::SWAP:
+    }
+    case GateKind::SWAP:
         emitCx(q0, q1, out);
         emitCx(q1, q0, out);
         emitCx(q0, q1, out);

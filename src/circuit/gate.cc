@@ -17,14 +17,14 @@ bool
 Gate::isNative() const
 {
     switch (kind) {
-      case GateKind::SX:
-      case GateKind::I:
-      case GateKind::RZ:
+    case GateKind::SX:
+    case GateKind::I:
+    case GateKind::RZ:
         return true;
-      case GateKind::RZX:
+    case GateKind::RZX:
         return params.size() == 1 &&
                std::abs(params[0] - kPi / 2.0) < 1e-12;
-      default:
+    default:
         return false;
     }
 }
@@ -51,45 +51,45 @@ std::string
 gateKindName(GateKind k)
 {
     switch (k) {
-      case GateKind::SX:
+    case GateKind::SX:
         return "SX";
-      case GateKind::I:
+    case GateKind::I:
         return "I";
-      case GateKind::RZX:
+    case GateKind::RZX:
         return "RZX";
-      case GateKind::RZ:
+    case GateKind::RZ:
         return "RZ";
-      case GateKind::X:
+    case GateKind::X:
         return "X";
-      case GateKind::Y:
+    case GateKind::Y:
         return "Y";
-      case GateKind::Z:
+    case GateKind::Z:
         return "Z";
-      case GateKind::H:
+    case GateKind::H:
         return "H";
-      case GateKind::S:
+    case GateKind::S:
         return "S";
-      case GateKind::SDG:
+    case GateKind::SDG:
         return "SDG";
-      case GateKind::T:
+    case GateKind::T:
         return "T";
-      case GateKind::TDG:
+    case GateKind::TDG:
         return "TDG";
-      case GateKind::RX:
+    case GateKind::RX:
         return "RX";
-      case GateKind::RY:
+    case GateKind::RY:
         return "RY";
-      case GateKind::U3:
+    case GateKind::U3:
         return "U3";
-      case GateKind::CX:
+    case GateKind::CX:
         return "CX";
-      case GateKind::CZ:
+    case GateKind::CZ:
         return "CZ";
-      case GateKind::CP:
+    case GateKind::CP:
         return "CP";
-      case GateKind::RZZ:
+    case GateKind::RZZ:
         return "RZZ";
-      case GateKind::SWAP:
+    case GateKind::SWAP:
         return "SWAP";
     }
     return "?";
@@ -99,14 +99,14 @@ int
 gateArity(GateKind k)
 {
     switch (k) {
-      case GateKind::RZX:
-      case GateKind::CX:
-      case GateKind::CZ:
-      case GateKind::CP:
-      case GateKind::RZZ:
-      case GateKind::SWAP:
+    case GateKind::RZX:
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::CP:
+    case GateKind::RZZ:
+    case GateKind::SWAP:
         return 2;
-      default:
+    default:
         return 1;
     }
 }
@@ -155,59 +155,59 @@ gateMatrix(const Gate &g)
         return g.params[i];
     };
     switch (g.kind) {
-      case GateKind::SX:
+    case GateKind::SX:
         return rx(kPi / 2.0);
-      case GateKind::I:
+    case GateKind::I:
         return CMatrix::identity(2);
-      case GateKind::RZ:
+    case GateKind::RZ:
         return rz(p(0));
-      case GateKind::X:
+    case GateKind::X:
         return la::pauliX();
-      case GateKind::Y:
+    case GateKind::Y:
         return la::pauliY();
-      case GateKind::Z:
+    case GateKind::Z:
         return la::pauliZ();
-      case GateKind::H: {
+    case GateKind::H: {
         const double r = 1.0 / std::sqrt(2.0);
         return CMatrix{{r, r}, {r, -r}};
-      }
-      case GateKind::S:
+    }
+    case GateKind::S:
         return CMatrix{{1.0, 0.0}, {0.0, kI}};
-      case GateKind::SDG:
+    case GateKind::SDG:
         return CMatrix{{1.0, 0.0}, {0.0, -kI}};
-      case GateKind::T:
+    case GateKind::T:
         return CMatrix{{1.0, 0.0}, {0.0, std::exp(kI * kPi / 4.0)}};
-      case GateKind::TDG:
+    case GateKind::TDG:
         return CMatrix{{1.0, 0.0}, {0.0, std::exp(-kI * kPi / 4.0)}};
-      case GateKind::RX:
+    case GateKind::RX:
         return rx(p(0));
-      case GateKind::RY:
+    case GateKind::RY:
         return ry(p(0));
-      case GateKind::U3:
+    case GateKind::U3:
         return u3(p(0), p(1), p(2));
-      case GateKind::RZX:
+    case GateKind::RZX:
         // exp(-i theta/2 Z (x) X), first qubit = Z factor.
         return la::expInvolutory(kron(la::pauliZ(), la::pauliX()),
                                  p(0) / 2.0);
-      case GateKind::CX:
+    case GateKind::CX:
         return CMatrix{{1, 0, 0, 0},
                        {0, 1, 0, 0},
                        {0, 0, 0, 1},
                        {0, 0, 1, 0}};
-      case GateKind::CZ:
+    case GateKind::CZ:
         return CMatrix{{1, 0, 0, 0},
                        {0, 1, 0, 0},
                        {0, 0, 1, 0},
                        {0, 0, 0, -1}};
-      case GateKind::CP: {
+    case GateKind::CP: {
         CMatrix m = CMatrix::identity(4);
         m(3, 3) = std::exp(kI * p(0));
         return m;
-      }
-      case GateKind::RZZ:
+    }
+    case GateKind::RZZ:
         return la::expInvolutory(kron(la::pauliZ(), la::pauliZ()),
                                  p(0) / 2.0);
-      case GateKind::SWAP:
+    case GateKind::SWAP:
         return CMatrix{{1, 0, 0, 0},
                        {0, 0, 1, 0},
                        {0, 1, 0, 0},

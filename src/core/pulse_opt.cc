@@ -1,12 +1,15 @@
 #include "core/pulse_opt.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <random>
 #include <sstream>
+#include <thread>
 
 #include "circuit/gate.h"
 #include "common/error.h"
@@ -25,13 +28,13 @@ std::string
 pulseMethodName(PulseMethod m)
 {
     switch (m) {
-      case PulseMethod::Gaussian:
+    case PulseMethod::Gaussian:
         return "Gaussian";
-      case PulseMethod::OptCtrl:
+    case PulseMethod::OptCtrl:
         return "OptCtrl";
-      case PulseMethod::Pert:
+    case PulseMethod::Pert:
         return "Pert";
-      case PulseMethod::DCG:
+    case PulseMethod::DCG:
         return "DCG";
     }
     return "?";
@@ -44,12 +47,12 @@ CMatrix
 targetMatrix(PulseGate gate)
 {
     switch (gate) {
-      case PulseGate::SX:
+    case PulseGate::SX:
         return ckt::gateMatrix({ckt::GateKind::SX, {0}});
-      case PulseGate::Identity:
+    case PulseGate::Identity:
         // I = Rx(2 pi) = -I2; average gate fidelity ignores the phase.
         return la::identity2();
-      case PulseGate::RZX:
+    case PulseGate::RZX:
         return ckt::gateMatrix({ckt::GateKind::RZX, {0, 1}, {kPi / 2.0}});
     }
     panic("targetMatrix: unknown gate");
@@ -92,13 +95,13 @@ initialParams(PulseGate gate, int harmonics, double t_gate, Rng &rng,
     // The Fourier area is (T/2) * sum(A_j); rotation angle = 2 * area.
     const double unit = kPi / (2.0 * t_gate); // area pi/4 on A_1
     switch (gate) {
-      case PulseGate::SX:
+    case PulseGate::SX:
         p[0] = 2.0 * unit; // theta = pi/2
         break;
-      case PulseGate::Identity:
+    case PulseGate::Identity:
         p[0] = 8.0 * unit; // theta = 2 pi
         break;
-      case PulseGate::RZX:
+    case PulseGate::RZX:
         // Coupling channel carries the pi/4 ZX area; an initial pi
         // rotation on the control echoes its spectators (echoed
         // cross-resonance), giving the optimizer a good basin.
@@ -131,13 +134,13 @@ cacheKey(PulseMethod method, PulseGate gate, const PulseOptConfig &cfg)
     std::ostringstream ss;
     ss << "v4_" << pulseMethodName(method) << "_";
     switch (gate) {
-      case PulseGate::SX:
+    case PulseGate::SX:
         ss << "sx";
         break;
-      case PulseGate::Identity:
+    case PulseGate::Identity:
         ss << "id";
         break;
-      case PulseGate::RZX:
+    case PulseGate::RZX:
         ss << "rzx";
         break;
     }
@@ -146,10 +149,11 @@ cacheKey(PulseMethod method, PulseGate gate, const PulseOptConfig &cfg)
 }
 
 bool
-loadCoeffs(const std::string &key, int nch, int harmonics,
-           std::vector<std::vector<double>> &out)
+loadCoeffsFrom(const std::filesystem::path &dir, const std::string &key,
+               int nch, int harmonics,
+               std::vector<std::vector<double>> &out)
 {
-    std::ifstream in(cacheDir() / (key + ".txt"));
+    std::ifstream in(dir / (key + ".txt"));
     if (!in)
         return false;
     out.assign(size_t(nch), std::vector<double>(size_t(harmonics), 0.0));
@@ -160,6 +164,22 @@ loadCoeffs(const std::string &key, int nch, int harmonics,
     return true;
 }
 
+bool
+loadCoeffs(const std::string &key, int nch, int harmonics,
+           std::vector<std::vector<double>> &out)
+{
+    if (loadCoeffsFrom(cacheDir(), key, nch, harmonics, out))
+        return true;
+#ifdef QZZ_SEED_CACHE_DIR
+    // Factory calibration committed with the repository: spares cold
+    // builds the multi-minute Adam optimization for the default keys.
+    return loadCoeffsFrom(std::filesystem::path(QZZ_SEED_CACHE_DIR), key,
+                          nch, harmonics, out);
+#else
+    return false;
+#endif
+}
+
 void
 storeCoeffs(const std::string &key,
             const std::vector<std::vector<double>> &coeffs)
@@ -168,15 +188,37 @@ storeCoeffs(const std::string &key,
     std::filesystem::create_directories(cacheDir(), ec);
     if (ec)
         return; // cache is best-effort
-    std::ofstream out(cacheDir() / (key + ".txt"));
-    if (!out)
-        return;
-    out.precision(17);
-    for (const auto &ch : coeffs) {
-        for (double v : ch)
-            out << v << " ";
-        out << "\n";
+    // Write to a writer-private temp file and rename into place so
+    // concurrent writers (ctest -j runs many optimizing processes at
+    // once) can never leave a torn file behind.  The suffix combines
+    // a per-process random tag, the thread id, and a counter so no
+    // two writers ever share a temp path.
+    static const unsigned process_tag = std::random_device{}();
+    static std::atomic<unsigned> store_counter{0};
+    const auto suffix =
+        std::to_string(process_tag) + "." +
+        std::to_string(
+            std::hash<std::thread::id>{}(std::this_thread::get_id())) +
+        "." + std::to_string(store_counter.fetch_add(1));
+    const auto tmp = cacheDir() / (key + ".tmp." + suffix);
+    bool ok;
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return;
+        out.precision(17);
+        for (const auto &ch : coeffs) {
+            for (double v : ch)
+                out << v << " ";
+            out << "\n";
+        }
+        out.flush();
+        ok = out.good();
     }
+    if (ok)
+        std::filesystem::rename(tmp, cacheDir() / (key + ".txt"), ec);
+    if (!ok || ec)
+        std::filesystem::remove(tmp, ec);
 }
 
 } // namespace
@@ -389,14 +431,14 @@ getPulseLibrary(PulseMethod method)
 
     pulse::PulseLibrary lib;
     switch (method) {
-      case PulseMethod::Gaussian:
+    case PulseMethod::Gaussian:
         lib = pulse::PulseLibrary::gaussian();
         break;
-      case PulseMethod::DCG:
+    case PulseMethod::DCG:
         lib = dcgLibrary();
         break;
-      case PulseMethod::OptCtrl:
-      case PulseMethod::Pert:
+    case PulseMethod::OptCtrl:
+    case PulseMethod::Pert:
         lib = buildOptimizedLibrary(method);
         break;
     }

@@ -10,15 +10,15 @@ double
 GateDurations::of(const ckt::Gate &g) const
 {
     switch (g.kind) {
-      case ckt::GateKind::SX:
+    case ckt::GateKind::SX:
         return sx;
-      case ckt::GateKind::I:
+    case ckt::GateKind::I:
         return identity;
-      case ckt::GateKind::RZX:
+    case ckt::GateKind::RZX:
         return rzx;
-      case ckt::GateKind::RZ:
+    case ckt::GateKind::RZ:
         return 0.0;
-      default:
+    default:
         fatal("GateDurations::of: non-native gate " + g.toString());
     }
 }

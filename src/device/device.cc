@@ -42,15 +42,15 @@ Device::gridDimsForQubits(int n)
 {
     require(n >= 1, "gridDimsForQubits: bad qubit count");
     switch (n) {
-      case 4:
+    case 4:
         return {2, 2};
-      case 6:
+    case 6:
         return {2, 3};
-      case 9:
+    case 9:
         return {3, 3};
-      case 12:
+    case 12:
         return {3, 4};
-      default:
+    default:
         break;
     }
     int best_r = 1;

@@ -9,11 +9,11 @@ std::string
 pulseGateName(PulseGate g)
 {
     switch (g) {
-      case PulseGate::SX:
+    case PulseGate::SX:
         return "Rx(pi/2)";
-      case PulseGate::Identity:
+    case PulseGate::Identity:
         return "I";
-      case PulseGate::RZX:
+    case PulseGate::RZX:
         return "Rzx(pi/2)";
     }
     return "?";

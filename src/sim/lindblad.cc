@@ -34,13 +34,13 @@ PulseGate
 pulseGateOf(const ckt::Gate &g)
 {
     switch (g.kind) {
-      case ckt::GateKind::SX:
+    case ckt::GateKind::SX:
         return PulseGate::SX;
-      case ckt::GateKind::I:
+    case ckt::GateKind::I:
         return PulseGate::Identity;
-      case ckt::GateKind::RZX:
+    case ckt::GateKind::RZX:
         return PulseGate::RZX;
-      default:
+    default:
         fatal("lindblad simulator: gate has no pulses: " + g.toString());
     }
 }

@@ -109,14 +109,14 @@ runRamsey(const RamseyConfig &cfg)
     const PulseProgram *idle_progs[3] = {nullptr, nullptr, nullptr};
     double t_seg = idp.duration;
     switch (cfg.circuit) {
-      case RamseyCircuit::A:
+    case RamseyCircuit::A:
         // True idling; use the same segment length as the identity
         // pulse so tau grids are comparable.
         break;
-      case RamseyCircuit::B:
+    case RamseyCircuit::B:
         idle_progs[1] = &idp;
         break;
-      case RamseyCircuit::C:
+    case RamseyCircuit::C:
         idle_progs[0] = &idp;
         idle_progs[2] = &idp;
         break;

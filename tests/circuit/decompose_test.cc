@@ -83,10 +83,11 @@ TEST(DecomposeTest, OnlyAdjacentPairsTouched)
     c.cx(0, 2);
     QuantumCircuit native = decomposeToNative(c);
     for (const Gate &g : native.gates())
-        if (g.isTwoQubit())
+        if (g.isTwoQubit()) {
             EXPECT_EQ((g.qubits[0] == 0 && g.qubits[1] == 2) ||
                           (g.qubits[0] == 2 && g.qubits[1] == 0),
                       true);
+        }
 }
 
 TEST(MergeRzTest, ConsecutiveRzCombine)

@@ -120,8 +120,9 @@ TEST(RouterTest, InitialLayoutRespected)
     EXPECT_EQ(r.swaps_inserted, 0);
     // The emitted gate acts on physical {2, 1}.
     for (const Gate &g : r.circuit.gates())
-        if (g.isTwoQubit())
+        if (g.isTwoQubit()) {
             EXPECT_EQ(g.qubits, (std::vector<int>{2, 1}));
+        }
 }
 
 } // namespace

@@ -4,9 +4,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 namespace qzz {
 namespace {
+
+// Every Rng must be constructed from an explicit seed; a default
+// constructor (or a random_device fallback) would let nondeterminism
+// creep into the property suites, which ctest runs unseeded.
+static_assert(!std::is_default_constructible_v<Rng>,
+              "Rng must require an explicit seed");
 
 TEST(RngTest, SameSeedSameStream)
 {

@@ -67,8 +67,9 @@ TEST(ZzxSchedTest, SingleQubitLayerCompleteSuppression)
     Schedule s = zzxSchedule(c, dev, GateDurations{});
     checkInvariants(s, c, dev);
     for (const Layer &l : s.layers)
-        if (!l.is_virtual)
+        if (!l.is_virtual) {
             EXPECT_EQ(l.metrics.nc, 0);
+        }
     // Two checkerboard halves.
     EXPECT_EQ(s.physicalLayerCount(), 2);
 }
@@ -191,8 +192,9 @@ TEST(ZzxSchedTest, Theorem61ClosestGatesSplit)
     const int l25 = layer_of(2, 5);
     const int distinct =
         1 + (l41 != l03) + (l25 != l03 && l25 != l41);
-    if (distinct > 1)
+    if (distinct > 1) {
         EXPECT_NE(l03, l41);
+    }
 }
 
 TEST(ZzxSchedTest, VirtualGatesFlushInOrder)

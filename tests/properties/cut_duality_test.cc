@@ -78,12 +78,14 @@ TEST_P(CutDualityTest, RemainingSetComponentsShareASide)
     SuppressionResult res = solver.solve({});
     const auto &m = res.metrics;
     for (const graph::Edge &e : topo.g.edges())
-        if (m.unsuppressed_edge[e.id])
+        if (m.unsuppressed_edge[e.id]) {
             EXPECT_EQ(res.side[e.u], res.side[e.v]);
+        }
     for (int u = 0; u < topo.g.numVertices(); ++u)
         for (int v = 0; v < topo.g.numVertices(); ++v)
-            if (m.region_of[u] == m.region_of[v])
+            if (m.region_of[u] == m.region_of[v]) {
                 EXPECT_EQ(res.side[u], res.side[v]);
+            }
 }
 
 TEST_P(CutDualityTest, ConstrainedQueriesKeepQTogether)

@@ -38,22 +38,22 @@ class SchedulePropertyTest : public ::testing::TestWithParam<Case>
         ckt::QuantumCircuit c(n);
         for (int i = 0; i < gates; ++i) {
             switch (rng.uniformInt(0, 4)) {
-              case 0:
+            case 0:
                 c.h(rng.uniformInt(0, n - 1));
                 break;
-              case 1:
+            case 1:
                 c.t(rng.uniformInt(0, n - 1));
                 break;
-              case 2:
+            case 2:
                 c.sx(rng.uniformInt(0, n - 1));
                 break;
-              default: {
+            default: {
                 int a = rng.uniformInt(0, n - 1);
                 int b = rng.uniformInt(0, n - 1);
                 if (a != b)
                     c.cx(a, b);
                 break;
-              }
+            }
             }
         }
         if (c.empty())
