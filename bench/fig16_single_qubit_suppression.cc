@@ -19,18 +19,19 @@ runGate(pulse::PulseGate gate, const la::CMatrix &target)
         std::string name;
         pulse::PulseProgram program;
     };
+    const auto provider = core::defaultPulseProvider();
     std::vector<Entry> entries;
     entries.push_back(
         {"Gaussian",
          pulse::PulseLibrary::gaussian().get(gate)});
     entries.push_back(
         {"OptCtrl",
-         core::getPulseLibrary(core::PulseMethod::OptCtrl).get(gate)});
+         provider->library(core::PulseMethod::OptCtrl)->get(gate)});
     entries.push_back(
-        {"DCG", core::getPulseLibrary(core::PulseMethod::DCG).get(gate)});
+        {"DCG", provider->library(core::PulseMethod::DCG)->get(gate)});
     entries.push_back(
         {"Pert",
-         core::getPulseLibrary(core::PulseMethod::Pert).get(gate)});
+         provider->library(core::PulseMethod::Pert)->get(gate)});
 
     Table table({"lambda/2pi (MHz)", "Gaussian", "OptCtrl",
                  "DCG", "Pert"});

@@ -15,8 +15,9 @@ main()
                   "Pert Rx(pi/2) robustness to drive noise");
     const la::CMatrix target = la::expPauli(kPi / 4.0, 0.0, 0.0);
     const pulse::PulseProgram pert =
-        core::getPulseLibrary(core::PulseMethod::Pert)
-            .get(pulse::PulseGate::SX);
+        core::defaultPulseProvider()
+            ->library(core::PulseMethod::Pert)
+            ->get(pulse::PulseGate::SX);
 
     {
         Table table({"lambda/2pi (MHz)", "df=0", "df=0.1 MHz",

@@ -17,14 +17,15 @@ main()
                   "two-qubit Rzx(pi/2) crosstalk suppression");
     const double intra = khz(200.0);
 
+    const auto provider = core::defaultPulseProvider();
     const pulse::PulseProgram gauss =
         pulse::PulseLibrary::gaussian().get(pulse::PulseGate::RZX);
     const pulse::PulseProgram octl =
-        core::getPulseLibrary(core::PulseMethod::OptCtrl)
-            .get(pulse::PulseGate::RZX);
+        provider->library(core::PulseMethod::OptCtrl)
+            ->get(pulse::PulseGate::RZX);
     const pulse::PulseProgram pert =
-        core::getPulseLibrary(core::PulseMethod::Pert)
-            .get(pulse::PulseGate::RZX);
+        provider->library(core::PulseMethod::Pert)
+            ->get(pulse::PulseGate::RZX);
 
     {
         Table table({"lambda/2pi (MHz)", "Gaussian", "OptCtrl",

@@ -41,8 +41,12 @@ main()
     for (const auto &entry : suite) {
         double fid[3] = {0.0, 0.0, 0.0};
         for (int i = 0; i < 3; ++i) {
-            fid[i] = exp::evaluateFidelity(entry.circuit, entry.device,
-                                           configs[i], sim_opt)
+            const core::Compiler compiler =
+                core::CompilerBuilder(entry.device)
+                    .options(configs[i])
+                    .build();
+            fid[i] = exp::evaluateFidelity(entry.circuit, compiler,
+                                           sim_opt)
                          .fidelity;
         }
         const double improvement =

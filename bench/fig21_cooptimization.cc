@@ -34,10 +34,15 @@ main()
     int synergy_wins = 0;
     for (const auto &entry : suite) {
         double fid[3];
-        for (int i = 0; i < 3; ++i)
-            fid[i] = exp::evaluateFidelity(entry.circuit, entry.device,
-                                           configs[i], sim_opt)
+        for (int i = 0; i < 3; ++i) {
+            const core::Compiler compiler =
+                core::CompilerBuilder(entry.device)
+                    .options(configs[i])
+                    .build();
+            fid[i] = exp::evaluateFidelity(entry.circuit, compiler,
+                                           sim_opt)
                          .fidelity;
+        }
         if (fid[2] >= std::max(fid[0], fid[1]) - 1e-3)
             ++synergy_wins;
         table.addRow({entry.label, formatF(fid[0], 4),

@@ -32,11 +32,13 @@ main()
     int count = 0;
     for (const auto &entry : suite) {
         auto fid = [&](core::PulseMethod p, core::SchedPolicy s) {
-            core::CompileOptions opt;
-            opt.pulse = p;
-            opt.sched = s;
-            return exp::evaluateFidelity(entry.circuit, entry.device,
-                                         opt, sim_opt)
+            const core::Compiler compiler =
+                core::CompilerBuilder(entry.device)
+                    .pulseMethod(p)
+                    .schedPolicy(s)
+                    .build();
+            return exp::evaluateFidelity(entry.circuit, compiler,
+                                         sim_opt)
                 .fidelity;
         };
         const double base =

@@ -40,10 +40,15 @@ main()
             dev::Device device = entry.device; // copy, set coherence
             device.setCoherence(us(t_us), us(t_us));
             double fid[3];
-            for (int i = 0; i < 3; ++i)
+            for (int i = 0; i < 3; ++i) {
+                const core::Compiler compiler =
+                    core::CompilerBuilder(device)
+                        .options(configs[i])
+                        .build();
                 fid[i] = exp::evaluateFidelityWithDecoherence(
-                             entry.circuit, device, configs[i], sopt)
+                             entry.circuit, compiler, sopt)
                              .fidelity;
+            }
             table.addRow({formatF(t_us, 0), formatF(fid[0], 4),
                           formatF(fid[1], 4), formatF(fid[2], 4),
                           formatX(fid[2] / std::max(fid[0], 1e-6))});

@@ -46,11 +46,14 @@ int
 main()
 {
     bench::banner("Figure 27", "Ramsey experiments (effective ZZ)");
+    // Shared ownership keeps the libraries alive independent of the
+    // process-wide cache.
+    const auto provider = core::defaultPulseProvider();
     const pulse::PulseLibrary &gau = pulse::PulseLibrary::gaussian();
-    const pulse::PulseLibrary &dcg =
-        core::getPulseLibrary(core::PulseMethod::DCG);
-    const pulse::PulseLibrary &pert =
-        core::getPulseLibrary(core::PulseMethod::Pert);
+    const auto dcg_lib = provider->library(core::PulseMethod::DCG);
+    const auto pert_lib = provider->library(core::PulseMethod::Pert);
+    const pulse::PulseLibrary &dcg = *dcg_lib;
+    const pulse::PulseLibrary &pert = *pert_lib;
 
     Table table({"group", "circuit", "pulses", "f0 (MHz)", "f1 (MHz)",
                  "ZZ (kHz)"});

@@ -34,17 +34,18 @@ int
 main()
 {
     bench::banner("Figure 28", "optimized Rx(pi/2) pulse shapes");
+    const auto provider = core::defaultPulseProvider();
     dump("OptCtrl",
-         core::getPulseLibrary(core::PulseMethod::OptCtrl)
-             .get(pulse::PulseGate::SX),
+         provider->library(core::PulseMethod::OptCtrl)
+             ->get(pulse::PulseGate::SX),
          1.0);
     dump("Pert",
-         core::getPulseLibrary(core::PulseMethod::Pert)
-             .get(pulse::PulseGate::SX),
+         provider->library(core::PulseMethod::Pert)
+             ->get(pulse::PulseGate::SX),
          1.0);
     dump("DCG",
-         core::getPulseLibrary(core::PulseMethod::DCG)
-             .get(pulse::PulseGate::SX),
+         provider->library(core::PulseMethod::DCG)
+             ->get(pulse::PulseGate::SX),
          2.0);
     std::cout << "Expected shape: smooth ~tens-of-MHz envelopes for"
                  " OptCtrl/Pert; the DCG\nsequence shows its"

@@ -4,7 +4,8 @@
  * cuts, supplemented identities and sampled pulse waveforms — as JSON
  * for a control-electronics backend or a plotting notebook.
  *
- * Usage: export_schedule [output.json]   (default: qzz_schedule.json)
+ * Usage: export_schedule [output.json] [pulse_method] [sched_policy]
+ *        (defaults: qzz_schedule.json, Pert, ZZXSched)
  */
 
 #include <fstream>
@@ -17,18 +18,45 @@ main(int argc, char **argv)
 {
     using namespace qzz;
 
+    const std::string path =
+        argc > 1 ? argv[1] : "qzz_schedule.json";
+    // The configuration round-trips through the same names the JSON
+    // document carries (pulseMethodName / schedPolicyName).
+    core::CompileOptions opt; // Pert + ZZXSched
+    if (argc > 2) {
+        auto method = core::pulseMethodFromName(argv[2]);
+        if (!method) {
+            std::cerr << "unknown pulse method '" << argv[2]
+                      << "' (try Gaussian, OptCtrl, Pert, DCG)\n";
+            return 1;
+        }
+        opt.pulse = *method;
+    }
+    if (argc > 3) {
+        auto policy = core::schedPolicyFromName(argv[3]);
+        if (!policy) {
+            std::cerr << "unknown scheduling policy '" << argv[3]
+                      << "' (try ParSched, ZZXSched)\n";
+            return 1;
+        }
+        opt.sched = *policy;
+    }
+
     Rng rng(21);
     dev::Device device(graph::gridTopology(2, 3), dev::DeviceParams{},
                        rng);
     Rng crng(3);
     ckt::QuantumCircuit circuit = ckt::qaoaMaxCut(6, 1, crng);
 
-    core::CompileOptions opt; // Pert + ZZXSched
-    core::CompiledProgram prog =
-        core::compileForDevice(circuit, device, opt);
+    core::Compiler compiler =
+        core::CompilerBuilder(device).options(opt).build();
+    core::CompileResult result = compiler.compile(circuit);
+    if (!result.ok()) {
+        std::cerr << "compile failed in pass '" << result.status.pass
+                  << "': " << result.status.message << "\n";
+        return 1;
+    }
 
-    const std::string path =
-        argc > 1 ? argv[1] : "qzz_schedule.json";
     std::ofstream out(path);
     if (!out) {
         std::cerr << "cannot open " << path << "\n";
@@ -36,12 +64,17 @@ main(int argc, char **argv)
     }
     core::ScheduleIoOptions io;
     io.sample_dt = 0.5; // 2 GS/s sampling
-    core::writeScheduleJson(prog.schedule, *prog.library, out, io);
+    core::writeCompiledProgramJson(result.program, out, io);
 
+    const core::CompiledProgram &prog = result.program;
     std::cout << "wrote " << path << ": "
               << prog.schedule.physicalLayerCount()
               << " physical layers, "
               << prog.schedule.executionTime() << " ns, pulses from '"
               << prog.library->name() << "'\n";
+    for (const core::StageDiagnostics &stage :
+         result.diagnostics.stages)
+        std::cout << "  " << stage.stage << ": "
+                  << formatF(stage.wall_ms, 2) << " ms\n";
     return 0;
 }

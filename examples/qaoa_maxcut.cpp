@@ -36,6 +36,8 @@ main()
               << native.twoQubitCount() << " Rzx)\n\n";
 
     // Stage 3+4: schedule and attach pulse libraries, then simulate.
+    // Each configuration is a Compiler running the same pass pipeline
+    // the stages above walked by hand.
     Table table({"configuration", "layers", "exec (ns)", "mean NC",
                  "max NQ", "fidelity"});
     for (auto [pulse, sched] :
@@ -43,12 +45,13 @@ main()
           {core::PulseMethod::Gaussian, core::SchedPolicy::Zzx},
           {core::PulseMethod::Pert, core::SchedPolicy::Par},
           {core::PulseMethod::Pert, core::SchedPolicy::Zzx}}) {
-        core::CompileOptions opt;
-        opt.pulse = pulse;
-        opt.sched = sched;
+        core::Compiler compiler = core::CompilerBuilder(device)
+                                      .pulseMethod(pulse)
+                                      .schedPolicy(sched)
+                                      .build();
         exp::FidelityResult res =
-            exp::evaluateFidelity(qaoa, device, opt);
-        table.addRow({exp::configName(opt),
+            exp::evaluateFidelity(qaoa, compiler);
+        table.addRow({exp::configName(compiler.options()),
                       std::to_string(res.physical_layers),
                       formatF(res.execution_time, 0),
                       formatF(res.mean_nc, 2),

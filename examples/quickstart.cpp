@@ -28,18 +28,22 @@ main()
     for (int q = 0; q + 1 < 6; ++q)
         circuit.cx(q, q + 1);
 
-    // 3. Compile + simulate under both policies.
+    // 3. Compile + simulate under both policies.  Each configuration
+    //    is a Compiler: an explicit route -> lower -> schedule ->
+    //    attach-pulses pass pipeline bound to the device.
     Table table({"configuration", "fidelity", "exec time (ns)",
                  "layers", "mean NC"});
     for (auto [pulse, sched] :
          {std::pair{core::PulseMethod::Gaussian, core::SchedPolicy::Par},
           {core::PulseMethod::Pert, core::SchedPolicy::Zzx}}) {
-        core::CompileOptions opt;
-        opt.pulse = pulse;
-        opt.sched = sched;
+        core::Compiler compiler = core::CompilerBuilder(device)
+                                      .pulseMethod(pulse)
+                                      .schedPolicy(sched)
+                                      .build();
         exp::FidelityResult res =
-            exp::evaluateFidelity(circuit, device, opt);
-        table.addRow({exp::configName(opt), formatF(res.fidelity, 4),
+            exp::evaluateFidelity(circuit, compiler);
+        table.addRow({exp::configName(compiler.options()),
+                      formatF(res.fidelity, 4),
                       formatF(res.execution_time, 0),
                       std::to_string(res.physical_layers),
                       formatF(res.mean_nc, 2)});

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Small string helpers shared across layers.
+ */
+
+#ifndef QZZ_COMMON_STRINGS_H
+#define QZZ_COMMON_STRINGS_H
+
+#include <algorithm>
+#include <cctype>
+#include <string_view>
+
+namespace qzz {
+
+/** ASCII case-insensitive equality (used by the enum-name parsers). */
+inline bool
+iequalsAscii(std::string_view a, std::string_view b)
+{
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin(),
+                      [](char x, char y) {
+                          return std::tolower(
+                                     static_cast<unsigned char>(x)) ==
+                                 std::tolower(
+                                     static_cast<unsigned char>(y));
+                      });
+}
+
+} // namespace qzz
+
+#endif // QZZ_COMMON_STRINGS_H

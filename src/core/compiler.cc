@@ -1,0 +1,437 @@
+#include "core/compiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "circuit/decompose.h"
+#include "common/error.h"
+
+namespace qzz::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisecondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** Per-device tables shared by every ZzxScheduler::schedule() call. */
+struct ZzxTablesState final : SchedulerState
+{
+    explicit ZzxTablesState(const dev::Device &dev) : tables(dev) {}
+    ZzxDeviceTables tables;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Schedulers
+// ---------------------------------------------------------------------------
+
+Schedule
+ParScheduler::schedule(const ckt::QuantumCircuit &native,
+                       const dev::Device &dev,
+                       const GateDurations &durations,
+                       const SchedulerState *state) const
+{
+    (void)state;
+    return parSchedule(native, dev, durations);
+}
+
+std::shared_ptr<const SchedulerState>
+ZzxScheduler::prepare(const dev::Device &dev) const
+{
+    return std::make_shared<ZzxTablesState>(dev);
+}
+
+Schedule
+ZzxScheduler::schedule(const ckt::QuantumCircuit &native,
+                       const dev::Device &dev,
+                       const GateDurations &durations,
+                       const SchedulerState *state) const
+{
+    if (const auto *tables = dynamic_cast<const ZzxTablesState *>(state))
+        return zzxSchedule(native, dev, durations, opt_,
+                           tables->tables);
+    return zzxSchedule(native, dev, durations, opt_);
+}
+
+std::shared_ptr<const Scheduler>
+makeScheduler(SchedPolicy policy, const ZzxOptions &zzx)
+{
+    if (policy == SchedPolicy::Par)
+        return std::make_shared<ParScheduler>();
+    return std::make_shared<ZzxScheduler>(zzx);
+}
+
+// ---------------------------------------------------------------------------
+// Pulse providers
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const pulse::PulseLibrary>
+CachedPulseProvider::library(PulseMethod method)
+{
+    return getPulseLibraryShared(method);
+}
+
+std::shared_ptr<PulseProvider>
+defaultPulseProvider()
+{
+    return std::make_shared<CachedPulseProvider>();
+}
+
+// ---------------------------------------------------------------------------
+// CompileContext
+// ---------------------------------------------------------------------------
+
+CompileContext::CompileContext(const dev::Device &device,
+                               const CompileOptions &opt,
+                               const Scheduler &scheduler,
+                               const SchedulerState *scheduler_state,
+                               PulseProvider &provider,
+                               std::vector<ckt::QuantumCircuit> segments)
+    : device(device), options(opt), scheduler(scheduler),
+      scheduler_state(scheduler_state), provider(provider),
+      segments(std::move(segments))
+{
+}
+
+void
+CompileContext::fail(std::string pass, std::string message,
+                     CompileStatusCode code)
+{
+    // The first failure wins; later passes are skipped anyway.
+    if (!status.ok())
+        return;
+    status.code = code;
+    status.pass = std::move(pass);
+    status.message = std::move(message);
+}
+
+const pulse::PulseLibrary *
+CompileContext::ensureLibrary()
+{
+    if (program.library)
+        return program.library.get();
+    std::shared_ptr<const pulse::PulseLibrary> lib =
+        provider.library(options.pulse);
+    if (!lib) {
+        fail("pulses", "pulse provider returned no library");
+        return nullptr;
+    }
+    program.library = std::move(lib);
+    durations = GateDurations::fromLibrary(*program.library);
+    return program.library.get();
+}
+
+// ---------------------------------------------------------------------------
+// The default passes
+// ---------------------------------------------------------------------------
+
+void
+RoutePass::run(CompileContext &ctx) const
+{
+    const int logical_qubits = ctx.segments.front().numQubits();
+    // The permutation left by one segment's SWAPs is the next
+    // segment's initial layout.
+    std::vector<int> layout = ctx.final_layout;
+    ctx.routed_segments.clear();
+    for (const ckt::QuantumCircuit &segment : ctx.segments) {
+        if (segment.numQubits() != logical_qubits) {
+            ctx.fail(name(), "route: register size mismatch between "
+                             "segments");
+            return;
+        }
+        ckt::RoutedCircuit routed =
+            ckt::routeCircuit(segment, ctx.device.graph(), layout);
+        layout = routed.final_layout;
+        ctx.swaps_inserted += routed.swaps_inserted;
+        ctx.routed_segments.push_back(std::move(routed.circuit));
+    }
+    ctx.final_layout = std::move(layout);
+}
+
+void
+LowerPass::run(CompileContext &ctx) const
+{
+    ctx.native_segments.clear();
+    ctx.program.native = ckt::QuantumCircuit(
+        ctx.device.numQubits(), ctx.segments.front().name());
+    for (const ckt::QuantumCircuit &routed : ctx.routed_segments) {
+        ckt::QuantumCircuit native = ckt::decomposeToNative(routed);
+        ensure(ckt::respectsConnectivity(native, ctx.device.graph()),
+               "lower: connectivity violated after decomposition");
+        for (const ckt::Gate &g : native.gates())
+            ctx.program.native.add(g);
+        ctx.native_segments.push_back(std::move(native));
+    }
+}
+
+void
+SchedulePass::run(CompileContext &ctx) const
+{
+    // Durations come from the pulse library (e.g. DCG stretches SX to
+    // 120 ns), so the library is acquired here even though it is only
+    // attached to the program by AttachPulsesPass.
+    if (!ctx.ensureLibrary())
+        return;
+    ctx.program.schedule = Schedule{};
+    ctx.program.schedule.num_qubits = ctx.device.numQubits();
+    for (const ckt::QuantumCircuit &native : ctx.native_segments) {
+        Schedule sched = ctx.scheduler.schedule(
+            native, ctx.device, ctx.durations, ctx.scheduler_state);
+        for (Layer &layer : sched.layers)
+            ctx.program.schedule.layers.push_back(std::move(layer));
+    }
+}
+
+void
+AttachPulsesPass::run(CompileContext &ctx) const
+{
+    ctx.ensureLibrary();
+}
+
+std::vector<std::shared_ptr<const Pass>>
+defaultPassPipeline()
+{
+    return {std::make_shared<RoutePass>(),
+            std::make_shared<LowerPass>(),
+            std::make_shared<SchedulePass>(),
+            std::make_shared<AttachPulsesPass>()};
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+CompiledProgram
+unwrapOrThrow(CompileResult result)
+{
+    if (result.ok())
+        return std::move(result.program);
+    if (result.status.code == CompileStatusCode::Internal)
+        panic(result.status.message);
+    fatal(result.status.message);
+}
+
+bool
+BatchResult::allOk() const
+{
+    return std::all_of(results.begin(), results.end(),
+                       [](const CompileResult &r) { return r.ok(); });
+}
+
+Compiler::Compiler(dev::Device device, CompileOptions options,
+                   std::shared_ptr<const Scheduler> scheduler,
+                   std::shared_ptr<PulseProvider> provider,
+                   std::vector<std::shared_ptr<const Pass>> passes)
+    : device_(std::move(device)), options_(options),
+      scheduler_(std::move(scheduler)), provider_(std::move(provider)),
+      passes_(std::move(passes))
+{
+    scheduler_state_ = scheduler_->prepare(device_);
+}
+
+CompileResult
+Compiler::compile(const ckt::QuantumCircuit &circuit) const
+{
+    return compileSegments({circuit});
+}
+
+CompileResult
+Compiler::compileSegments(
+    std::vector<ckt::QuantumCircuit> segments) const
+{
+    CompileResult out;
+    out.program.pulse_method = options_.pulse;
+    out.program.sched_policy = options_.sched;
+    if (segments.empty()) {
+        out.status = {CompileStatusCode::InvalidInput, "",
+                      "compileSegments: no segments given"};
+        return out;
+    }
+
+    CompileContext ctx(device_, options_, *scheduler_,
+                       scheduler_state_.get(), *provider_,
+                       std::move(segments));
+    ctx.program.pulse_method = options_.pulse;
+    ctx.program.sched_policy = options_.sched;
+
+    const auto compile_start = Clock::now();
+    for (const std::shared_ptr<const Pass> &pass : passes_) {
+        StageDiagnostics stage;
+        stage.stage = pass->name();
+        const auto layers_before = ctx.program.schedule.layers.size();
+        const auto gates_before = ctx.program.native.size();
+        const auto stage_start = Clock::now();
+        try {
+            pass->run(ctx);
+        } catch (const UserError &e) {
+            ctx.fail(pass->name(), e.what(),
+                     CompileStatusCode::InvalidInput);
+        } catch (const InternalError &e) {
+            ctx.fail(pass->name(), e.what(),
+                     CompileStatusCode::Internal);
+        } catch (const std::exception &e) {
+            // Custom passes / providers may throw anything; map it to
+            // the status channel rather than letting it escape a
+            // compileBatch() worker thread (std::terminate).
+            ctx.fail(pass->name(), e.what(),
+                     CompileStatusCode::Internal);
+        }
+        stage.wall_ms = millisecondsSince(stage_start);
+        stage.layers_added =
+            int(ctx.program.schedule.layers.size() - layers_before);
+        stage.gates_added =
+            int(ctx.program.native.size() - gates_before);
+        ctx.diagnostics.stages.push_back(std::move(stage));
+        if (!ctx.status.ok())
+            break;
+    }
+    ctx.diagnostics.total_ms = millisecondsSince(compile_start);
+    ctx.diagnostics.swaps_inserted = ctx.swaps_inserted;
+    ctx.program.final_layout = std::move(ctx.final_layout);
+    if (ctx.status.ok()) {
+        const Schedule &sched = ctx.program.schedule;
+        ctx.diagnostics.physical_layers = sched.physicalLayerCount();
+        ctx.diagnostics.mean_nc = sched.meanNc();
+        ctx.diagnostics.max_nq = sched.maxNq();
+        ctx.diagnostics.execution_time_ns = sched.executionTime();
+    }
+
+    out.program = std::move(ctx.program);
+    out.diagnostics = std::move(ctx.diagnostics);
+    out.status = std::move(ctx.status);
+    return out;
+}
+
+BatchResult
+Compiler::compileBatch(const std::vector<ckt::QuantumCircuit> &circuits,
+                       const BatchOptions &opt) const
+{
+    BatchResult out;
+    out.results.resize(circuits.size());
+
+    int threads = opt.num_threads;
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? int(hw) : 4;
+    }
+    threads = std::max(1, std::min<int>(threads, int(circuits.size())));
+
+    const auto start = Clock::now();
+    // Warm the shared pulse library before fanning out, so the
+    // workers never serialize on a cold calibration build; a failure
+    // here is surfaced per-circuit through the status channel.
+    try {
+        provider_->library(options_.pulse);
+    } catch (const std::exception &) {
+    }
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (size_t i; (i = next.fetch_add(1)) < circuits.size();)
+            out.results[i] = compile(circuits[i]);
+    };
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(size_t(threads));
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &th : pool)
+            th.join();
+    }
+
+    out.wall_ms = millisecondsSince(start);
+    out.threads_used = threads;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// CompilerBuilder
+// ---------------------------------------------------------------------------
+
+CompilerBuilder &
+CompilerBuilder::options(const CompileOptions &opt)
+{
+    options_ = opt;
+    return *this;
+}
+
+CompilerBuilder &
+CompilerBuilder::pulseMethod(PulseMethod m)
+{
+    options_.pulse = m;
+    return *this;
+}
+
+CompilerBuilder &
+CompilerBuilder::schedPolicy(SchedPolicy p)
+{
+    options_.sched = p;
+    return *this;
+}
+
+CompilerBuilder &
+CompilerBuilder::zzxOptions(const ZzxOptions &opt)
+{
+    options_.zzx = opt;
+    return *this;
+}
+
+CompilerBuilder &
+CompilerBuilder::scheduler(std::shared_ptr<const Scheduler> s)
+{
+    scheduler_ = std::move(s);
+    return *this;
+}
+
+CompilerBuilder &
+CompilerBuilder::pulseProvider(std::shared_ptr<PulseProvider> p)
+{
+    provider_ = std::move(p);
+    return *this;
+}
+
+CompilerBuilder &
+CompilerBuilder::addPass(std::shared_ptr<const Pass> pass)
+{
+    extra_passes_.push_back(std::move(pass));
+    return *this;
+}
+
+CompilerBuilder &
+CompilerBuilder::passes(std::vector<std::shared_ptr<const Pass>> passes)
+{
+    replaced_passes_ = std::move(passes);
+    replace_pipeline_ = true;
+    return *this;
+}
+
+Compiler
+CompilerBuilder::build() const
+{
+    std::shared_ptr<const Scheduler> scheduler =
+        scheduler_ ? scheduler_
+                   : makeScheduler(options_.sched, options_.zzx);
+    std::shared_ptr<PulseProvider> provider =
+        provider_ ? provider_ : defaultPulseProvider();
+    std::vector<std::shared_ptr<const Pass>> pipeline =
+        replace_pipeline_ ? replaced_passes_ : defaultPassPipeline();
+    pipeline.insert(pipeline.end(), extra_passes_.begin(),
+                    extra_passes_.end());
+    return Compiler(device_, options_, std::move(scheduler),
+                    std::move(provider), std::move(pipeline));
+}
+
+} // namespace qzz::core

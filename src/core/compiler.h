@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Stage-based compilation API.
+ *
+ * The paper's framework (Fig. 2) is a four-stage pipeline — route to
+ * the topology, lower to the native gate set, schedule, attach pulses.
+ * This header makes that pipeline explicit and extensible:
+ *
+ *  - Pass            one pipeline stage operating on a CompileContext.
+ *  - CompileContext  the state threaded through the passes (segments,
+ *                    layout, native circuit, schedule, diagnostics,
+ *                    status channel).
+ *  - Scheduler       scheduling-policy interface (ParScheduler,
+ *                    ZzxScheduler; open to new policies such as
+ *                    cycle-aware variants).
+ *  - PulseProvider   pulse-library source with shared ownership
+ *                    (process-wide calibration cache, or a fixed
+ *                    injected library, e.g. a DD-substituted one).
+ *  - Compiler        an immutable pipeline built by CompilerBuilder;
+ *                    compile() / compileSegments() / compileBatch().
+ *
+ * Passes report failures through the context's structured status
+ * channel instead of throwing; the legacy compileForDevice() /
+ * compileSegmentsForDevice() shims in core/framework.h translate a
+ * failed status back into fatal()/panic() for old callers.
+ *
+ * A Compiler is immutable after build() and safe to share across
+ * threads: compileBatch() runs one CompileContext per circuit on a
+ * small thread pool while sharing the device routing tables and the
+ * pulse library.
+ */
+
+#ifndef QZZ_CORE_COMPILER_H
+#define QZZ_CORE_COMPILER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace qzz::core {
+
+// ---------------------------------------------------------------------------
+// Diagnostics and status channel
+// ---------------------------------------------------------------------------
+
+/** Wall time and work counters of one executed pass. */
+struct StageDiagnostics
+{
+    /** Pass name (e.g. "route", "schedule"). */
+    std::string stage;
+    /** Wall-clock time spent in the pass (ms). */
+    double wall_ms = 0.0;
+    /** Schedule layers appended by the pass (schedule stage). */
+    int layers_added = 0;
+    /** Native gates appended by the pass (lower stage). */
+    int gates_added = 0;
+};
+
+/** Per-compilation diagnostics accumulated across the pipeline. */
+struct CompileDiagnostics
+{
+    /** One entry per executed pass, in execution order. */
+    std::vector<StageDiagnostics> stages;
+    /** End-to-end compile wall time (ms). */
+    double total_ms = 0.0;
+    /** SWAPs inserted by routing (summed over segments). */
+    int swaps_inserted = 0;
+    /** Non-virtual layer count of the final schedule. */
+    int physical_layers = 0;
+    /** Mean unsuppressed-coupling count per physical layer. */
+    double mean_nc = 0.0;
+    /** Worst largest-region size over physical layers. */
+    int max_nq = 0;
+    /** Total schedule duration (ns). */
+    double execution_time_ns = 0.0;
+};
+
+/** Outcome category of a compilation. */
+enum class CompileStatusCode
+{
+    Ok,           ///< compilation succeeded
+    InvalidInput, ///< caller error (bad circuit/options); maps to fatal()
+    Internal,     ///< violated library invariant; maps to panic()
+};
+
+/** Structured error/status channel carried by CompileContext. */
+struct CompileStatus
+{
+    CompileStatusCode code = CompileStatusCode::Ok;
+    /** Name of the pass that failed (empty on success or validation). */
+    std::string pass;
+    /** Human-readable failure description. */
+    std::string message;
+
+    bool ok() const { return code == CompileStatusCode::Ok; }
+};
+
+// ---------------------------------------------------------------------------
+// Scheduler interface
+// ---------------------------------------------------------------------------
+
+/**
+ * Opaque per-device state prepared once per Compiler and reused by
+ * every compile (and every batch worker).  Implementations must be
+ * immutable after prepare() so they can be shared across threads.
+ */
+class SchedulerState
+{
+  public:
+    virtual ~SchedulerState() = default;
+};
+
+/**
+ * A scheduling policy.  Implementations must be stateless with
+ * respect to individual compilations: schedule() is const and may be
+ * called concurrently from compileBatch() workers.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Display name, e.g. "ParSched" / "ZZXSched". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Precompute per-device tables (all-pairs distances, suppression
+     * solver, ...) shared by every subsequent schedule() call.  May
+     * return nullptr when the policy needs none.
+     */
+    virtual std::shared_ptr<const SchedulerState>
+    prepare(const dev::Device &dev) const
+    {
+        (void)dev;
+        return nullptr;
+    }
+
+    /**
+     * Layer a native circuit.
+     *
+     * @param native    native-gate circuit over the device's qubits.
+     * @param dev       target device.
+     * @param durations per-gate durations from the pulse library.
+     * @param state     the result of prepare() for @p dev (may be
+     *                  nullptr when called outside a Compiler).
+     */
+    virtual Schedule schedule(const ckt::QuantumCircuit &native,
+                              const dev::Device &dev,
+                              const GateDurations &durations,
+                              const SchedulerState *state) const = 0;
+};
+
+/** ASAP maximal-parallelism baseline (wraps parSchedule()). */
+class ParScheduler final : public Scheduler
+{
+  public:
+    std::string name() const override { return "ParSched"; }
+    Schedule schedule(const ckt::QuantumCircuit &native,
+                      const dev::Device &dev,
+                      const GateDurations &durations,
+                      const SchedulerState *state) const override;
+};
+
+/** The paper's ZZ-aware scheduler (wraps zzxSchedule()). */
+class ZzxScheduler final : public Scheduler
+{
+  public:
+    explicit ZzxScheduler(ZzxOptions opt = {}) : opt_(opt) {}
+
+    std::string name() const override { return "ZZXSched"; }
+    /** Builds the shared ZzxDeviceTables (distances + solver). */
+    std::shared_ptr<const SchedulerState>
+    prepare(const dev::Device &dev) const override;
+    Schedule schedule(const ckt::QuantumCircuit &native,
+                      const dev::Device &dev,
+                      const GateDurations &durations,
+                      const SchedulerState *state) const override;
+
+    const ZzxOptions &options() const { return opt_; }
+
+  private:
+    ZzxOptions opt_;
+};
+
+/** Scheduler implementing a SchedPolicy enum value. */
+std::shared_ptr<const Scheduler> makeScheduler(SchedPolicy policy,
+                                               const ZzxOptions &zzx = {});
+
+// ---------------------------------------------------------------------------
+// Pulse providers
+// ---------------------------------------------------------------------------
+
+/**
+ * Source of pulse libraries with explicit shared ownership: the
+ * returned shared_ptr keeps the library alive for as long as any
+ * CompiledProgram references it, independent of process-global
+ * caches.  library() must be thread-safe (compileBatch() calls it
+ * from worker threads).
+ */
+class PulseProvider
+{
+  public:
+    virtual ~PulseProvider() = default;
+
+    /** The library for @p method; never nullptr on success. */
+    virtual std::shared_ptr<const pulse::PulseLibrary>
+    library(PulseMethod method) = 0;
+};
+
+/**
+ * The default provider: the process-wide memo backed by the on-disk
+ * calibration store (see getPulseLibraryShared()).
+ */
+class CachedPulseProvider final : public PulseProvider
+{
+  public:
+    std::shared_ptr<const pulse::PulseLibrary>
+    library(PulseMethod method) override;
+};
+
+/**
+ * Serves one fixed library regardless of the requested method.  Used
+ * to inject substituted libraries (e.g. substituteIdentity() DD
+ * sequences) or experimental calibrations into the pipeline.
+ */
+class FixedPulseProvider final : public PulseProvider
+{
+  public:
+    explicit FixedPulseProvider(pulse::PulseLibrary lib)
+        : lib_(std::make_shared<const pulse::PulseLibrary>(
+              std::move(lib)))
+    {
+    }
+    explicit FixedPulseProvider(
+        std::shared_ptr<const pulse::PulseLibrary> lib)
+        : lib_(std::move(lib))
+    {
+    }
+
+    std::shared_ptr<const pulse::PulseLibrary>
+    library(PulseMethod method) override
+    {
+        (void)method;
+        return lib_;
+    }
+
+  private:
+    std::shared_ptr<const pulse::PulseLibrary> lib_;
+};
+
+/** A fresh CachedPulseProvider. */
+std::shared_ptr<PulseProvider> defaultPulseProvider();
+
+// ---------------------------------------------------------------------------
+// CompileContext and Pass
+// ---------------------------------------------------------------------------
+
+/**
+ * The state a compilation threads through its passes.  Inputs
+ * (device, options, services) are immutable references owned by the
+ * Compiler; working state is private to this context, so concurrent
+ * compilations never share a context.
+ */
+class CompileContext
+{
+  public:
+    CompileContext(const dev::Device &device, const CompileOptions &opt,
+                   const Scheduler &scheduler,
+                   const SchedulerState *scheduler_state,
+                   PulseProvider &provider,
+                   std::vector<ckt::QuantumCircuit> segments);
+
+    /** @name Immutable inputs and services
+     *  @{ */
+    const dev::Device &device;
+    const CompileOptions &options;
+    const Scheduler &scheduler;
+    const SchedulerState *scheduler_state;
+    PulseProvider &provider;
+    /** @} */
+
+    /** @name Working state
+     *  @{ */
+    /** Barrier-separated input segments (one for a plain compile). */
+    std::vector<ckt::QuantumCircuit> segments;
+    /** Routed segments over physical qubits (set by RoutePass). */
+    std::vector<ckt::QuantumCircuit> routed_segments;
+    /** Native-gate segments (set by LowerPass). */
+    std::vector<ckt::QuantumCircuit> native_segments;
+    /** final_layout[logical] = physical qubit after the last segment. */
+    std::vector<int> final_layout;
+    /** SWAPs inserted so far. */
+    int swaps_inserted = 0;
+    /** Per-gate durations; valid once ensureLibrary() has run. */
+    GateDurations durations;
+    /** The program being assembled (native, schedule, library). */
+    CompiledProgram program;
+    /** @} */
+
+    /** Structured error/status channel (replaces fatal()). */
+    CompileStatus status;
+    /** Per-stage diagnostics (wall time, layer/gate counts). */
+    CompileDiagnostics diagnostics;
+
+    /** Record a caller-input failure; later passes are skipped. */
+    void fail(std::string pass, std::string message,
+              CompileStatusCode code = CompileStatusCode::InvalidInput);
+
+    /**
+     * Fetch the pulse library from the provider (once) and derive the
+     * gate durations from it.  Returns nullptr — with the status
+     * channel set — when the provider has no library to give.
+     */
+    const pulse::PulseLibrary *ensureLibrary();
+};
+
+/**
+ * One pipeline stage.  run() must be const and reentrant — pass
+ * objects are shared between the compilations of a batch.  Failures
+ * are reported via ctx.fail(); exceptions thrown by qzz primitives
+ * (UserError / InternalError) are converted to a failed status by the
+ * pass runner.
+ */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Short stage name used in diagnostics, e.g. "route". */
+    virtual std::string name() const = 0;
+
+    /** Execute the stage on @p ctx. */
+    virtual void run(CompileContext &ctx) const = 0;
+};
+
+/** Route every segment to the topology, threading the layout. */
+class RoutePass final : public Pass
+{
+  public:
+    std::string name() const override { return "route"; }
+    void run(CompileContext &ctx) const override;
+};
+
+/** Lower routed segments to the native gate set. */
+class LowerPass final : public Pass
+{
+  public:
+    std::string name() const override { return "lower"; }
+    void run(CompileContext &ctx) const override;
+};
+
+/** Layer each native segment with the configured Scheduler. */
+class SchedulePass final : public Pass
+{
+  public:
+    std::string name() const override { return "schedule"; }
+    void run(CompileContext &ctx) const override;
+};
+
+/** Attach the pulse library to the compiled program. */
+class AttachPulsesPass final : public Pass
+{
+  public:
+    std::string name() const override { return "pulses"; }
+    void run(CompileContext &ctx) const override;
+};
+
+/** The paper's pipeline: route, lower, schedule, attach pulses. */
+std::vector<std::shared_ptr<const Pass>> defaultPassPipeline();
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+/** The outcome of one compilation. */
+struct CompileResult
+{
+    /** Valid only when status.ok(). */
+    CompiledProgram program;
+    CompileDiagnostics diagnostics;
+    CompileStatus status;
+
+    bool ok() const { return status.ok(); }
+};
+
+/**
+ * Surface a failed CompileResult with the legacy throwing behavior —
+ * InvalidInput via fatal() (UserError), Internal via panic()
+ * (InternalError) — or return the program on success.  Used by the
+ * compileForDevice() shims and the exp:: evaluators.
+ */
+CompiledProgram unwrapOrThrow(CompileResult result);
+
+/** compileBatch() controls. */
+struct BatchOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    int num_threads = 0;
+};
+
+/** The outcome of a batch compilation. */
+struct BatchResult
+{
+    /** One result per input circuit, in input order. */
+    std::vector<CompileResult> results;
+    /** End-to-end batch wall time (ms). */
+    double wall_ms = 0.0;
+    /** Worker threads actually used. */
+    int threads_used = 0;
+
+    /** True when every circuit compiled successfully. */
+    bool allOk() const;
+};
+
+/**
+ * An immutable compilation pipeline bound to one device and one
+ * configuration.  Built by CompilerBuilder; safe to share across
+ * threads.  Per-device tables (scheduler state) are precomputed at
+ * build time and reused by every compile.
+ */
+class Compiler
+{
+  public:
+    /** Compile one circuit. */
+    CompileResult compile(const ckt::QuantumCircuit &circuit) const;
+
+    /**
+     * Compile a barrier-separated circuit: each segment is routed,
+     * lowered and scheduled independently, with the qubit layout
+     * threaded from one segment to the next; the schedule is the
+     * concatenation (Sec. 8 composition with outer crosstalk passes).
+     */
+    CompileResult
+    compileSegments(std::vector<ckt::QuantumCircuit> segments) const;
+
+    /**
+     * Compile @p circuits concurrently on a thread pool.  Routing
+     * tables, scheduler state and the pulse library are shared; each
+     * circuit gets its own CompileContext, and results land in input
+     * order.  Output is identical to calling compile() sequentially.
+     */
+    BatchResult
+    compileBatch(const std::vector<ckt::QuantumCircuit> &circuits,
+                 const BatchOptions &opt = {}) const;
+
+    const dev::Device &device() const { return device_; }
+    const CompileOptions &options() const { return options_; }
+    const Scheduler &scheduler() const { return *scheduler_; }
+    const std::vector<std::shared_ptr<const Pass>> &passes() const
+    {
+        return passes_;
+    }
+
+  private:
+    friend class CompilerBuilder;
+    Compiler(dev::Device device, CompileOptions options,
+             std::shared_ptr<const Scheduler> scheduler,
+             std::shared_ptr<PulseProvider> provider,
+             std::vector<std::shared_ptr<const Pass>> passes);
+
+    dev::Device device_;
+    CompileOptions options_;
+    std::shared_ptr<const Scheduler> scheduler_;
+    std::shared_ptr<const SchedulerState> scheduler_state_;
+    std::shared_ptr<PulseProvider> provider_;
+    std::vector<std::shared_ptr<const Pass>> passes_;
+};
+
+/**
+ * Fluent builder for Compiler.
+ *
+ * @code
+ *   core::Compiler c = core::CompilerBuilder(device)
+ *                          .pulseMethod(core::PulseMethod::Pert)
+ *                          .schedPolicy(core::SchedPolicy::Zzx)
+ *                          .build();
+ *   core::CompileResult r = c.compile(circuit);
+ * @endcode
+ *
+ * Custom Scheduler / PulseProvider implementations override the
+ * enum-selected defaults; addPass() appends extra stages after the
+ * default pipeline, passes() replaces it wholesale.
+ */
+class CompilerBuilder
+{
+  public:
+    explicit CompilerBuilder(dev::Device device)
+        : device_(std::move(device))
+    {
+    }
+
+    /** Adopt a whole CompileOptions (pulse, sched, zzx). */
+    CompilerBuilder &options(const CompileOptions &opt);
+    CompilerBuilder &pulseMethod(PulseMethod m);
+    CompilerBuilder &schedPolicy(SchedPolicy p);
+    CompilerBuilder &zzxOptions(const ZzxOptions &opt);
+
+    /** Inject a scheduling policy (overrides schedPolicy()). */
+    CompilerBuilder &scheduler(std::shared_ptr<const Scheduler> s);
+    /** Inject a pulse source (overrides pulseMethod() lookup). */
+    CompilerBuilder &pulseProvider(std::shared_ptr<PulseProvider> p);
+    /** Append a custom stage after the current pipeline. */
+    CompilerBuilder &addPass(std::shared_ptr<const Pass> pass);
+    /** Replace the pipeline wholesale. */
+    CompilerBuilder &
+    passes(std::vector<std::shared_ptr<const Pass>> passes);
+
+    /** Assemble the Compiler (precomputes per-device tables). */
+    Compiler build() const;
+
+  private:
+    dev::Device device_;
+    CompileOptions options_;
+    std::shared_ptr<const Scheduler> scheduler_;
+    std::shared_ptr<PulseProvider> provider_;
+    std::vector<std::shared_ptr<const Pass>> extra_passes_;
+    std::vector<std::shared_ptr<const Pass>> replaced_passes_;
+    bool replace_pipeline_ = false;
+};
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_COMPILER_H

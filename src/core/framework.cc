@@ -1,7 +1,8 @@
 #include "core/framework.h"
 
-#include "circuit/decompose.h"
 #include "common/error.h"
+#include "common/strings.h"
+#include "core/compiler.h"
 
 namespace qzz::core {
 
@@ -9,6 +10,16 @@ std::string
 schedPolicyName(SchedPolicy p)
 {
     return p == SchedPolicy::Par ? "ParSched" : "ZZXSched";
+}
+
+std::optional<SchedPolicy>
+schedPolicyFromName(std::string_view name)
+{
+    if (iequalsAscii(name, "ParSched") || iequalsAscii(name, "Par"))
+        return SchedPolicy::Par;
+    if (iequalsAscii(name, "ZZXSched") || iequalsAscii(name, "Zzx"))
+        return SchedPolicy::Zzx;
+    return std::nullopt;
 }
 
 CompiledProgram
@@ -23,43 +34,8 @@ compileSegmentsForDevice(
     const std::vector<ckt::QuantumCircuit> &segments,
     const dev::Device &dev, const CompileOptions &opt)
 {
-    require(!segments.empty(),
-            "compileSegmentsForDevice: no segments given");
-    CompiledProgram out;
-    out.pulse_method = opt.pulse;
-    out.sched_policy = opt.sched;
-    out.library = &getPulseLibrary(opt.pulse);
-    const GateDurations durations =
-        GateDurations::fromLibrary(*out.library);
-
-    out.native = ckt::QuantumCircuit(dev.numQubits(),
-                                     segments.front().name());
-    out.schedule.num_qubits = dev.numQubits();
-
-    // Thread the layout through segments: the permutation left by one
-    // segment's SWAPs is the next segment's initial layout.
-    std::vector<int> layout;
-    for (const ckt::QuantumCircuit &segment : segments) {
-        require(segment.numQubits() == segments.front().numQubits(),
-                "compileSegmentsForDevice: register size mismatch");
-        ckt::RoutedCircuit routed =
-            ckt::routeCircuit(segment, dev.graph(), layout);
-        layout = routed.final_layout;
-        ckt::QuantumCircuit native =
-            ckt::decomposeToNative(routed.circuit);
-        ensure(ckt::respectsConnectivity(native, dev.graph()),
-               "compileSegmentsForDevice: connectivity violated");
-        for (const ckt::Gate &g : native.gates())
-            out.native.add(g);
-
-        Schedule sched =
-            opt.sched == SchedPolicy::Par
-                ? parSchedule(native, dev, durations)
-                : zzxSchedule(native, dev, durations, opt.zzx);
-        for (Layer &layer : sched.layers)
-            out.schedule.layers.push_back(std::move(layer));
-    }
-    return out;
+    const Compiler compiler = CompilerBuilder(dev).options(opt).build();
+    return unwrapOrThrow(compiler.compileSegments(segments));
 }
 
 pulse::PulseLibrary

@@ -7,10 +7,22 @@
  *
  * Pipeline: route to the topology -> lower to the native gate set ->
  * schedule (ParSched or ZZXSched) -> attach the pulse library.
+ *
+ * @note compileForDevice() / compileSegmentsForDevice() are thin
+ * shims over the stage-based API in core/compiler.h (Compiler /
+ * CompilerBuilder), which additionally exposes per-stage diagnostics,
+ * injectable schedulers and pulse providers, a structured status
+ * channel, and multi-threaded batch compilation.  New code should
+ * prefer the Compiler API; these shims are kept for the paper-figure
+ * reproductions and produce bit-identical output.
  */
 
 #ifndef QZZ_CORE_FRAMEWORK_H
 #define QZZ_CORE_FRAMEWORK_H
+
+#include <memory>
+#include <optional>
+#include <string_view>
 
 #include "circuit/router.h"
 #include "core/par_sched.h"
@@ -29,6 +41,13 @@ enum class SchedPolicy
 /** Display name of a policy. */
 std::string schedPolicyName(SchedPolicy p);
 
+/**
+ * Parse a policy name (inverse of schedPolicyName()).  Accepts the
+ * display names plus the enum spellings, case-insensitively
+ * ("ParSched", "Par", "ZZXSched", "Zzx"); nullopt when unknown.
+ */
+std::optional<SchedPolicy> schedPolicyFromName(std::string_view name);
+
 /** One compilation configuration, e.g. {Pert, Zzx}. */
 struct CompileOptions
 {
@@ -45,15 +64,24 @@ struct CompiledProgram
     ckt::QuantumCircuit native;
     /** The layered schedule. */
     Schedule schedule;
-    /** Pulse programs for each native gate (owned by the library
-     *  memo; valid for the process lifetime). */
-    const pulse::PulseLibrary *library = nullptr;
+    /** Pulse programs for each native gate.  Shared ownership: the
+     *  program keeps its library alive independent of the
+     *  process-wide cache (clearPulseLibraryCache() cannot dangle
+     *  it). */
+    std::shared_ptr<const pulse::PulseLibrary> library;
     PulseMethod pulse_method = PulseMethod::Gaussian;
     SchedPolicy sched_policy = SchedPolicy::Par;
+    /** final_layout[logical] = physical qubit after the last segment
+     *  (the routing permutation; empty if routing did not run). */
+    std::vector<int> final_layout;
 };
 
 /**
  * Compile @p logical for @p dev under @p opt.
+ *
+ * Shim over core::Compiler (see core/compiler.h); a failed compile
+ * raises UserError / InternalError exactly like the historical
+ * implementation.
  *
  * @param logical the benchmark circuit (any gate kinds).
  * @param dev     target device.
@@ -69,6 +97,8 @@ CompiledProgram compileForDevice(const ckt::QuantumCircuit &logical,
  * scheduled independently (a hard barrier between segments), with the
  * qubit layout threaded from one segment to the next.  The returned
  * schedule is the concatenation.
+ *
+ * Shim over core::Compiler::compileSegments().
  *
  * @param segments the sub-circuits produced by an outer crosstalk
  *                 pass; all must use the same logical register size.

@@ -1,12 +1,15 @@
 #include "core/pulse_opt.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <random>
 #include <sstream>
 #include <thread>
@@ -14,6 +17,7 @@
 #include "circuit/gate.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "common/units.h"
 #include "core/dcg.h"
 
@@ -38,6 +42,20 @@ pulseMethodName(PulseMethod m)
         return "DCG";
     }
     return "?";
+}
+
+std::optional<PulseMethod>
+pulseMethodFromName(std::string_view name)
+{
+    for (PulseMethod m :
+         {PulseMethod::Gaussian, PulseMethod::OptCtrl,
+          PulseMethod::Pert, PulseMethod::DCG}) {
+        if (iequalsAscii(name, pulseMethodName(m)))
+            return m;
+    }
+    if (iequalsAscii(name, "Gau")) // exp::configName() abbreviation
+        return PulseMethod::Gaussian;
+    return std::nullopt;
 }
 
 namespace {
@@ -412,22 +430,59 @@ buildOptimizedLibrary(PulseMethod method)
     return lib;
 }
 
-std::map<PulseMethod, pulse::PulseLibrary> &
+/** Guards the memo map itself: compileBatch() workers and ctest -j
+ *  threads may request libraries concurrently.  Held only for
+ *  lookups/inserts, never across a library build. */
+std::mutex &
+libraryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Serializes cold builds of one method so the (possibly
+ *  multi-minute) optimization runs exactly once, without blocking
+ *  cached lookups of the other methods. */
+std::mutex &
+libraryBuildMutex(PulseMethod method)
+{
+    static std::array<std::mutex, 4> mutexes;
+    return mutexes[size_t(method) % mutexes.size()];
+}
+
+std::map<PulseMethod, std::shared_ptr<const pulse::PulseLibrary>> &
 libraryMemo()
 {
-    static std::map<PulseMethod, pulse::PulseLibrary> memo;
+    static std::map<PulseMethod,
+                    std::shared_ptr<const pulse::PulseLibrary>>
+        memo;
     return memo;
+}
+
+std::shared_ptr<const pulse::PulseLibrary>
+lookupLibrary(PulseMethod method)
+{
+    const std::lock_guard<std::mutex> lock(libraryMutex());
+    auto &memo = libraryMemo();
+    auto it = memo.find(method);
+    return it != memo.end() ? it->second : nullptr;
 }
 
 } // namespace
 
-const pulse::PulseLibrary &
-getPulseLibrary(PulseMethod method)
+std::shared_ptr<const pulse::PulseLibrary>
+getPulseLibraryShared(PulseMethod method)
 {
-    auto &memo = libraryMemo();
-    auto it = memo.find(method);
-    if (it != memo.end())
-        return it->second;
+    if (auto cached = lookupLibrary(method))
+        return cached;
+
+    // Build outside the memo lock: only same-method builders
+    // serialize, and double-checking under the build mutex makes the
+    // build happen once.
+    const std::lock_guard<std::mutex> build_lock(
+        libraryBuildMutex(method));
+    if (auto cached = lookupLibrary(method))
+        return cached;
 
     pulse::PulseLibrary lib;
     switch (method) {
@@ -442,14 +497,24 @@ getPulseLibrary(PulseMethod method)
         lib = buildOptimizedLibrary(method);
         break;
     }
-    auto [pos, ok] = memo.emplace(method, std::move(lib));
+    auto shared = std::make_shared<const pulse::PulseLibrary>(
+        std::move(lib));
+    const std::lock_guard<std::mutex> lock(libraryMutex());
+    auto [pos, ok] = libraryMemo().emplace(method, std::move(shared));
     ensure(ok, "getPulseLibrary: memo insert failed");
     return pos->second;
+}
+
+const pulse::PulseLibrary &
+getPulseLibrary(PulseMethod method)
+{
+    return *getPulseLibraryShared(method);
 }
 
 void
 clearPulseLibraryCache()
 {
+    const std::lock_guard<std::mutex> lock(libraryMutex());
     libraryMemo().clear();
 }
 

@@ -17,7 +17,10 @@
 #define QZZ_CORE_PULSE_OPT_H
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/objectives.h"
@@ -37,6 +40,13 @@ enum class PulseMethod
 
 /** Display name of a method. */
 std::string pulseMethodName(PulseMethod m);
+
+/**
+ * Parse a method name (inverse of pulseMethodName()).  Accepts the
+ * display names case-insensitively plus the "Gau" abbreviation used
+ * by exp::configName(); nullopt when unknown.
+ */
+std::optional<PulseMethod> pulseMethodFromName(std::string_view name);
 
 /** Configuration of one pulse optimization. */
 struct PulseOptConfig
@@ -109,10 +119,26 @@ pulse::PulseProgram programFromCoeffs(
  * and the on-disk calibration store.  Gaussian and DCG libraries are
  * built directly; OptCtrl and Pert run (or load) the optimizer for
  * SX, Identity and RZX.
+ *
+ * Shared ownership: the returned library stays alive for as long as
+ * any caller holds the shared_ptr, even across
+ * clearPulseLibraryCache().  Thread-safe — concurrent callers (e.g.
+ * Compiler::compileBatch() workers, or parallel ctest processes'
+ * threads) serialize on an internal mutex, so a cold library is
+ * built exactly once.
+ */
+std::shared_ptr<const pulse::PulseLibrary>
+getPulseLibraryShared(PulseMethod method);
+
+/**
+ * Reference-returning variant of getPulseLibraryShared().  The
+ * reference is valid until the next clearPulseLibraryCache(); prefer
+ * the shared variant when the library must outlive the cache.
  */
 const pulse::PulseLibrary &getPulseLibrary(PulseMethod method);
 
-/** Clear the in-process library memo (tests). */
+/** Clear the in-process library memo (tests).  Thread-safe; shared
+ *  handles from getPulseLibraryShared() remain valid. */
 void clearPulseLibraryCache();
 
 } // namespace qzz::core

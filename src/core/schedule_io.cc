@@ -146,12 +146,13 @@ writeChannel(JsonWriter &w, const char *name,
     w.endArray();
 }
 
-} // namespace
-
+/** Shared body of the two entry points; @p program adds the
+ *  configuration fields when non-null. */
 void
-writeScheduleJson(const Schedule &schedule,
-                  const pulse::PulseLibrary &library, std::ostream &os,
-                  const ScheduleIoOptions &opt)
+writeScheduleDocument(const Schedule &schedule,
+                      const pulse::PulseLibrary &library,
+                      const CompiledProgram *program, std::ostream &os,
+                      const ScheduleIoOptions &opt)
 {
     require(opt.sample_dt >= 0.0, "writeScheduleJson: bad sample_dt");
     JsonWriter w(os, opt.pretty);
@@ -162,6 +163,12 @@ writeScheduleJson(const Schedule &schedule,
     w.value(schedule.executionTime());
     w.key("pulse_library");
     w.value(library.name());
+    if (program != nullptr) {
+        w.key("pulse_method");
+        w.value(pulseMethodName(program->pulse_method));
+        w.key("sched_policy");
+        w.value(schedPolicyName(program->sched_policy));
+    }
 
     w.key("layers");
     w.beginArray();
@@ -239,6 +246,26 @@ writeScheduleJson(const Schedule &schedule,
     }
     w.endObject();
     os << "\n";
+}
+
+} // namespace
+
+void
+writeScheduleJson(const Schedule &schedule,
+                  const pulse::PulseLibrary &library, std::ostream &os,
+                  const ScheduleIoOptions &opt)
+{
+    writeScheduleDocument(schedule, library, nullptr, os, opt);
+}
+
+void
+writeCompiledProgramJson(const CompiledProgram &program,
+                         std::ostream &os, const ScheduleIoOptions &opt)
+{
+    require(program.library != nullptr,
+            "writeCompiledProgramJson: program has no pulse library");
+    writeScheduleDocument(program.schedule, *program.library, &program,
+                          os, opt);
 }
 
 } // namespace qzz::core

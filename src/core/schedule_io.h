@@ -11,6 +11,7 @@
 
 #include <ostream>
 
+#include "core/framework.h"
 #include "core/schedule.h"
 #include "pulse/library.h"
 
@@ -45,6 +46,17 @@ void writeScheduleJson(const Schedule &schedule,
                        const pulse::PulseLibrary &library,
                        std::ostream &os,
                        const ScheduleIoOptions &opt = {});
+
+/**
+ * Write a whole CompiledProgram as JSON: the schedule document above
+ * plus "pulse_method" / "sched_policy" fields holding the display
+ * names, so consumers can recover the configuration with
+ * pulseMethodFromName() / schedPolicyFromName() instead of
+ * hand-rolling string matching.
+ */
+void writeCompiledProgramJson(const CompiledProgram &program,
+                              std::ostream &os,
+                              const ScheduleIoOptions &opt = {});
 
 } // namespace qzz::core
 

@@ -153,17 +153,31 @@ twoQSchedule(const QuantumCircuit &c, const std::vector<int> &sg2,
 
 } // namespace
 
+ZzxDeviceTables::ZzxDeviceTables(const dev::Device &dev)
+    : solver(dev.topology()), dist(dev.graph().allPairsDistances())
+{
+}
+
 Schedule
 zzxSchedule(const QuantumCircuit &native, const dev::Device &dev,
-            const GateDurations &durations, const ZzxOptions &opt_in)
+            const GateDurations &durations, const ZzxOptions &opt)
+{
+    return zzxSchedule(native, dev, durations, opt,
+                       ZzxDeviceTables(dev));
+}
+
+Schedule
+zzxSchedule(const QuantumCircuit &native, const dev::Device &dev,
+            const GateDurations &durations, const ZzxOptions &opt_in,
+            const ZzxDeviceTables &tables)
 {
     require(native.isNative(), "zzxSchedule: circuit must be native");
     require(native.numQubits() == dev.numQubits(),
             "zzxSchedule: circuit/device size mismatch");
 
     const ZzxOptions opt = resolveZzxOptions(opt_in, dev);
-    const SuppressionSolver solver(dev.topology());
-    const auto dist = dev.graph().allPairsDistances();
+    const SuppressionSolver &solver = tables.solver;
+    const auto &dist = tables.dist;
 
     Schedule sched;
     sched.num_qubits = native.numQubits();

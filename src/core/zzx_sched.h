@@ -47,6 +47,22 @@ struct ZzxOptions
 ZzxOptions resolveZzxOptions(ZzxOptions opt, const dev::Device &dev);
 
 /**
+ * Per-device tables ZZXSched needs on every call: the all-pairs
+ * qubit distances and the alpha-optimal suppression solver (planar
+ * embedding + dual graph).  Building them costs more than a single
+ * scheduling query, so callers compiling many circuits against one
+ * device (core::Compiler, compileBatch()) construct the tables once
+ * and share them — they are immutable and thread-safe to share.
+ */
+struct ZzxDeviceTables
+{
+    explicit ZzxDeviceTables(const dev::Device &dev);
+
+    SuppressionSolver solver;
+    std::vector<std::vector<int>> dist;
+};
+
+/**
  * Schedule a native circuit with ZZ-aware layering.
  *
  * @param native    native-gate circuit over the device's qubits.
@@ -58,6 +74,13 @@ Schedule zzxSchedule(const ckt::QuantumCircuit &native,
                      const dev::Device &dev,
                      const GateDurations &durations,
                      const ZzxOptions &opt = {});
+
+/** Same, reusing precomputed per-device tables. */
+Schedule zzxSchedule(const ckt::QuantumCircuit &native,
+                     const dev::Device &dev,
+                     const GateDurations &durations,
+                     const ZzxOptions &opt,
+                     const ZzxDeviceTables &tables);
 
 /**
  * Distance between two-qubit gates (Definition 6.1): the sum of the

@@ -15,6 +15,15 @@ configName(const core::CompileOptions &opt)
 
 namespace {
 
+/** Run the compiler and surface a failed status like the legacy
+ *  throwing entry points did. */
+core::CompiledProgram
+compileOrThrow(const core::Compiler &compiler,
+               const ckt::QuantumCircuit &logical)
+{
+    return core::unwrapOrThrow(compiler.compile(logical));
+}
+
 FidelityResult
 makeResult(const ckt::QuantumCircuit &logical,
            const core::CompileOptions &opt,
@@ -34,15 +43,15 @@ makeResult(const ckt::QuantumCircuit &logical,
 
 FidelityResult
 evaluateFidelity(const ckt::QuantumCircuit &logical,
-                 const dev::Device &device,
-                 const core::CompileOptions &opt,
+                 const core::Compiler &compiler,
                  const sim::PulseSimOptions &sim_opt)
 {
-    core::CompiledProgram prog = compileForDevice(logical, device, opt);
-    FidelityResult res = makeResult(logical, opt, prog);
+    core::CompiledProgram prog = compileOrThrow(compiler, logical);
+    FidelityResult res =
+        makeResult(logical, compiler.options(), prog);
 
-    sim::PulseScheduleSimulator simulator(device, *prog.library,
-                                          sim_opt);
+    sim::PulseScheduleSimulator simulator(compiler.device(),
+                                          *prog.library, sim_opt);
     const sim::StateVector actual = simulator.run(prog.schedule);
     const sim::StateVector ideal =
         sim::runIdealSchedule(prog.schedule);
@@ -52,20 +61,42 @@ evaluateFidelity(const ckt::QuantumCircuit &logical,
 
 FidelityResult
 evaluateFidelityWithDecoherence(const ckt::QuantumCircuit &logical,
-                                const dev::Device &device,
-                                const core::CompileOptions &opt,
+                                const core::Compiler &compiler,
                                 const sim::PulseSimOptions &sim_opt)
 {
-    core::CompiledProgram prog = compileForDevice(logical, device, opt);
-    FidelityResult res = makeResult(logical, opt, prog);
+    core::CompiledProgram prog = compileOrThrow(compiler, logical);
+    FidelityResult res =
+        makeResult(logical, compiler.options(), prog);
 
-    sim::DensityMatrixScheduleSimulator simulator(device, *prog.library,
-                                                  sim_opt);
+    sim::DensityMatrixScheduleSimulator simulator(
+        compiler.device(), *prog.library, sim_opt);
     const sim::DensityMatrix actual = simulator.run(prog.schedule);
     const sim::StateVector ideal =
         sim::runIdealSchedule(prog.schedule);
     res.fidelity = actual.expectationPure(ideal);
     return res;
+}
+
+FidelityResult
+evaluateFidelity(const ckt::QuantumCircuit &logical,
+                 const dev::Device &device,
+                 const core::CompileOptions &opt,
+                 const sim::PulseSimOptions &sim_opt)
+{
+    const core::Compiler compiler =
+        core::CompilerBuilder(device).options(opt).build();
+    return evaluateFidelity(logical, compiler, sim_opt);
+}
+
+FidelityResult
+evaluateFidelityWithDecoherence(const ckt::QuantumCircuit &logical,
+                                const dev::Device &device,
+                                const core::CompileOptions &opt,
+                                const sim::PulseSimOptions &sim_opt)
+{
+    const core::Compiler compiler =
+        core::CompilerBuilder(device).options(opt).build();
+    return evaluateFidelityWithDecoherence(logical, compiler, sim_opt);
 }
 
 } // namespace qzz::exp

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "core/compiler.h"
 #include "core/framework.h"
 #include "sim/ideal_sim.h"
 #include "sim/lindblad.h"
@@ -54,6 +55,21 @@ FidelityResult
 evaluateFidelityWithDecoherence(const ckt::QuantumCircuit &logical,
                                 const dev::Device &device,
                                 const core::CompileOptions &opt,
+                                const sim::PulseSimOptions &sim_opt = {});
+
+/**
+ * Evaluate using a prebuilt core::Compiler (the stage-based API).
+ * Reusing one compiler across the circuits of a figure shares the
+ * per-device routing tables and the pulse library.
+ */
+FidelityResult evaluateFidelity(const ckt::QuantumCircuit &logical,
+                                const core::Compiler &compiler,
+                                const sim::PulseSimOptions &sim_opt = {});
+
+/** Same, with T1/T2 decoherence (density-matrix simulation). */
+FidelityResult
+evaluateFidelityWithDecoherence(const ckt::QuantumCircuit &logical,
+                                const core::Compiler &compiler,
                                 const sim::PulseSimOptions &sim_opt = {});
 
 /** Short display name like "Pert+ZZXSched". */

@@ -5,6 +5,35 @@
  * Fine-grained headers remain available (e.g. "core/suppression.h")
  * for faster builds; this header is a convenience for examples and
  * downstream applications.
+ *
+ * @section migration Migration note (stage-based compiler API)
+ *
+ * Compilation is now built around an explicit pass pipeline
+ * (core/compiler.h).  The canonical entry point is:
+ *
+ * @code
+ *   core::Compiler compiler = core::CompilerBuilder(device)
+ *                                 .pulseMethod(core::PulseMethod::Pert)
+ *                                 .schedPolicy(core::SchedPolicy::Zzx)
+ *                                 .build();
+ *   core::CompileResult result = compiler.compile(circuit);   // or
+ *   core::BatchResult batch = compiler.compileBatch(circuits);
+ * @endcode
+ *
+ * Differences from the legacy free functions:
+ *  - errors arrive on result.status (a structured channel) instead of
+ *    thrown UserError/InternalError;
+ *  - result.diagnostics carries per-stage wall times and NC/NQ stats;
+ *  - schedulers (core::Scheduler) and pulse sources
+ *    (core::PulseProvider) are injectable, and CompiledProgram owns
+ *    its pulse library via shared_ptr rather than borrowing a
+ *    process-global pointer;
+ *  - compileBatch() compiles many circuits across a thread pool while
+ *    sharing routing tables and pulse libraries.
+ *
+ * core::compileForDevice() / core::compileSegmentsForDevice() remain
+ * as thin shims with bit-identical output and the historical throwing
+ * behavior.
  */
 
 #ifndef QZZ_QZZ_H
@@ -41,6 +70,7 @@
 #include "circuit/gate.h"
 #include "circuit/router.h"
 
+#include "core/compiler.h"
 #include "core/cut.h"
 #include "core/dcg.h"
 #include "core/framework.h"

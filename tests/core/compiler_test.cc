@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests for the stage-based compilation API (core/compiler.h): the
+ * builder, the default pass pipeline, the structured status channel,
+ * per-stage diagnostics, injectable schedulers / pulse providers, and
+ * the bit-identity of the legacy compileForDevice() shims.
+ */
+
+#include "core/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "circuit/benchmarks.h"
+#include "common/units.h"
+#include "core/dcg.h"
+#include "core/schedule_io.h"
+#include "graph/topologies.h"
+#include "sim/ideal_sim.h"
+
+namespace qzz::core {
+namespace {
+
+dev::Device
+device23(uint64_t seed = 3)
+{
+    Rng rng(seed);
+    return dev::Device(graph::gridTopology(2, 3), dev::DeviceParams{},
+                       rng);
+}
+
+/** Serialize a schedule so two compiles can be compared bit-for-bit. */
+std::string
+scheduleFingerprint(const Schedule &schedule,
+                    const pulse::PulseLibrary &library)
+{
+    std::ostringstream os;
+    ScheduleIoOptions opt;
+    opt.sample_dt = 0.0;
+    opt.pretty = false;
+    writeScheduleJson(schedule, library, os, opt);
+    return os.str();
+}
+
+ckt::QuantumCircuit
+testCircuit(uint64_t seed = 7)
+{
+    Rng rng(seed);
+    return ckt::qaoaMaxCut(6, 1, rng);
+}
+
+TEST(CompilerTest, BuilderProducesCompleteProgram)
+{
+    auto dev = device23();
+    Compiler compiler = CompilerBuilder(dev)
+                            .pulseMethod(PulseMethod::Gaussian)
+                            .schedPolicy(SchedPolicy::Zzx)
+                            .build();
+    CompileResult result = compiler.compile(testCircuit());
+
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.program.native.isNative());
+    ASSERT_NE(result.program.library, nullptr);
+    EXPECT_EQ(result.program.library->name(), "Gaussian");
+    EXPECT_EQ(result.program.pulse_method, PulseMethod::Gaussian);
+    EXPECT_EQ(result.program.sched_policy, SchedPolicy::Zzx);
+    EXPECT_EQ(result.program.schedule.circuitGateCount(),
+              int(result.program.native.size()));
+    EXPECT_EQ(int(result.program.final_layout.size()), 6);
+}
+
+TEST(CompilerTest, DiagnosticsCoverEveryStage)
+{
+    auto dev = device23();
+    Compiler compiler = CompilerBuilder(dev)
+                            .pulseMethod(PulseMethod::Gaussian)
+                            .schedPolicy(SchedPolicy::Zzx)
+                            .build();
+    CompileResult result = compiler.compile(testCircuit());
+
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.diagnostics.stages.size(), 4u);
+    EXPECT_EQ(result.diagnostics.stages[0].stage, "route");
+    EXPECT_EQ(result.diagnostics.stages[1].stage, "lower");
+    EXPECT_EQ(result.diagnostics.stages[2].stage, "schedule");
+    EXPECT_EQ(result.diagnostics.stages[3].stage, "pulses");
+    EXPECT_GT(result.diagnostics.stages[1].gates_added, 0);
+    EXPECT_GT(result.diagnostics.stages[2].layers_added, 0);
+    for (const StageDiagnostics &stage : result.diagnostics.stages)
+        EXPECT_GE(stage.wall_ms, 0.0);
+    EXPECT_GT(result.diagnostics.total_ms, 0.0);
+    EXPECT_EQ(result.diagnostics.physical_layers,
+              result.program.schedule.physicalLayerCount());
+    EXPECT_DOUBLE_EQ(result.diagnostics.execution_time_ns,
+                     result.program.schedule.executionTime());
+    EXPECT_DOUBLE_EQ(result.diagnostics.mean_nc,
+                     result.program.schedule.meanNc());
+    EXPECT_EQ(result.diagnostics.max_nq,
+              result.program.schedule.maxNq());
+}
+
+TEST(CompilerTest, RoutingDiagnosticsCountSwaps)
+{
+    auto dev = device23();
+    ckt::QuantumCircuit c(6);
+    c.cx(0, 5); // distance 3 on the 2x3 grid: SWAPs required
+    Compiler compiler = CompilerBuilder(dev)
+                            .pulseMethod(PulseMethod::Gaussian)
+                            .build();
+    CompileResult result = compiler.compile(c);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result.diagnostics.swaps_inserted, 0);
+    // The layout permutation reflects the SWAP walk.
+    std::vector<int> identity{0, 1, 2, 3, 4, 5};
+    EXPECT_NE(result.program.final_layout, identity);
+}
+
+TEST(CompilerTest, StatusChannelReportsEmptyInput)
+{
+    auto dev = device23();
+    Compiler compiler = CompilerBuilder(dev).build();
+    CompileResult result = compiler.compileSegments({});
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status.code, CompileStatusCode::InvalidInput);
+    EXPECT_NE(result.status.message.find("no segments"),
+              std::string::npos);
+}
+
+TEST(CompilerTest, StatusChannelReportsOversizedCircuit)
+{
+    auto dev = device23();
+    ckt::QuantumCircuit c(12); // larger than the 6-qubit device
+    c.h(0);
+    Compiler compiler = CompilerBuilder(dev)
+                            .pulseMethod(PulseMethod::Gaussian)
+                            .build();
+    CompileResult result = compiler.compile(c);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status.code, CompileStatusCode::InvalidInput);
+    EXPECT_EQ(result.status.pass, "route");
+}
+
+TEST(CompilerTest, StatusChannelReportsSegmentSizeMismatch)
+{
+    auto dev = device23();
+    std::vector<ckt::QuantumCircuit> segments;
+    segments.emplace_back(6);
+    segments.emplace_back(4);
+    Compiler compiler = CompilerBuilder(dev)
+                            .pulseMethod(PulseMethod::Gaussian)
+                            .build();
+    CompileResult result = compiler.compileSegments(segments);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status.pass, "route");
+}
+
+TEST(CompilerTest, ShimProducesBitIdenticalSchedules)
+{
+    // Acceptance: compileForDevice must stay a faithful shim over the
+    // Compiler path.
+    auto dev = device23();
+    ckt::QuantumCircuit c = testCircuit(9);
+    for (SchedPolicy policy : {SchedPolicy::Par, SchedPolicy::Zzx}) {
+        CompileOptions opt;
+        opt.pulse = PulseMethod::Gaussian;
+        opt.sched = policy;
+
+        CompiledProgram via_shim = compileForDevice(c, dev, opt);
+        Compiler compiler = CompilerBuilder(dev).options(opt).build();
+        CompileResult via_api = compiler.compile(c);
+        ASSERT_TRUE(via_api.ok());
+
+        EXPECT_EQ(
+            scheduleFingerprint(via_shim.schedule, *via_shim.library),
+            scheduleFingerprint(via_api.program.schedule,
+                                *via_api.program.library));
+        ASSERT_EQ(via_shim.native.size(), via_api.program.native.size());
+        for (size_t i = 0; i < via_shim.native.size(); ++i) {
+            EXPECT_EQ(via_shim.native.gates()[i].kind,
+                      via_api.program.native.gates()[i].kind);
+            EXPECT_EQ(via_shim.native.gates()[i].qubits,
+                      via_api.program.native.gates()[i].qubits);
+        }
+        EXPECT_EQ(via_shim.final_layout, via_api.program.final_layout);
+    }
+}
+
+TEST(CompilerTest, SegmentShimMatchesCompilerSegments)
+{
+    auto dev = device23();
+    std::vector<ckt::QuantumCircuit> segments(2,
+                                              ckt::QuantumCircuit(6));
+    segments[0].cx(0, 5);
+    segments[1].cx(0, 5);
+    CompileOptions opt;
+    opt.pulse = PulseMethod::Gaussian;
+    opt.sched = SchedPolicy::Zzx;
+
+    CompiledProgram via_shim =
+        compileSegmentsForDevice(segments, dev, opt);
+    Compiler compiler = CompilerBuilder(dev).options(opt).build();
+    CompileResult via_api = compiler.compileSegments(segments);
+    ASSERT_TRUE(via_api.ok());
+    EXPECT_EQ(scheduleFingerprint(via_shim.schedule, *via_shim.library),
+              scheduleFingerprint(via_api.program.schedule,
+                                  *via_api.program.library));
+    EXPECT_EQ(via_shim.final_layout, via_api.program.final_layout);
+}
+
+TEST(CompilerTest, FixedPulseProviderInjectsLibrary)
+{
+    // DD composition via the provider seam: every gate comes from the
+    // substituted library, no process-global cache involved.
+    auto dev = device23();
+    pulse::PulseLibrary dd = substituteIdentity(
+        pulse::PulseLibrary::gaussian(), dcgIdentity());
+    ckt::QuantumCircuit c(6);
+    c.sx(0);
+    Compiler compiler =
+        CompilerBuilder(dev)
+            .schedPolicy(SchedPolicy::Zzx)
+            .pulseProvider(
+                std::make_shared<FixedPulseProvider>(std::move(dd)))
+            .build();
+    CompileResult result = compiler.compile(c);
+    ASSERT_TRUE(result.ok());
+    ASSERT_NE(result.program.library, nullptr);
+    EXPECT_EQ(result.program.library->name(), "Gaussian+DD");
+    // Supplemented identities are the 40 ns DCG sequence; the layer
+    // lasts as long as its longest pulse.
+    ASSERT_EQ(result.program.schedule.physicalLayerCount(), 1);
+    EXPECT_DOUBLE_EQ(result.program.schedule.executionTime(), 40.0);
+}
+
+TEST(CompilerTest, CustomSchedulerIsUsed)
+{
+    /** A policy that simply delegates to ParSched but proves the
+     *  injection seam works. */
+    class CountingScheduler final : public Scheduler
+    {
+      public:
+        explicit CountingScheduler(std::atomic<int> &calls)
+            : calls_(calls)
+        {
+        }
+        std::string name() const override { return "Counting"; }
+        Schedule
+        schedule(const ckt::QuantumCircuit &native,
+                 const dev::Device &dev, const GateDurations &durations,
+                 const SchedulerState *state) const override
+        {
+            (void)state;
+            calls_.fetch_add(1);
+            return parSchedule(native, dev, durations);
+        }
+
+      private:
+        std::atomic<int> &calls_;
+    };
+
+    auto dev = device23();
+    std::atomic<int> calls{0};
+    Compiler compiler =
+        CompilerBuilder(dev)
+            .pulseMethod(PulseMethod::Gaussian)
+            .scheduler(std::make_shared<CountingScheduler>(calls))
+            .build();
+    EXPECT_EQ(compiler.scheduler().name(), "Counting");
+    CompileResult result = compiler.compile(testCircuit());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(CompilerTest, CustomPassAppendsToPipeline)
+{
+    /** A post-pipeline stage: counts supplemented identities. */
+    class CountSupplementedPass final : public Pass
+    {
+      public:
+        explicit CountSupplementedPass(std::atomic<int> &count)
+            : count_(count)
+        {
+        }
+        std::string name() const override { return "count-suppl"; }
+        void
+        run(CompileContext &ctx) const override
+        {
+            int n = 0;
+            for (const Layer &layer : ctx.program.schedule.layers)
+                for (const ScheduledGate &sg : layer.gates)
+                    n += sg.supplemented ? 1 : 0;
+            count_.store(n);
+        }
+
+      private:
+        std::atomic<int> &count_;
+    };
+
+    auto dev = device23();
+    std::atomic<int> count{-1};
+    Compiler compiler =
+        CompilerBuilder(dev)
+            .pulseMethod(PulseMethod::Gaussian)
+            .schedPolicy(SchedPolicy::Zzx)
+            .addPass(std::make_shared<CountSupplementedPass>(count))
+            .build();
+    EXPECT_EQ(compiler.passes().size(), 5u);
+    CompileResult result = compiler.compile(testCircuit());
+    ASSERT_TRUE(result.ok());
+    // ZZXSched supplements identities, so the pass must have seen > 0.
+    EXPECT_GT(count.load(), 0);
+    ASSERT_EQ(result.diagnostics.stages.size(), 5u);
+    EXPECT_EQ(result.diagnostics.stages.back().stage, "count-suppl");
+}
+
+TEST(CompilerTest, ForeignExceptionsLandOnStatusChannel)
+{
+    /** A pass throwing a non-qzz exception: must surface as a failed
+     *  status, not escape (which would terminate compileBatch
+     *  workers). */
+    class ThrowingPass final : public Pass
+    {
+      public:
+        std::string name() const override { return "throwing"; }
+        void
+        run(CompileContext &ctx) const override
+        {
+            (void)ctx;
+            throw std::runtime_error("external failure");
+        }
+    };
+
+    auto dev = device23();
+    Compiler compiler = CompilerBuilder(dev)
+                            .pulseMethod(PulseMethod::Gaussian)
+                            .addPass(std::make_shared<ThrowingPass>())
+                            .build();
+    CompileResult direct = compiler.compile(testCircuit());
+    EXPECT_FALSE(direct.ok());
+    EXPECT_EQ(direct.status.code, CompileStatusCode::Internal);
+    EXPECT_EQ(direct.status.pass, "throwing");
+    EXPECT_EQ(direct.status.message, "external failure");
+
+    // And through the batch thread pool.
+    BatchOptions opt;
+    opt.num_threads = 2;
+    BatchResult batch = compiler.compileBatch(
+        {testCircuit(), testCircuit(8)}, opt);
+    ASSERT_EQ(batch.results.size(), 2u);
+    EXPECT_FALSE(batch.allOk());
+    for (const CompileResult &r : batch.results)
+        EXPECT_EQ(r.status.code, CompileStatusCode::Internal);
+}
+
+TEST(CompilerTest, ProgramOwnsLibraryAcrossCacheClear)
+{
+    auto dev = device23();
+    Compiler compiler = CompilerBuilder(dev)
+                            .pulseMethod(PulseMethod::Gaussian)
+                            .build();
+    CompileResult result = compiler.compile(testCircuit());
+    ASSERT_TRUE(result.ok());
+    clearPulseLibraryCache();
+    // shared_ptr ownership keeps the library valid after the clear.
+    EXPECT_EQ(result.program.library->name(), "Gaussian");
+    EXPECT_TRUE(result.program.library->has(pulse::PulseGate::SX));
+}
+
+TEST(CompilerTest, SemanticsPreservedThroughPipeline)
+{
+    auto dev = device23();
+    Rng rng(9);
+    ckt::QuantumCircuit c = ckt::hiddenShift(6, rng);
+    Compiler par = CompilerBuilder(dev)
+                       .pulseMethod(PulseMethod::Gaussian)
+                       .schedPolicy(SchedPolicy::Par)
+                       .build();
+    Compiler zzx = CompilerBuilder(dev)
+                       .pulseMethod(PulseMethod::Gaussian)
+                       .schedPolicy(SchedPolicy::Zzx)
+                       .build();
+    CompileResult a = par.compile(c);
+    CompileResult b = zzx.compile(c);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    auto psi_a = sim::runIdealSchedule(a.program.schedule);
+    auto psi_b = sim::runIdealSchedule(b.program.schedule);
+    EXPECT_NEAR(psi_a.fidelity(psi_b), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace qzz::core

@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.h"
 #include "common/units.h"
+#include "circuit/benchmarks.h"
 #include "circuit/decompose.h"
+#include "core/compiler.h"
 #include "core/dcg.h"
 #include "core/framework.h"
 #include "core/schedule_io.h"
@@ -91,6 +94,119 @@ TEST(SegmentsTest, EmptySegmentListRejected)
     CompileOptions opt;
     opt.pulse = PulseMethod::Gaussian;
     EXPECT_THROW(compileSegmentsForDevice({}, dev, opt), UserError);
+}
+
+TEST(SegmentsTest, RegisterSizeMismatchRejected)
+{
+    auto dev = device23();
+    std::vector<ckt::QuantumCircuit> segments;
+    segments.emplace_back(6);
+    segments.emplace_back(4); // different logical register
+    CompileOptions opt;
+    opt.pulse = PulseMethod::Gaussian;
+    EXPECT_THROW(compileSegmentsForDevice(segments, dev, opt),
+                 UserError);
+}
+
+TEST(SegmentsTest, SingleSegmentMatchesWholeCompile)
+{
+    auto dev = device23();
+    Rng rng(13);
+    ckt::QuantumCircuit c = ckt::qaoaMaxCut(6, 1, rng);
+    CompileOptions opt;
+    opt.pulse = PulseMethod::Gaussian;
+    opt.sched = SchedPolicy::Zzx;
+    auto whole = compileForDevice(c, dev, opt);
+    auto segmented = compileSegmentsForDevice({c}, dev, opt);
+    ASSERT_EQ(whole.schedule.layers.size(),
+              segmented.schedule.layers.size());
+    EXPECT_EQ(whole.native.size(), segmented.native.size());
+    EXPECT_EQ(whole.final_layout, segmented.final_layout);
+    EXPECT_DOUBLE_EQ(whole.schedule.executionTime(),
+                     segmented.schedule.executionTime());
+}
+
+TEST(SegmentsTest, FinalLayoutExposesThreadedPermutation)
+{
+    auto dev = device23();
+    std::vector<ckt::QuantumCircuit> segments(2,
+                                              ckt::QuantumCircuit(6));
+    segments[0].cx(0, 5); // forces SWAPs
+    segments[1].sx(0);
+    CompileOptions opt;
+    opt.pulse = PulseMethod::Gaussian;
+    opt.sched = SchedPolicy::Par;
+    auto prog = compileSegmentsForDevice(segments, dev, opt);
+    // The SWAP walk of segment 1 moved logical qubit 0; the exposed
+    // layout is a permutation reflecting it.
+    ASSERT_EQ(int(prog.final_layout.size()), 6);
+    std::vector<int> sorted = prog.final_layout;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+    EXPECT_NE(prog.final_layout, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(DdSubstitutionTest, PreservesBaseProgramsVerbatim)
+{
+    pulse::PulseLibrary base = pulse::PulseLibrary::gaussian();
+    pulse::PulseLibrary dd = substituteIdentity(base, dcgIdentity());
+    // SX and RZX are carried over untouched: same durations, and the
+    // same samples on the active channel (x_a for SX, coupling for
+    // the Gaussian RZX, whose drive channels are empty).
+    for (pulse::PulseGate g :
+         {pulse::PulseGate::SX, pulse::PulseGate::RZX}) {
+        const auto &orig = base.get(g);
+        const auto &kept = dd.get(g);
+        EXPECT_DOUBLE_EQ(kept.duration, orig.duration);
+        const auto &orig_wf =
+            g == pulse::PulseGate::RZX ? orig.coupling : orig.x_a;
+        const auto &kept_wf =
+            g == pulse::PulseGate::RZX ? kept.coupling : kept.x_a;
+        ASSERT_NE(orig_wf, nullptr);
+        ASSERT_NE(kept_wf, nullptr);
+        for (double t : {0.0, 5.0, 10.0, 19.0})
+            EXPECT_DOUBLE_EQ(kept_wf->value(t), orig_wf->value(t));
+    }
+}
+
+TEST(DdSubstitutionTest, WorksWithoutTwoQubitProgram)
+{
+    // A library holding only SX: substitution must not invent RZX.
+    pulse::PulseLibrary base("sx-only");
+    base.set(pulse::PulseGate::SX,
+             pulse::PulseLibrary::gaussian().get(pulse::PulseGate::SX));
+    pulse::PulseLibrary dd = substituteIdentity(base, dcgIdentity());
+    EXPECT_EQ(dd.name(), "sx-only+DD");
+    EXPECT_TRUE(dd.has(pulse::PulseGate::SX));
+    EXPECT_TRUE(dd.has(pulse::PulseGate::Identity));
+    EXPECT_FALSE(dd.has(pulse::PulseGate::RZX));
+}
+
+TEST(DdSubstitutionTest, SubstitutedLibraryCompilesViaProvider)
+{
+    // End to end through the injection seam: DD identities lengthen
+    // the supplemented idle slots of a ZZXSched schedule.
+    auto dev = device23();
+    ckt::QuantumCircuit c(6);
+    c.sx(0);
+    CompileOptions opt;
+    opt.pulse = PulseMethod::Gaussian;
+    opt.sched = SchedPolicy::Zzx;
+    Compiler compiler =
+        CompilerBuilder(dev)
+            .options(opt)
+            .pulseProvider(std::make_shared<FixedPulseProvider>(
+                substituteIdentity(pulse::PulseLibrary::gaussian(),
+                                   dcgIdentity())))
+            .build();
+    auto result = compiler.compile(c);
+    ASSERT_TRUE(result.ok());
+    int supplemented = 0;
+    for (const Layer &layer : result.program.schedule.layers)
+        for (const ScheduledGate &sg : layer.gates)
+            supplemented += sg.supplemented ? 1 : 0;
+    EXPECT_GT(supplemented, 0);
+    EXPECT_DOUBLE_EQ(result.program.schedule.executionTime(), 40.0);
 }
 
 TEST(DdSubstitutionTest, ReplacesIdentityOnly)

@@ -24,6 +24,21 @@ TEST(FrameworkTest, PolicyNames)
     EXPECT_EQ(schedPolicyName(SchedPolicy::Zzx), "ZZXSched");
 }
 
+TEST(FrameworkTest, PolicyNameRoundTrips)
+{
+    for (SchedPolicy p : {SchedPolicy::Par, SchedPolicy::Zzx}) {
+        auto parsed = schedPolicyFromName(schedPolicyName(p));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, p);
+    }
+    // Enum spellings and case-insensitivity for CLI use.
+    EXPECT_EQ(schedPolicyFromName("par"), SchedPolicy::Par);
+    EXPECT_EQ(schedPolicyFromName("zzx"), SchedPolicy::Zzx);
+    EXPECT_EQ(schedPolicyFromName("zzxsched"), SchedPolicy::Zzx);
+    EXPECT_FALSE(schedPolicyFromName("").has_value());
+    EXPECT_FALSE(schedPolicyFromName("asap").has_value());
+}
+
 TEST(FrameworkTest, CompiledProgramIsComplete)
 {
     auto dev = device23();

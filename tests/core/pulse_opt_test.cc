@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <thread>
 
 #include "common/error.h"
 #include "common/units.h"
@@ -137,6 +139,74 @@ TEST(PulseOptTest, OnlyOptimizableMethodsAccepted)
                                pulse::PulseGate::SX,
                                PulseOptConfig{}),
                  UserError);
+}
+
+TEST(PulseOptTest, MethodNameRoundTrips)
+{
+    for (PulseMethod m :
+         {PulseMethod::Gaussian, PulseMethod::OptCtrl,
+          PulseMethod::Pert, PulseMethod::DCG}) {
+        auto parsed = pulseMethodFromName(pulseMethodName(m));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, m);
+    }
+    // Case-insensitive, plus the configName() abbreviation.
+    EXPECT_EQ(pulseMethodFromName("pert"), PulseMethod::Pert);
+    EXPECT_EQ(pulseMethodFromName("GAUSSIAN"), PulseMethod::Gaussian);
+    EXPECT_EQ(pulseMethodFromName("Gau"), PulseMethod::Gaussian);
+    EXPECT_EQ(pulseMethodFromName("dcg"), PulseMethod::DCG);
+    EXPECT_FALSE(pulseMethodFromName("").has_value());
+    EXPECT_FALSE(pulseMethodFromName("Pertt").has_value());
+    EXPECT_FALSE(pulseMethodFromName("bogus").has_value());
+}
+
+TEST(PulseOptTest, SharedLibrarySurvivesCacheClear)
+{
+    clearPulseLibraryCache();
+    auto gau = getPulseLibraryShared(PulseMethod::Gaussian);
+    ASSERT_NE(gau, nullptr);
+    clearPulseLibraryCache();
+    EXPECT_EQ(gau->name(), "Gaussian");
+    EXPECT_TRUE(gau->has(pulse::PulseGate::RZX));
+    // A fresh request rebuilds; the old handle stays distinct but
+    // valid.
+    auto rebuilt = getPulseLibraryShared(PulseMethod::Gaussian);
+    EXPECT_NE(rebuilt.get(), gau.get());
+    EXPECT_EQ(rebuilt->name(), gau->name());
+}
+
+TEST(PulseOptTest, LibraryMemoIsThreadSafe)
+{
+    // Hammer the memo from many threads while interleaving clears;
+    // under TSan/ASan this catches races, and functionally every
+    // fetched handle must stay a complete, valid library.
+    clearPulseLibraryCache();
+    constexpr int kThreads = 8;
+    constexpr int kIters = 50;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([t, &failures]() {
+            for (int i = 0; i < kIters; ++i) {
+                const PulseMethod m = (t + i) % 2 == 0
+                                          ? PulseMethod::Gaussian
+                                          : PulseMethod::DCG;
+                auto lib = getPulseLibraryShared(m);
+                if (lib == nullptr ||
+                    lib->name() != pulseMethodName(m) ||
+                    !lib->has(pulse::PulseGate::SX) ||
+                    !lib->has(pulse::PulseGate::Identity))
+                    failures.fetch_add(1);
+                if (t == 0 && i % 10 == 9)
+                    clearPulseLibraryCache();
+            }
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+    clearPulseLibraryCache();
 }
 
 } // namespace
