@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Service-layer load generator: multi-client throughput of
+ * svc::CompileService across worker counts and cache hit ratios.
+ *
+ * Each run pre-generates a GRC-12 workload over a 3x4 grid, points M
+ * client threads at a fresh CompileService and measures wall time
+ * from first submission to last future resolution.  The hit-ratio
+ * axis controls how many requests repeat circuits that were
+ * pre-warmed into the program cache versus unique circuits that must
+ * cold-compile — the repeated-submission regime the service exists to
+ * amortize.
+ *
+ * Emits BENCH_service_throughput.json (path overridable via argv[1])
+ * and exits non-zero unless the fully-warm workload sustains at least
+ * 5x the cold throughput at the widest worker count — the service
+ * acceptance bar, enforced by the CI smoke job.  QZZ_QUICK=1 shrinks
+ * the request counts for smoke runs.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qzz.h"
+
+using namespace qzz;
+
+namespace {
+
+struct RunResult
+{
+    int workers = 0;
+    int clients = 0;
+    int requests = 0;
+    double hit_ratio_target = 0.0;
+    double wall_ms = 0.0;
+    double throughput_rps = 0.0;
+    double cache_hit_rate = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+};
+
+/** Monotonic seed source so "unique" circuits never repeat, within a
+ *  run or across runs. */
+uint64_t
+nextUniqueSeed()
+{
+    static uint64_t seed = 1000;
+    return ++seed;
+}
+
+ckt::QuantumCircuit
+grc12(uint64_t seed)
+{
+    Rng rng(seed);
+    return ckt::googleRandom(12, 6, rng);
+}
+
+RunResult
+runOnce(const std::shared_ptr<const dev::Device> &device, int workers,
+        int clients, int requests, double hit_ratio)
+{
+    // The repeated-circuit family a warm cache amortizes.
+    const int kWarmSet = 8;
+    std::vector<ckt::QuantumCircuit> warm_circuits;
+    for (uint64_t s = 1; s <= kWarmSet; ++s)
+        warm_circuits.push_back(grc12(s));
+
+    // Pre-generate every request outside the timed region.  Warm and
+    // cold requests are striped on a 10-request cycle so every
+    // client's contiguous slice carries the target mix — a
+    // front-loaded split would hand some clients all-warm and others
+    // all-cold traffic instead of the interleaved repeated-submission
+    // regime this bench is about.
+    std::vector<ckt::QuantumCircuit> workload;
+    workload.reserve(size_t(requests));
+    for (int i = 0; i < requests; ++i) {
+        const bool repeat = double(i % 10) < 10.0 * hit_ratio - 1e-9;
+        workload.push_back(repeat
+                               ? warm_circuits[size_t(i) % kWarmSet]
+                               : grc12(nextUniqueSeed()));
+    }
+
+    svc::CompileServiceConfig config;
+    config.num_workers = workers;
+    config.cache.capacity = size_t(requests) + kWarmSet;
+    svc::CompileService service(config);
+
+    core::CompileOptions options;
+    options.pulse = core::PulseMethod::Gaussian;
+    options.sched = core::SchedPolicy::Zzx;
+
+    // Warm the cache (and the shared pulse library + device tables)
+    // outside the timed region.
+    {
+        std::vector<svc::CompileRequest> warmup;
+        for (const ckt::QuantumCircuit &c : warm_circuits)
+            warmup.push_back({c, device, options, {}});
+        for (svc::RequestHandle &h : service.submitBatch(
+                 std::move(warmup)))
+            h.get();
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    std::vector<std::thread> client_threads;
+    std::atomic<int> failures{0};
+    const int per_client = requests / clients;
+    for (int c = 0; c < clients; ++c) {
+        client_threads.emplace_back([&, c] {
+            const int begin = c * per_client;
+            const int end =
+                c == clients - 1 ? requests : begin + per_client;
+            std::vector<svc::RequestHandle> handles;
+            handles.reserve(size_t(end - begin));
+            for (int i = begin; i < end; ++i)
+                handles.push_back(service.submit(
+                    {workload[size_t(i)], device, options, {}}));
+            for (svc::RequestHandle &h : handles)
+                if (!h.get().ok())
+                    failures.fetch_add(1);
+        });
+    }
+    for (std::thread &t : client_threads)
+        t.join();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    if (failures.load() != 0)
+        fatal("bench_service_throughput: " +
+              std::to_string(failures.load()) + " requests failed");
+
+    const svc::MetricsSnapshot m = service.metrics();
+    RunResult r;
+    r.workers = service.numWorkers();
+    r.clients = clients;
+    r.requests = requests;
+    r.hit_ratio_target = hit_ratio;
+    r.wall_ms = wall_ms;
+    r.throughput_rps = double(requests) * 1e3 / wall_ms;
+    // Exclude the kWarmSet warm-up misses from the reported rate.
+    const uint64_t lookups = m.cache_hits + m.cache_misses;
+    r.cache_hit_rate =
+        lookups <= kWarmSet
+            ? 0.0
+            : double(m.cache_hits) / double(lookups - kWarmSet);
+    r.p50_ms = m.latency_p50_ms;
+    r.p95_ms = m.latency_p95_ms;
+    r.p99_ms = m.latency_p99_ms;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_service_throughput.json";
+    const bool quick = exp::quickMode();
+    const int requests = quick ? 48 : 240;
+    const int clients = 4;
+
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<int> worker_counts;
+    for (int w : {1, 2, 4, 8})
+        if (unsigned(w) <= hw)
+            worker_counts.push_back(w);
+
+    Rng rng(2);
+    auto device = std::make_shared<const dev::Device>(
+        graph::gridTopology(3, 4), dev::DeviceParams{}, rng);
+
+    std::vector<RunResult> runs;
+    for (int workers : worker_counts) {
+        for (double hit_ratio : {0.0, 0.5, 1.0}) {
+            RunResult r =
+                runOnce(device, workers, clients, requests, hit_ratio);
+            std::cout << "workers=" << r.workers
+                      << " hit_ratio=" << r.hit_ratio_target
+                      << " wall=" << formatF(r.wall_ms, 1) << " ms"
+                      << " throughput=" << formatF(r.throughput_rps, 1)
+                      << " req/s hit_rate="
+                      << formatF(r.cache_hit_rate, 3)
+                      << " p50=" << formatF(r.p50_ms, 2)
+                      << " p99=" << formatF(r.p99_ms, 2) << " ms\n";
+            runs.push_back(r);
+        }
+    }
+
+    // Acceptance: warm >= 5x cold at the widest worker count.
+    const int widest = worker_counts.back();
+    double cold_rps = 0.0, warm_rps = 0.0;
+    for (const RunResult &r : runs) {
+        if (r.workers != widest)
+            continue;
+        if (r.hit_ratio_target == 0.0)
+            cold_rps = r.throughput_rps;
+        if (r.hit_ratio_target == 1.0)
+            warm_rps = r.throughput_rps;
+    }
+    const double speedup = cold_rps > 0.0 ? warm_rps / cold_rps : 0.0;
+    std::cout << "warm-vs-cold speedup at " << widest
+              << " workers: " << formatF(speedup, 1) << "x\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot open " << out_path << "\n";
+        return 1;
+    }
+    out.precision(12);
+    out << "{\n  \"quick\": " << (quick ? "true" : "false")
+        << ",\n  \"hardware_threads\": " << hw
+        << ",\n  \"requests_per_run\": " << requests
+        << ",\n  \"clients\": " << clients << ",\n  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const RunResult &r = runs[i];
+        out << "    {\"workers\": " << r.workers
+            << ", \"clients\": " << r.clients
+            << ", \"requests\": " << r.requests
+            << ", \"hit_ratio_target\": " << r.hit_ratio_target
+            << ", \"wall_ms\": " << r.wall_ms
+            << ", \"throughput_rps\": " << r.throughput_rps
+            << ", \"cache_hit_rate\": " << r.cache_hit_rate
+            << ", \"p50_ms\": " << r.p50_ms
+            << ", \"p95_ms\": " << r.p95_ms
+            << ", \"p99_ms\": " << r.p99_ms << "}"
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"speedup_workers\": " << widest
+        << ",\n  \"warm_vs_cold_speedup\": " << speedup << "\n}\n";
+    out.close();
+    std::cout << "wrote " << out_path << "\n";
+
+    if (speedup < 5.0) {
+        std::cerr << "FAIL: warm cache speedup " << formatF(speedup, 2)
+                  << "x below the 5x acceptance bar\n";
+        return 1;
+    }
+    return 0;
+}

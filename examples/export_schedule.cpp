@@ -13,10 +13,46 @@
 
 #include "qzz.h"
 
+namespace {
+
+void
+printUsage(std::ostream &os)
+{
+    os << "Usage: export_schedule [output.json] [pulse_method] "
+          "[sched_policy]\n"
+          "\n"
+          "Compiles a 6-qubit QAOA MaxCut circuit for a 2x3 grid\n"
+          "device and writes the schedule (layers, cuts, sampled\n"
+          "pulse waveforms) as JSON.\n"
+          "\n"
+          "  output.json   output path (default: qzz_schedule.json)\n"
+          "  pulse_method  one of: "
+       << qzz::joinNames(qzz::core::pulseMethodNames())
+       << " (default: Pert)\n"
+          "  sched_policy  one of: "
+       << qzz::joinNames(qzz::core::schedPolicyNames())
+       << " (default: ZZXSched)\n";
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     using namespace qzz;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        }
+    }
+    if (argc > 4) {
+        std::cerr << "export_schedule: too many arguments\n";
+        printUsage(std::cerr);
+        return 1;
+    }
 
     const std::string path =
         argc > 1 ? argv[1] : "qzz_schedule.json";
@@ -26,8 +62,9 @@ main(int argc, char **argv)
     if (argc > 2) {
         auto method = core::pulseMethodFromName(argv[2]);
         if (!method) {
-            std::cerr << "unknown pulse method '" << argv[2]
-                      << "' (try Gaussian, OptCtrl, Pert, DCG)\n";
+            std::cerr << "export_schedule: unknown pulse method '"
+                      << argv[2] << "' (one of: "
+                      << joinNames(core::pulseMethodNames()) << ")\n";
             return 1;
         }
         opt.pulse = *method;
@@ -35,8 +72,9 @@ main(int argc, char **argv)
     if (argc > 3) {
         auto policy = core::schedPolicyFromName(argv[3]);
         if (!policy) {
-            std::cerr << "unknown scheduling policy '" << argv[3]
-                      << "' (try ParSched, ZZXSched)\n";
+            std::cerr << "export_schedule: unknown scheduling policy '"
+                      << argv[3] << "' (one of: "
+                      << joinNames(core::schedPolicyNames()) << ")\n";
             return 1;
         }
         opt.sched = *policy;

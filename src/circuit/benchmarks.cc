@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "common/units.h"
 
 namespace qzz::ckt {
@@ -210,6 +211,51 @@ addSized(std::vector<BenchmarkInstance> &out, const std::string &family,
 }
 
 } // namespace
+
+std::optional<QuantumCircuit>
+namedBenchmark(std::string_view family, int n, uint64_t seed)
+{
+    Rng rng(seed);
+    QuantumCircuit c;
+    // The canonical spelling names the circuit, so case-variant
+    // requests ("qft" vs "QFT") build byte-identical circuits.
+    std::string canon;
+    if (iequalsAscii(family, "HS") ||
+        iequalsAscii(family, "HiddenShift")) {
+        c = hiddenShift(n, rng);
+        canon = "HS";
+    } else if (iequalsAscii(family, "QFT")) {
+        c = qft(n);
+        canon = "QFT";
+    } else if (iequalsAscii(family, "QPE")) {
+        c = qpe(n);
+        canon = "QPE";
+    } else if (iequalsAscii(family, "QAOA")) {
+        c = qaoaMaxCut(n, 1, rng);
+        canon = "QAOA";
+    } else if (iequalsAscii(family, "Ising")) {
+        c = isingChain(n, 2);
+        canon = "Ising";
+    } else if (iequalsAscii(family, "GRC")) {
+        c = googleRandom(n, 6, rng);
+        canon = "GRC";
+    } else if (iequalsAscii(family, "QV")) {
+        c = quantumVolume(n, 2, rng);
+        canon = "QV";
+    } else {
+        return std::nullopt;
+    }
+    c.setName(canon + "-" + std::to_string(n));
+    return c;
+}
+
+const std::vector<std::string> &
+benchmarkFamilyNames()
+{
+    static const std::vector<std::string> names = {
+        "HS", "QFT", "QPE", "QAOA", "Ising", "GRC", "QV"};
+    return names;
+}
 
 std::vector<BenchmarkInstance>
 paperBenchmarkSuite(Rng &rng)

@@ -12,7 +12,10 @@
 #ifndef QZZ_CIRCUIT_BENCHMARKS_H
 #define QZZ_CIRCUIT_BENCHMARKS_H
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -51,6 +54,21 @@ struct BenchmarkInstance
     std::string label; ///< e.g. "QFT-6"
     QuantumCircuit circuit;
 };
+
+/**
+ * Build a paper benchmark by family name with the depths the suite
+ * uses (QAOA p=1, Ising 2 steps, GRC depth 6, QV depth 2).  Families
+ * (ASCII case-insensitive): "HS"/"HiddenShift", "QFT", "QPE", "QAOA",
+ * "Ising", "GRC", "QV".  Randomness flows from the explicit @p seed
+ * only, so callers such as the compile service's request front-end
+ * are deterministic end to end.  nullopt for an unknown family;
+ * invalid sizes for the family fatal() as the generators do.
+ */
+std::optional<QuantumCircuit> namedBenchmark(std::string_view family,
+                                             int n, uint64_t seed);
+
+/** The family names namedBenchmark() accepts (canonical spellings). */
+const std::vector<std::string> &benchmarkFamilyNames();
 
 /** The 21 instances of Figs. 20-24:
  *  HS-{4,6,12}, QFT-{4,6,9}, QPE-{4,6,9}, QAOA/Ising/GRC-{4,6,9,12}. */

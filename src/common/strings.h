@@ -8,9 +8,24 @@
 
 #include <algorithm>
 #include <cctype>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace qzz {
+
+/** ", "-joined list, e.g. for CLI messages listing valid names. */
+inline std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
 
 /** ASCII case-insensitive equality (used by the enum-name parsers). */
 inline bool

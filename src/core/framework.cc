@@ -22,6 +22,15 @@ schedPolicyFromName(std::string_view name)
     return std::nullopt;
 }
 
+const std::vector<std::string> &
+schedPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        schedPolicyName(SchedPolicy::Par),
+        schedPolicyName(SchedPolicy::Zzx)};
+    return names;
+}
+
 CompiledProgram
 compileForDevice(const ckt::QuantumCircuit &logical,
                  const dev::Device &dev, const CompileOptions &opt)

@@ -22,7 +22,9 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "circuit/router.h"
 #include "core/par_sched.h"
@@ -47,6 +49,10 @@ std::string schedPolicyName(SchedPolicy p);
  * ("ParSched", "Par", "ZZXSched", "Zzx"); nullopt when unknown.
  */
 std::optional<SchedPolicy> schedPolicyFromName(std::string_view name);
+
+/** Every display name schedPolicyFromName() accepts canonically, in
+ *  enum order — for CLI validation messages and --help text. */
+const std::vector<std::string> &schedPolicyNames();
 
 /** One compilation configuration, e.g. {Pert, Zzx}. */
 struct CompileOptions

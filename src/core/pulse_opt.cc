@@ -58,6 +58,17 @@ pulseMethodFromName(std::string_view name)
     return std::nullopt;
 }
 
+const std::vector<std::string> &
+pulseMethodNames()
+{
+    static const std::vector<std::string> names = {
+        pulseMethodName(PulseMethod::Gaussian),
+        pulseMethodName(PulseMethod::OptCtrl),
+        pulseMethodName(PulseMethod::Pert),
+        pulseMethodName(PulseMethod::DCG)};
+    return names;
+}
+
 namespace {
 
 /** Target unitary of a native pulse gate. */

@@ -48,6 +48,10 @@ std::string pulseMethodName(PulseMethod m);
  */
 std::optional<PulseMethod> pulseMethodFromName(std::string_view name);
 
+/** Every display name pulseMethodFromName() accepts canonically, in
+ *  enum order — for CLI validation messages and --help text. */
+const std::vector<std::string> &pulseMethodNames();
+
 /** Configuration of one pulse optimization. */
 struct PulseOptConfig
 {

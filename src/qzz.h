@@ -41,6 +41,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "common/table.h"
 #include "common/units.h"
 
@@ -83,6 +84,12 @@
 #include "core/schedule_io.h"
 #include "core/suppression.h"
 #include "core/zzx_sched.h"
+
+#include "service/artifact.h"
+#include "service/compile_service.h"
+#include "service/fingerprint.h"
+#include "service/jsonl.h"
+#include "service/program_cache.h"
 
 #include "sim/density_matrix.h"
 #include "sim/fitting.h"

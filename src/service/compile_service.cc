@@ -1,0 +1,450 @@
+#include "service/compile_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace qzz::svc {
+
+// ---------------------------------------------------------------------------
+// Task
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Lifecycle of a queued task (RequestHandle::Task::state). */
+enum TaskState : int
+{
+    kQueued = 0,
+    kClaimed = 1,
+    kFinished = 2,
+    kCancelRequested = 3,
+};
+
+} // namespace
+
+struct RequestHandle::Task
+{
+    /** request.circuit is stored in canonical gate order (rewritten
+     *  by submit()), so serve() compiles it directly. */
+    CompileRequest request;
+    Fingerprint fingerprint;
+    /** Compiler-registry key (device x options sub-fingerprints),
+     *  precomputed by submit() so serve() need not rehash. */
+    Fingerprint compiler_key;
+    uint64_t id = 0;
+    /** FIFO tiebreak within a priority (equals the submit id). */
+    uint64_t seq = 0;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<ServiceResult> promise;
+    std::atomic<int> state{kQueued};
+};
+
+bool
+RequestHandle::cancel()
+{
+    if (!task_)
+        return false;
+    int expected = kQueued;
+    return task_->state.compare_exchange_strong(expected,
+                                                kCancelRequested);
+}
+
+std::string
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+    case Outcome::Compiled:
+        return "Compiled";
+    case Outcome::CacheHit:
+        return "CacheHit";
+    case Outcome::Failed:
+        return "Failed";
+    case Outcome::Cancelled:
+        return "Cancelled";
+    case Outcome::DeadlineExceeded:
+        return "DeadlineExceeded";
+    case Outcome::Rejected:
+        return "Rejected";
+    }
+    return "Unknown";
+}
+
+// ---------------------------------------------------------------------------
+// CompileService
+// ---------------------------------------------------------------------------
+
+bool
+CompileService::TaskOrder::operator()(const TaskPtr &a,
+                                      const TaskPtr &b) const
+{
+    // priority_queue keeps the "largest" element on top: serve the
+    // highest priority first, oldest first within a priority.
+    const int pa = a->request.request.priority;
+    const int pb = b->request.request.priority;
+    if (pa != pb)
+        return pa < pb;
+    return a->seq > b->seq;
+}
+
+CompileService::CompileService(CompileServiceConfig config)
+    : config_(std::move(config)), cache_(config_.cache),
+      start_(Clock::now()), paused_(config_.start_paused)
+{
+    require(config_.latency_window >= 1,
+            "CompileService: latency_window must be >= 1");
+    int n = config_.num_workers;
+    if (n <= 0)
+        n = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(size_t(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService() { shutdown(true); }
+
+RequestHandle
+CompileService::submit(CompileRequest request)
+{
+    require(request.device != nullptr,
+            "CompileService::submit: request has no device");
+
+    RequestHandle handle;
+    auto task = std::make_shared<RequestHandle::Task>();
+    // Canonicalize once: the same gate order feeds the fingerprint
+    // and (on a miss) the compile, so the sub-fingerprints computed
+    // here are not rehashed on the worker.
+    request.circuit = canonicalGateOrder(request.circuit);
+    const Fingerprint circuit_fp =
+        fingerprintOrderedCircuit(request.circuit);
+    const Fingerprint device_fp = fingerprintDevice(*request.device);
+    const Fingerprint options_fp = fingerprintOptions(request.options);
+    task->fingerprint =
+        composeRequestFingerprint(circuit_fp, device_fp, options_fp);
+    FingerprintBuilder key;
+    key.mix(std::string_view("compiler"));
+    key.mix(device_fp);
+    key.mix(options_fp);
+    task->compiler_key = key.finish();
+    task->request = std::move(request);
+    task->enqueued = Clock::now();
+    if (task->request.request.deadline)
+        task->deadline = task->enqueued + *task->request.request.deadline;
+    handle.task_ = task;
+    handle.fingerprint_ = task->fingerprint;
+    handle.future_ = task->promise.get_future();
+
+    bool accepted = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (accepting_ && queue_.size() < config_.max_queue) {
+            task->id = next_id_++;
+            task->seq = task->id;
+            handle.id_ = task->id;
+            queue_.push(task);
+            accepted = true;
+        }
+    }
+    if (accepted) {
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        work_cv_.notify_one();
+    } else {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        ServiceResult result;
+        result.outcome = Outcome::Rejected;
+        result.fingerprint = task->fingerprint;
+        result.seed = task->request.request.seed;
+        task->state.store(kFinished);
+        task->promise.set_value(std::move(result));
+    }
+    return handle;
+}
+
+std::vector<RequestHandle>
+CompileService::submitBatch(std::vector<CompileRequest> requests)
+{
+    std::vector<RequestHandle> handles;
+    handles.reserve(requests.size());
+    for (CompileRequest &request : requests)
+        handles.push_back(submit(std::move(request)));
+    return handles;
+}
+
+void
+CompileService::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        paused_ = false;
+    }
+    work_cv_.notify_all();
+}
+
+void
+CompileService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void
+CompileService::shutdown(bool drain_pending)
+{
+    std::vector<TaskPtr> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        accepting_ = false;
+        paused_ = false;
+        if (!drain_pending) {
+            while (!queue_.empty()) {
+                dropped.push_back(queue_.top());
+                queue_.pop();
+            }
+        }
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (const TaskPtr &task : dropped) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        ServiceResult result;
+        result.outcome = Outcome::Cancelled;
+        result.fingerprint = task->fingerprint;
+        result.seed = task->request.request.seed;
+        task->state.store(kFinished);
+        task->promise.set_value(std::move(result));
+    }
+    for (std::thread &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    idle_cv_.notify_all();
+}
+
+void
+CompileService::workerLoop()
+{
+    for (;;) {
+        TaskPtr task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] {
+                return stopping_ || (!paused_ && !queue_.empty());
+            });
+            if (!paused_ && !queue_.empty()) {
+                task = queue_.top();
+                queue_.pop();
+                ++in_flight_;
+            } else if (stopping_) {
+                return;
+            } else {
+                continue;
+            }
+        }
+        serve(task);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --in_flight_;
+            if (queue_.empty() && in_flight_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+CompileService::serve(const TaskPtr &task)
+{
+    const auto picked_up = Clock::now();
+    ServiceResult result;
+    result.fingerprint = task->fingerprint;
+    result.seed = task->request.request.seed;
+    result.queue_ms = std::chrono::duration<double, std::milli>(
+                          picked_up - task->enqueued)
+                          .count();
+
+    int expected = kQueued;
+    if (!task->state.compare_exchange_strong(expected, kClaimed)) {
+        // The only competing transition is a queued-side cancel().
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        result.outcome = Outcome::Cancelled;
+        finish(task, std::move(result));
+        return;
+    }
+    if (task->deadline && picked_up > *task->deadline) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        result.outcome = Outcome::DeadlineExceeded;
+        finish(task, std::move(result));
+        return;
+    }
+
+    const CompileRequest &request = task->request;
+    if (request.request.use_cache) {
+        if (auto program = cache_.lookup(task->fingerprint)) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            result.outcome = Outcome::CacheHit;
+            result.program = std::move(program);
+            finish(task, std::move(result));
+            return;
+        }
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // request.circuit is already in canonical gate order (submit()
+    // rewrote it): routing and scheduling are list-order sensitive,
+    // so compiling the canonical form is what makes every DAG-equal
+    // submission of this fingerprint receive the same bit-identical
+    // program, whether it compiles cold here or lands on the cache
+    // entry a reordered twin wrote.
+    const auto compile_start = Clock::now();
+    core::CompileResult compiled;
+    try {
+        const std::shared_ptr<const core::Compiler> compiler =
+            compilerFor(task);
+        compiled = compiler->compile(request.circuit);
+    } catch (const UserError &e) {
+        // compile() maps exceptions to a status itself, but building
+        // the Compiler (per-device tables: planar embedding,
+        // all-pairs distances) can throw on a degenerate device —
+        // that must fail this request, never escape the worker
+        // thread and terminate the service.
+        compiled.status.code = core::CompileStatusCode::InvalidInput;
+        compiled.status.pass = "prepare";
+        compiled.status.message = e.what();
+    } catch (const std::exception &e) {
+        compiled.status.code = core::CompileStatusCode::Internal;
+        compiled.status.pass = "prepare";
+        compiled.status.message = e.what();
+    }
+    result.compile_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - compile_start)
+                            .count();
+    result.status = std::move(compiled.status);
+    result.diagnostics = std::move(compiled.diagnostics);
+    if (result.status.ok()) {
+        auto program = std::make_shared<const core::CompiledProgram>(
+            std::move(compiled.program));
+        if (request.request.use_cache)
+            cache_.insert(task->fingerprint, program);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        result.outcome = Outcome::Compiled;
+        result.program = std::move(program);
+    } else {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        result.outcome = Outcome::Failed;
+    }
+    finish(task, std::move(result));
+}
+
+std::shared_ptr<const core::Compiler>
+CompileService::compilerFor(const TaskPtr &task)
+{
+    const CompileRequest &request = task->request;
+    const Fingerprint &key = task->compiler_key;
+    {
+        std::lock_guard<std::mutex> lock(compilers_mu_);
+        auto it = compilers_.find(key);
+        if (it != compilers_.end())
+            return it->second;
+    }
+    // Build outside the lock: ZzxDeviceTables (planar embedding,
+    // all-pairs distances) are expensive, and holding the registry
+    // mutex through a build would serialize workers on unrelated
+    // devices.  Two workers racing on the same cold key build twice;
+    // the first to publish wins and the duplicate is dropped —
+    // wasted work, never wrong results.
+    auto compiler = std::make_shared<const core::Compiler>(
+        core::CompilerBuilder(*request.device)
+            .options(request.options)
+            .build());
+    std::lock_guard<std::mutex> lock(compilers_mu_);
+    auto [it, inserted] = compilers_.emplace(key, compiler);
+    return inserted ? compiler : it->second;
+}
+
+void
+CompileService::finish(const TaskPtr &task, ServiceResult result)
+{
+    if (result.outcome == Outcome::Compiled ||
+        result.outcome == Outcome::CacheHit ||
+        result.outcome == Outcome::Failed) {
+        const double latency =
+            std::chrono::duration<double, std::milli>(
+                Clock::now() - task->enqueued)
+                .count();
+        recordLatency(latency);
+    }
+    result.completion_seq =
+        completion_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    task->state.store(kFinished);
+    task->promise.set_value(std::move(result));
+}
+
+void
+CompileService::recordLatency(double ms)
+{
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    if (latency_window_.size() < config_.latency_window) {
+        latency_window_.push_back(ms);
+    } else {
+        latency_window_[latency_next_] = ms;
+        latency_next_ = (latency_next_ + 1) % config_.latency_window;
+    }
+}
+
+namespace {
+
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p * double(sorted.size() - 1);
+    const size_t lo = size_t(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+MetricsSnapshot
+CompileService::metrics() const
+{
+    MetricsSnapshot m;
+    m.submitted = submitted_.load(std::memory_order_relaxed);
+    m.completed = completed_.load(std::memory_order_relaxed);
+    m.failed = failed_.load(std::memory_order_relaxed);
+    m.cancelled = cancelled_.load(std::memory_order_relaxed);
+    m.expired = expired_.load(std::memory_order_relaxed);
+    m.rejected = rejected_.load(std::memory_order_relaxed);
+    m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    m.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        m.queue_depth = queue_.size();
+    }
+    m.workers = int(workers_.size());
+    m.uptime_ms = std::chrono::duration<double, std::milli>(
+                      Clock::now() - start_)
+                      .count();
+    m.throughput_per_s = m.uptime_ms > 0.0
+                             ? double(m.completed) * 1e3 / m.uptime_ms
+                             : 0.0;
+    {
+        std::lock_guard<std::mutex> lock(latency_mu_);
+        std::vector<double> sorted = latency_window_;
+        std::sort(sorted.begin(), sorted.end());
+        m.latency_p50_ms = percentile(sorted, 0.50);
+        m.latency_p95_ms = percentile(sorted, 0.95);
+        m.latency_p99_ms = percentile(sorted, 0.99);
+    }
+    const uint64_t looked_up = m.cache_hits + m.cache_misses;
+    m.cache_hit_rate =
+        looked_up == 0 ? 0.0 : double(m.cache_hits) / double(looked_up);
+    m.cache_stats = cache_.stats();
+    return m;
+}
+
+} // namespace qzz::svc

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * CompileService: an asynchronous, cache-fronted compilation server.
+ *
+ * The service turns core::Compiler into a long-running serving
+ * system:
+ *
+ *   submit() --> [priority queue] --> worker pool --> futures
+ *                      |                  |
+ *                      |             ProgramCache (fingerprint-keyed,
+ *                      |             sharded LRU + artifact tier)
+ *                      |                  |
+ *                      +---- compiler registry: one immutable
+ *                            core::Compiler per (device, options)
+ *                            fingerprint, sharing ZzxDeviceTables and
+ *                            the pulse library across all requests
+ *
+ * Requests carry a priority (higher served first; FIFO within a
+ * priority), an optional deadline (expired requests are failed
+ * without compiling), an explicit RNG seed recorded for provenance
+ * (the service itself is deterministic: no global RNG anywhere in
+ * the request path), and land on a std::future.  Graceful teardown:
+ * drain() waits for the queue to empty; shutdown() optionally drains
+ * or fails pending requests, then joins the workers.
+ *
+ * Every completed request updates a MetricsSnapshot (throughput,
+ * latency percentiles, queue depth, cache hit rate) suitable for
+ * export to a monitoring system.
+ */
+
+#ifndef QZZ_SERVICE_COMPILE_SERVICE_H
+#define QZZ_SERVICE_COMPILE_SERVICE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiler.h"
+#include "service/program_cache.h"
+
+namespace qzz::svc {
+
+/** Per-request controls. */
+struct RequestOptions
+{
+    /** Higher priorities are served first; FIFO within a priority. */
+    int priority = 0;
+    /** Relative deadline from submit(); requests still queued past it
+     *  complete with Outcome::DeadlineExceeded (never compiled). */
+    std::optional<std::chrono::milliseconds> deadline;
+    /** Provenance: the seed that generated the circuit (echoed into
+     *  the result; never read from any global RNG). */
+    uint64_t seed = 0;
+    /** Bypass the program cache (forces a cold compile). */
+    bool use_cache = true;
+};
+
+/** One compilation job. */
+struct CompileRequest
+{
+    ckt::QuantumCircuit circuit;
+    /** Shared so thousands of queued requests alias one device. */
+    std::shared_ptr<const dev::Device> device;
+    core::CompileOptions options;
+    RequestOptions request;
+};
+
+/** How a request left the service. */
+enum class Outcome
+{
+    Compiled,         ///< cold compile succeeded
+    CacheHit,         ///< served from the program cache
+    Failed,           ///< compiler reported an error (see status)
+    Cancelled,        ///< cancelled while queued
+    DeadlineExceeded, ///< deadline passed before a worker got to it
+    Rejected,         ///< queue full or service shutting down
+};
+
+/** Display name of an outcome. */
+std::string outcomeName(Outcome outcome);
+
+/** What a request's future resolves to. */
+struct ServiceResult
+{
+    Outcome outcome = Outcome::Rejected;
+    /** The compiled program; null unless Compiled / CacheHit. */
+    std::shared_ptr<const core::CompiledProgram> program;
+    /** Compiler status (set for Compiled / Failed). */
+    core::CompileStatus status;
+    /** Per-stage diagnostics of a cold compile (empty on cache hit). */
+    core::CompileDiagnostics diagnostics;
+    /** The request's cache key. */
+    Fingerprint fingerprint;
+    /** Echo of RequestOptions::seed. */
+    uint64_t seed = 0;
+    /** Time spent queued / compiling (ms). */
+    double queue_ms = 0.0;
+    double compile_ms = 0.0;
+    /** Completion order stamp (1-based; 0 if never processed). */
+    uint64_t completion_seq = 0;
+
+    bool ok() const { return program != nullptr; }
+};
+
+/** A submitted request: its future plus queue-side controls. */
+class RequestHandle
+{
+  public:
+    RequestHandle() = default;
+
+    /** Valid once per handle (std::future semantics). */
+    std::future<ServiceResult> &future() { return future_; }
+    /** Blocking convenience: future().get(). */
+    ServiceResult get() { return future_.get(); }
+
+    /** Cancel if still queued; false once a worker picked it up. */
+    bool cancel();
+
+    uint64_t id() const { return id_; }
+    const Fingerprint &fingerprint() const { return fingerprint_; }
+
+  private:
+    friend class CompileService;
+    struct Task;
+    std::shared_ptr<Task> task_;
+    std::future<ServiceResult> future_;
+    uint64_t id_ = 0;
+    Fingerprint fingerprint_;
+};
+
+/** CompileService construction knobs. */
+struct CompileServiceConfig
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    int num_workers = 0;
+    /** Queued-request bound; submissions beyond it are Rejected. */
+    size_t max_queue = 4096;
+    /** Start with workers paused (tests / queue preloading); call
+     *  resume() to begin serving. */
+    bool start_paused = false;
+    /** Latency samples kept for the percentile estimates. */
+    size_t latency_window = 8192;
+    ProgramCacheConfig cache;
+};
+
+/** Point-in-time service health: counters, latency, cache state. */
+struct MetricsSnapshot
+{
+    uint64_t submitted = 0;
+    uint64_t completed = 0; ///< Compiled + CacheHit
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    uint64_t expired = 0;
+    uint64_t rejected = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    size_t queue_depth = 0;
+    int workers = 0;
+    double uptime_ms = 0.0;
+    /** Completed requests per second of uptime. */
+    double throughput_per_s = 0.0;
+    /** End-to-end latency percentiles over the recent window (ms). */
+    double latency_p50_ms = 0.0;
+    double latency_p95_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    /** Share of lookups answered by the cache (either tier). */
+    double cache_hit_rate = 0.0;
+    ProgramCacheStats cache_stats;
+};
+
+/** The serving front-end over core::Compiler. */
+class CompileService
+{
+  public:
+    explicit CompileService(CompileServiceConfig config = {});
+    /** Drains pending work, then joins the workers. */
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    /** Enqueue one request (thread-safe). */
+    RequestHandle submit(CompileRequest request);
+    /** Enqueue many requests; handles land in input order. */
+    std::vector<RequestHandle>
+    submitBatch(std::vector<CompileRequest> requests);
+
+    /** Start serving when constructed with start_paused. */
+    void resume();
+
+    /** Block until the queue is empty and no request is in flight. */
+    void drain();
+
+    /**
+     * Stop accepting requests, then either finish the queue
+     * (@p drain_pending) or fail it with Outcome::Cancelled; joins
+     * the workers.  Idempotent.
+     */
+    void shutdown(bool drain_pending = true);
+
+    MetricsSnapshot metrics() const;
+
+    ProgramCache &cache() { return cache_; }
+    int numWorkers() const { return int(workers_.size()); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    using TaskPtr = std::shared_ptr<RequestHandle::Task>;
+
+    struct TaskOrder
+    {
+        bool operator()(const TaskPtr &a, const TaskPtr &b) const;
+    };
+
+    void workerLoop();
+    void serve(const TaskPtr &task);
+    std::shared_ptr<const core::Compiler>
+    compilerFor(const TaskPtr &task);
+    void finish(const TaskPtr &task, ServiceResult result);
+    void recordLatency(double ms);
+
+    CompileServiceConfig config_;
+    ProgramCache cache_;
+    Clock::time_point start_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::priority_queue<TaskPtr, std::vector<TaskPtr>, TaskOrder> queue_;
+    size_t in_flight_ = 0;
+    bool paused_ = false;
+    bool accepting_ = true;
+    bool stopping_ = false;
+    uint64_t next_id_ = 1;
+
+    std::mutex compilers_mu_;
+    std::unordered_map<Fingerprint,
+                       std::shared_ptr<const core::Compiler>,
+                       FingerprintHash>
+        compilers_;
+
+    mutable std::mutex latency_mu_;
+    std::vector<double> latency_window_;
+    size_t latency_next_ = 0;
+
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> failed_{0};
+    std::atomic<uint64_t> cancelled_{0};
+    std::atomic<uint64_t> expired_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> cache_hits_{0};
+    std::atomic<uint64_t> cache_misses_{0};
+    std::atomic<uint64_t> completion_seq_{0};
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace qzz::svc
+
+#endif // QZZ_SERVICE_COMPILE_SERVICE_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal JSON-lines request parsing for the service front-end.
+ *
+ * The compile_server protocol is one flat JSON object per line with
+ * string / number / boolean / null values — no nesting is needed to
+ * describe a compilation request, so none is accepted.  The parser is
+ * strict about what it does handle (escapes, exponents, type errors
+ * carry positions) and rejects everything else with a clear message,
+ * instead of silently mis-reading a malformed request.
+ */
+
+#ifndef QZZ_SERVICE_JSONL_H
+#define QZZ_SERVICE_JSONL_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace qzz::svc {
+
+/** One scalar field value of a request object. */
+using JsonScalar = std::variant<std::nullptr_t, bool, double, std::string>;
+
+/** A parsed flat JSON object (ordered for deterministic output). */
+class JsonObject
+{
+  public:
+    /**
+     * Parse one JSON-lines record.  On failure returns nullopt and,
+     * when @p error is non-null, stores a human-readable description
+     * including the byte offset.
+     */
+    static std::optional<JsonObject> parse(std::string_view line,
+                                           std::string *error = nullptr);
+
+    bool has(const std::string &key) const;
+
+    /** Typed accessors; nullopt when absent or differently typed. */
+    std::optional<std::string> getString(const std::string &key) const;
+    std::optional<double> getNumber(const std::string &key) const;
+    std::optional<bool> getBool(const std::string &key) const;
+    /** getNumber() rounded; nullopt when absent or not integral. */
+    std::optional<int64_t> getInt(const std::string &key) const;
+
+    const std::map<std::string, JsonScalar> &fields() const
+    {
+        return fields_;
+    }
+
+  private:
+    std::map<std::string, JsonScalar> fields_;
+};
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+} // namespace qzz::svc
+
+#endif // QZZ_SERVICE_JSONL_H

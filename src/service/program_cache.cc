@@ -1,0 +1,217 @@
+#include "service/program_cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "common/error.h"
+#include "service/artifact.h"
+
+namespace qzz::svc {
+
+namespace {
+
+/** Smallest power of two >= v (v >= 1). */
+size_t
+ceilPow2(size_t v)
+{
+    size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+std::filesystem::path
+artifactPath(const std::string &dir, const Fingerprint &key)
+{
+    return std::filesystem::path(dir) / (key.hex() + ".qzzprog");
+}
+
+} // namespace
+
+ProgramCache::ProgramCache(ProgramCacheConfig config)
+    : config_(std::move(config))
+{
+    require(config_.capacity >= 1, "ProgramCache: capacity must be >= 1");
+    require(config_.shards >= 1, "ProgramCache: shards must be >= 1");
+    size_t n = ceilPow2(size_t(config_.shards));
+    // Never more shards than capacity: each shard must be able to
+    // hold at least one entry for the total bound to be meaningful.
+    while (n > config_.capacity)
+        n >>= 1;
+    config_.shards = int(n);
+    // Ceiling division: floor would silently under-provision (e.g.
+    // capacity 10 over 8 shards evicting at 8 entries).  The
+    // effective bound is n * ceil(capacity / n), i.e. never below
+    // the configured capacity and at most shards - 1 above it.
+    shard_capacity_ = (config_.capacity + n - 1) / n;
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ProgramCache::Shard &
+ProgramCache::shardFor(const Fingerprint &key)
+{
+    // The fingerprint lanes are avalanche-mixed; the low bits of lo
+    // are as good as any hash.
+    return *shards_[size_t(key.lo) & (shards_.size() - 1)];
+}
+
+std::shared_ptr<const core::CompiledProgram>
+ProgramCache::lookup(const Fingerprint &key)
+{
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second->program;
+        }
+    }
+    if (auto program = loadArtifact(key)) {
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        insertLocked(shard, key, program);
+        return program;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+}
+
+void
+ProgramCache::insert(const Fingerprint &key,
+                     std::shared_ptr<const core::CompiledProgram> program)
+{
+    require(program != nullptr, "ProgramCache::insert: null program");
+    if (!config_.artifact_dir.empty())
+        storeArtifact(key, *program);
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    insertLocked(shard, key, std::move(program));
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ProgramCache::insertLocked(
+    Shard &shard, const Fingerprint &key,
+    std::shared_ptr<const core::CompiledProgram> program)
+{
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        it->second->program = std::move(program);
+        return;
+    }
+    shard.lru.push_front(Entry{key, std::move(program)});
+    shard.map.emplace(key, shard.lru.begin());
+    while (shard.lru.size() > shard_capacity_) {
+        shard.map.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+ProgramCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->lru.clear();
+        shard->map.clear();
+    }
+}
+
+size_t
+ProgramCache::size() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        total += shard->lru.size();
+    }
+    return total;
+}
+
+ProgramCacheStats
+ProgramCache::stats() const
+{
+    ProgramCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.insertions = insertions_.load(std::memory_order_relaxed);
+    s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+    s.disk_writes = disk_writes_.load(std::memory_order_relaxed);
+    s.entries = size();
+    return s;
+}
+
+std::shared_ptr<const core::CompiledProgram>
+ProgramCache::loadArtifact(const Fingerprint &key)
+{
+    if (config_.artifact_dir.empty())
+        return nullptr;
+    std::ifstream in(artifactPath(config_.artifact_dir, key));
+    if (!in)
+        return nullptr;
+    // A corrupt artifact must read as a miss, never kill a serving
+    // worker: beyond parse failures (nullopt), circuit reconstruction
+    // can throw UserError on mangled gate payloads.
+    try {
+        std::optional<core::CompiledProgram> program =
+            readProgramArtifact(in);
+        if (!program)
+            return nullptr; // torn/stale artifact: treat as a miss
+        return std::make_shared<const core::CompiledProgram>(
+            std::move(*program));
+    } catch (const std::exception &) {
+        return nullptr;
+    }
+}
+
+void
+ProgramCache::storeArtifact(const Fingerprint &key,
+                            const core::CompiledProgram &program)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(config_.artifact_dir, ec);
+    if (ec)
+        return; // the artifact tier is best-effort
+    const auto final_path = artifactPath(config_.artifact_dir, key);
+    if (std::filesystem::exists(final_path, ec))
+        return; // artifacts are immutable: first writer wins
+    // Write-private temp then rename, exactly like the pulse
+    // calibration store: concurrent writers can never tear a file.
+    static const unsigned process_tag = std::random_device{}();
+    static std::atomic<unsigned> counter{0};
+    const auto suffix =
+        std::to_string(process_tag) + "." +
+        std::to_string(
+            std::hash<std::thread::id>{}(std::this_thread::get_id())) +
+        "." + std::to_string(counter.fetch_add(1));
+    const auto tmp = final_path.string() + ".tmp." + suffix;
+    bool ok;
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return;
+        writeProgramArtifact(program, out);
+        out.flush();
+        ok = out.good();
+    }
+    if (ok) {
+        std::filesystem::rename(tmp, final_path, ec);
+        if (!ec)
+            disk_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!ok || ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+} // namespace qzz::svc

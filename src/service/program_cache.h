@@ -1,0 +1,150 @@
+/**
+ * @file
+ * ProgramCache: a sharded, mutex-striped in-memory LRU of compiled
+ * programs keyed by request fingerprint, with an optional on-disk
+ * artifact tier.
+ *
+ * Requests for the same (circuit DAG, device, options) triple
+ * fingerprint identically (service/fingerprint.h) and compilation is
+ * deterministic, so a cached CompiledProgram is bit-identical to what
+ * a cold compile would produce — the cache hands out shared_ptrs to
+ * immutable programs instead of recompiling.
+ *
+ * Concurrency: keys are striped over N independent shards (fingerprint
+ * low bits), each with its own mutex, LRU list and map, so concurrent
+ * service workers rarely contend.  Counters are lock-free atomics.
+ *
+ * Disk tier: when an artifact directory is configured, insertions are
+ * persisted as "<fingerprint>.qzzprog" via the same write-private-
+ * temp-then-rename pattern as the pulse calibration store, so
+ * concurrent writers can never leave a torn artifact; misses fall
+ * back to loading from disk (surviving process restarts and sharing
+ * warm state between processes).
+ */
+
+#ifndef QZZ_SERVICE_PROGRAM_CACHE_H
+#define QZZ_SERVICE_PROGRAM_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/framework.h"
+#include "service/fingerprint.h"
+
+namespace qzz::svc {
+
+/** ProgramCache construction knobs. */
+struct ProgramCacheConfig
+{
+    /** Total in-memory entry bound across all shards (>= 1).  The
+     *  effective bound is shards * ceil(capacity / shards): never
+     *  below this value, at most shards - 1 above it. */
+    size_t capacity = 256;
+    /** Mutex stripes; rounded up to a power of two, capped by
+     *  capacity so every shard can hold at least one entry. */
+    int shards = 8;
+    /** On-disk artifact tier directory; empty disables the tier. */
+    std::string artifact_dir;
+};
+
+/** Monotonic counters + current occupancy of a ProgramCache. */
+struct ProgramCacheStats
+{
+    uint64_t hits = 0;        ///< in-memory lookup hits
+    uint64_t misses = 0;      ///< lookups answered by neither tier
+    uint64_t evictions = 0;   ///< LRU entries dropped for capacity
+    uint64_t insertions = 0;  ///< successful insert() calls
+    uint64_t disk_hits = 0;   ///< misses rescued by the artifact tier
+    uint64_t disk_writes = 0; ///< artifacts persisted
+    size_t entries = 0;       ///< current in-memory entry count
+
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits + disk_hits + misses;
+        return total == 0 ? 0.0
+                          : double(hits + disk_hits) / double(total);
+    }
+};
+
+/** Sharded LRU cache of immutable compiled programs. */
+class ProgramCache
+{
+  public:
+    explicit ProgramCache(ProgramCacheConfig config = {});
+
+    ProgramCache(const ProgramCache &) = delete;
+    ProgramCache &operator=(const ProgramCache &) = delete;
+
+    /**
+     * Fetch the program for @p key, refreshing its LRU position.
+     * Falls back to the artifact tier on an in-memory miss (the
+     * loaded program is promoted into memory).  nullptr on miss.
+     */
+    std::shared_ptr<const core::CompiledProgram>
+    lookup(const Fingerprint &key);
+
+    /**
+     * Insert @p program under @p key (no-op if already present,
+     * refreshing recency).  Evicts the shard's least-recently-used
+     * entries beyond capacity and persists to the artifact tier.
+     */
+    void insert(const Fingerprint &key,
+                std::shared_ptr<const core::CompiledProgram> program);
+
+    /** Drop every in-memory entry (artifact tier is untouched). */
+    void clear();
+
+    /** Current in-memory entry count. */
+    size_t size() const;
+
+    /** Snapshot of the counters. */
+    ProgramCacheStats stats() const;
+
+    const ProgramCacheConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        Fingerprint key;
+        std::shared_ptr<const core::CompiledProgram> program;
+    };
+    struct Shard
+    {
+        mutable std::mutex mu;
+        /** Front = most recently used. */
+        std::list<Entry> lru;
+        std::unordered_map<Fingerprint, std::list<Entry>::iterator,
+                           FingerprintHash>
+            map;
+    };
+
+    Shard &shardFor(const Fingerprint &key);
+    void insertLocked(Shard &shard, const Fingerprint &key,
+                      std::shared_ptr<const core::CompiledProgram> program);
+    std::shared_ptr<const core::CompiledProgram>
+    loadArtifact(const Fingerprint &key);
+    void storeArtifact(const Fingerprint &key,
+                       const core::CompiledProgram &program);
+
+    ProgramCacheConfig config_;
+    size_t shard_capacity_ = 1;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> insertions_{0};
+    std::atomic<uint64_t> disk_hits_{0};
+    std::atomic<uint64_t> disk_writes_{0};
+};
+
+} // namespace qzz::svc
+
+#endif // QZZ_SERVICE_PROGRAM_CACHE_H

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Fingerprint unit tests: mixing quality basics, the DAG-canonical
+ * circuit hash (invariance under dependency-preserving reorderings),
+ * and sensitivity to every fingerprinted input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/benchmarks.h"
+#include "graph/topologies.h"
+#include "service/fingerprint.h"
+
+namespace qzz::svc {
+namespace {
+
+dev::Device
+makeDevice(uint64_t seed = 11)
+{
+    Rng rng(seed);
+    return dev::Device(graph::gridTopology(2, 2), dev::DeviceParams{},
+                       rng);
+}
+
+TEST(FingerprintBuilderTest, DeterministicAndOrderSensitive)
+{
+    const Fingerprint a =
+        FingerprintBuilder().mix(uint64_t(1)).mix(uint64_t(2)).finish();
+    const Fingerprint b =
+        FingerprintBuilder().mix(uint64_t(1)).mix(uint64_t(2)).finish();
+    const Fingerprint c =
+        FingerprintBuilder().mix(uint64_t(2)).mix(uint64_t(1)).finish();
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(FingerprintBuilderTest, CountMakesPrefixesDistinct)
+{
+    const Fingerprint one =
+        FingerprintBuilder().mix(uint64_t(0)).finish();
+    const Fingerprint two =
+        FingerprintBuilder().mix(uint64_t(0)).mix(uint64_t(0)).finish();
+    EXPECT_NE(one, two);
+    // Concatenation ambiguity: "ab" + "" vs "a" + "b".
+    const Fingerprint ab = FingerprintBuilder()
+                               .mix(std::string_view("ab"))
+                               .mix(std::string_view(""))
+                               .finish();
+    const Fingerprint a_b = FingerprintBuilder()
+                                .mix(std::string_view("a"))
+                                .mix(std::string_view("b"))
+                                .finish();
+    EXPECT_NE(ab, a_b);
+}
+
+TEST(FingerprintBuilderTest, NegativeZeroCanonicalized)
+{
+    const Fingerprint pos = FingerprintBuilder().mix(0.0).finish();
+    const Fingerprint neg = FingerprintBuilder().mix(-0.0).finish();
+    EXPECT_EQ(pos, neg);
+}
+
+TEST(FingerprintBuilderTest, SingleBitAvalanches)
+{
+    // Flipping one input bit must change both output lanes.
+    const Fingerprint a =
+        FingerprintBuilder().mix(uint64_t(0x1234)).finish();
+    const Fingerprint b =
+        FingerprintBuilder().mix(uint64_t(0x1235)).finish();
+    EXPECT_NE(a.hi, b.hi);
+    EXPECT_NE(a.lo, b.lo);
+}
+
+TEST(FingerprintTest, HexIs32LowercaseDigits)
+{
+    const Fingerprint fp{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+    EXPECT_EQ(fp.hex(), "0123456789abcdeffedcba9876543210");
+    EXPECT_EQ(Fingerprint{}.hex(), std::string(32, '0'));
+}
+
+TEST(FingerprintTest, StableGoldenValue)
+{
+    // The fingerprint is a persisted cache key (artifact file names):
+    // this golden value pins the hash across refactors — if it
+    // changes, bump kFingerprintVersion instead of silently
+    // invalidating every stored artifact.
+    ckt::QuantumCircuit c(2, "golden");
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, 0.25);
+    EXPECT_EQ(fingerprintCircuit(c).hex(),
+              "ddeb0fa747e149c704c9de5f36cb2310");
+}
+
+TEST(FingerprintTest, CanonicalOrderIsReorderInvariant)
+{
+    ckt::QuantumCircuit a(2, "c");
+    a.h(0);
+    a.x(1);
+    a.cx(0, 1);
+    ckt::QuantumCircuit b(2, "c");
+    b.x(1);
+    b.h(0);
+    b.cx(0, 1);
+    const ckt::QuantumCircuit ca = canonicalGateOrder(a);
+    const ckt::QuantumCircuit cb = canonicalGateOrder(b);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t i = 0; i < ca.size(); ++i) {
+        EXPECT_EQ(ca.gates()[i].kind, cb.gates()[i].kind);
+        EXPECT_EQ(ca.gates()[i].qubits, cb.gates()[i].qubits);
+    }
+    EXPECT_EQ(ca.name(), "c");
+    EXPECT_EQ(ca.numQubits(), 2);
+    // Canonicalization is idempotent.
+    const ckt::QuantumCircuit cca = canonicalGateOrder(ca);
+    for (size_t i = 0; i < ca.size(); ++i)
+        EXPECT_EQ(ca.gates()[i].qubits, cca.gates()[i].qubits);
+}
+
+TEST(FingerprintTest, NameIsPartOfCircuitIdentity)
+{
+    // Artifacts serialize the display name, so it must key the cache
+    // too or a cached program could differ from a cold compile in
+    // its metadata bytes.
+    ckt::QuantumCircuit a(2, "alpha");
+    a.h(0);
+    ckt::QuantumCircuit b(2, "beta");
+    b.h(0);
+    EXPECT_NE(fingerprintCircuit(a), fingerprintCircuit(b));
+}
+
+TEST(FingerprintTest, InvariantUnderDagPreservingReorder)
+{
+    // h(0) and x(1) touch disjoint qubits: swapping them preserves
+    // the DAG, so the fingerprint must not change.
+    ckt::QuantumCircuit a(2);
+    a.h(0);
+    a.x(1);
+    a.cx(0, 1);
+    ckt::QuantumCircuit b(2);
+    b.x(1);
+    b.h(0);
+    b.cx(0, 1);
+    EXPECT_EQ(fingerprintCircuit(a), fingerprintCircuit(b));
+}
+
+TEST(FingerprintTest, InterleavedReorderingStillInvariant)
+{
+    // Two independent chains, interleaved two different ways.
+    ckt::QuantumCircuit a(4);
+    a.h(0);
+    a.cx(0, 1);
+    a.h(2);
+    a.cx(2, 3);
+    a.x(1);
+    a.x(3);
+    ckt::QuantumCircuit b(4);
+    b.h(2);
+    b.cx(2, 3);
+    b.x(3);
+    b.h(0);
+    b.cx(0, 1);
+    b.x(1);
+    EXPECT_EQ(fingerprintCircuit(a), fingerprintCircuit(b));
+}
+
+TEST(FingerprintTest, SensitiveToDependentOrder)
+{
+    // h(0) before vs after cx(0,1): different DAGs.
+    ckt::QuantumCircuit a(2);
+    a.h(0);
+    a.cx(0, 1);
+    ckt::QuantumCircuit b(2);
+    b.cx(0, 1);
+    b.h(0);
+    EXPECT_NE(fingerprintCircuit(a), fingerprintCircuit(b));
+}
+
+TEST(FingerprintTest, SensitiveToGateParameters)
+{
+    ckt::QuantumCircuit a(1);
+    a.rz(0, 0.5);
+    ckt::QuantumCircuit b(1);
+    b.rz(0, 0.5 + 1e-15);
+    EXPECT_NE(fingerprintCircuit(a), fingerprintCircuit(b));
+}
+
+TEST(FingerprintTest, SensitiveToRegisterSize)
+{
+    ckt::QuantumCircuit a(2);
+    a.h(0);
+    ckt::QuantumCircuit b(3);
+    b.h(0);
+    EXPECT_NE(fingerprintCircuit(a), fingerprintCircuit(b));
+}
+
+TEST(FingerprintTest, DeviceCouplingsAndCoherenceMatter)
+{
+    Rng rng_a(11), rng_b(12);
+    dev::Device a(graph::gridTopology(2, 2), dev::DeviceParams{}, rng_a);
+    dev::Device b(graph::gridTopology(2, 2), dev::DeviceParams{}, rng_b);
+    EXPECT_NE(fingerprintDevice(a), fingerprintDevice(b));
+
+    dev::Device c = a;
+    c.setCoherence(50e3, 70e3);
+    EXPECT_NE(fingerprintDevice(a), fingerprintDevice(c));
+}
+
+TEST(FingerprintTest, DeviceTopologyMatters)
+{
+    Rng rng(11);
+    dev::Device grid(graph::gridTopology(2, 3), dev::DeviceParams{},
+                     rng);
+    Rng rng2(11);
+    dev::Device ring(graph::ringTopology(6), dev::DeviceParams{}, rng2);
+    EXPECT_NE(fingerprintDevice(grid), fingerprintDevice(ring));
+}
+
+TEST(FingerprintTest, OptionsMatter)
+{
+    core::CompileOptions a; // Pert + Zzx
+    core::CompileOptions b;
+    b.pulse = core::PulseMethod::Gaussian;
+    core::CompileOptions c;
+    c.sched = core::SchedPolicy::Par;
+    core::CompileOptions d;
+    d.zzx.nq_max = 3;
+    const std::set<std::string> distinct = {
+        fingerprintOptions(a).hex(), fingerprintOptions(b).hex(),
+        fingerprintOptions(c).hex(), fingerprintOptions(d).hex()};
+    EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(FingerprintTest, RequestComposesAllThree)
+{
+    const dev::Device device = makeDevice();
+    Rng crng(4);
+    const ckt::QuantumCircuit circuit = ckt::hiddenShift(4, crng);
+    const core::CompileOptions options;
+
+    const Fingerprint base =
+        fingerprintRequest(circuit, device, options);
+    EXPECT_EQ(base, fingerprintRequest(circuit, device, options));
+
+    core::CompileOptions other = options;
+    other.sched = core::SchedPolicy::Par;
+    EXPECT_NE(base, fingerprintRequest(circuit, device, other));
+
+    const dev::Device device2 = makeDevice(12);
+    EXPECT_NE(base, fingerprintRequest(circuit, device2, options));
+}
+
+TEST(FingerprintTest, NamedBenchmarkSeedDeterminism)
+{
+    // No global RNG anywhere: the same (family, n, seed) triple must
+    // fingerprint identically across calls, and different seeds must
+    // diverge for the random families.
+    const auto a = ckt::namedBenchmark("QAOA", 6, 5);
+    const auto b = ckt::namedBenchmark("QAOA", 6, 5);
+    const auto c = ckt::namedBenchmark("QAOA", 6, 6);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(fingerprintCircuit(*a), fingerprintCircuit(*b));
+    EXPECT_NE(fingerprintCircuit(*a), fingerprintCircuit(*c));
+    EXPECT_FALSE(ckt::namedBenchmark("NotAFamily", 6, 5).has_value());
+}
+
+} // namespace
+} // namespace qzz::svc
