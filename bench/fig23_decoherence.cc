@@ -37,8 +37,8 @@ main()
                      config_names[2], "improvement"});
         table.setTitle(entry.label);
         for (double t_us : {100.0, 200.0, 500.0, 1000.0}) {
-            dev::Device device = entry.device; // copy, set coherence
-            device.setCoherence(us(t_us), us(t_us));
+            const dev::Device device =
+                entry.device.withCoherence(us(t_us), us(t_us));
             double fid[3];
             for (int i = 0; i < 3; ++i) {
                 const core::Compiler compiler =

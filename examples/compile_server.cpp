@@ -72,6 +72,9 @@ printUsage(std::ostream &os)
           "  rows, cols  grid / trigrid / heavyhex dimensions\n"
           "  size        line / ring length\n"
           "  device_seed coupling-sampling seed (default 7)\n"
+          "  calib_epoch calibration-snapshot epoch: the base\n"
+          "              snapshot drifted N times (default 0); each\n"
+          "              epoch fingerprints — and caches — separately\n"
           "  pulse       " << joinNames(core::pulseMethodNames())
        << "\n"
           "  sched       " << joinNames(core::schedPolicyNames())
@@ -254,6 +257,12 @@ class Server
             obj.getString("topology").value_or("grid");
         const uint64_t device_seed =
             uint64_t(obj.getInt("device_seed").value_or(7));
+        constexpr int64_t kMaxEpoch = 4096;
+        const int64_t calib_epoch =
+            obj.getInt("calib_epoch").value_or(0);
+        if (calib_epoch < 0 || calib_epoch > kMaxEpoch)
+            fatal("bad 'calib_epoch' (integer in [0, " +
+                  std::to_string(kMaxEpoch) + "])");
 
         graph::Topology topo;
         if (kind == "grid" || kind == "trigrid") {
@@ -278,14 +287,25 @@ class Server
                   "' (one of: grid, line, ring, heavyhex, trigrid)");
         }
 
-        const std::string key =
-            topo.name + "#" + std::to_string(device_seed);
+        const std::string key = topo.name + "#" +
+                                std::to_string(device_seed) + "@" +
+                                std::to_string(calib_epoch);
         auto it = devices_.find(key);
         if (it != devices_.end())
             return it->second;
+        // Epoch e = the base snapshot recalibrated e times, each
+        // drift step deterministically seeded, so every client asking
+        // for (topology, device_seed, epoch) sees the same device —
+        // and the same fingerprint.
         Rng rng(device_seed);
+        dev::Calibration calib =
+            dev::Calibration::sampled(topo, dev::DeviceParams{}, rng);
+        for (int64_t e = 0; e < calib_epoch; ++e) {
+            Rng drift_rng(device_seed ^ (uint64_t(e) + 1));
+            calib = calib.drifted({}, drift_rng);
+        }
         auto device = std::make_shared<const dev::Device>(
-            std::move(topo), dev::DeviceParams{}, rng);
+            std::move(topo), std::move(calib));
         devices_.emplace(key, device);
         return device;
     }
@@ -428,6 +448,7 @@ class Server
            << ",\"rejected\":" << m.rejected
            << ",\"cache_hits\":" << m.cache_hits
            << ",\"cache_misses\":" << m.cache_misses
+           << ",\"coalesced\":" << m.coalesced
            << ",\"cache_hit_rate\":" << m.cache_hit_rate
            << ",\"queue_depth\":" << m.queue_depth
            << ",\"workers\":" << m.workers

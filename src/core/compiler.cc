@@ -253,6 +253,7 @@ Compiler::compileSegments(
     CompileResult out;
     out.program.pulse_method = options_.pulse;
     out.program.sched_policy = options_.sched;
+    out.program.calib_epoch = device_.calibration().epoch;
     if (segments.empty()) {
         out.status = {CompileStatusCode::InvalidInput, "",
                       "compileSegments: no segments given"};
@@ -264,6 +265,7 @@ Compiler::compileSegments(
                        std::move(segments));
     ctx.program.pulse_method = options_.pulse;
     ctx.program.sched_policy = options_.sched;
+    ctx.program.calib_epoch = device_.calibration().epoch;
 
     const auto compile_start = Clock::now();
     for (const std::shared_ptr<const Pass> &pass : passes_) {
@@ -305,6 +307,8 @@ Compiler::compileSegments(
         ctx.diagnostics.mean_nc = sched.meanNc();
         ctx.diagnostics.max_nq = sched.maxNq();
         ctx.diagnostics.execution_time_ns = sched.executionTime();
+        ctx.diagnostics.mean_residual_zz =
+            meanResidualZz(sched, device_.couplings());
     }
 
     out.program = std::move(ctx.program);

@@ -75,6 +75,10 @@ struct CompileDiagnostics
     int max_nq = 0;
     /** Total schedule duration (ns). */
     double execution_time_ns = 0.0;
+    /** Mean calibrated residual ZZ rate per physical layer (rad/ns):
+     *  the NC metric weighted by the device snapshot's per-edge ZZ
+     *  strengths (see core::residualZzRate()). */
+    double mean_residual_zz = 0.0;
 };
 
 /** Outcome category of a compilation. */

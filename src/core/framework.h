@@ -80,6 +80,10 @@ struct CompiledProgram
     /** final_layout[logical] = physical qubit after the last segment
      *  (the routing permutation; empty if routing did not run). */
     std::vector<int> final_layout;
+    /** Epoch of the calibration snapshot the program was compiled
+     *  against (dev::Calibration::epoch) — versions persisted
+     *  artifacts by recalibration. */
+    uint64_t calib_epoch = 0;
 };
 
 /**

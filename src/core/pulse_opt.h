@@ -25,6 +25,7 @@
 
 #include "core/objectives.h"
 #include "core/optimizer.h"
+#include "device/device.h"
 #include "pulse/library.h"
 
 namespace qzz::core {
@@ -94,6 +95,17 @@ struct PulseOptConfig
 PulseOptConfig defaultPulseOptConfig(PulseMethod method,
                                      pulse::PulseGate gate);
 
+/**
+ * Device-calibrated defaults: defaultPulseOptConfig() with the
+ * objective's ZZ strengths read from the device's calibration
+ * snapshot — lambda_intra set to the mean per-edge ZZ rate, and the
+ * OptCtrl lambda samples rescaled by the ratio of that mean to the
+ * nominal 200 kHz the stock defaults assume.
+ */
+PulseOptConfig defaultPulseOptConfig(PulseMethod method,
+                                     pulse::PulseGate gate,
+                                     const dev::Device &device);
+
 /** An optimized pulse and its diagnostics. */
 struct OptimizedPulse
 {
@@ -141,8 +153,33 @@ getPulseLibraryShared(PulseMethod method);
  */
 const pulse::PulseLibrary &getPulseLibrary(PulseMethod method);
 
-/** Clear the in-process library memo (tests).  Thread-safe; shared
- *  handles from getPulseLibraryShared() remain valid. */
+/**
+ * DRAG-corrected variant of the method's library for a transmon with
+ * anharmonicity @p alpha (rad/ns, nonzero), memoized on (method,
+ * alpha): repeated calls for the same pair return the same shared
+ * library.  The underlying Fourier coefficients still come from the
+ * method's calibration store entry under calib/ — the DRAG correction
+ * is derived analytically per anharmonicity, so heterogeneous devices
+ * never re-run the pulse optimization.  Thread-safe like
+ * getPulseLibraryShared().
+ */
+std::shared_ptr<const pulse::PulseLibrary>
+getDraggedLibraryShared(PulseMethod method, double alpha);
+
+/**
+ * Per-qubit library variants for a device: out[q] is the method's
+ * library DRAG-corrected for qubit q's calibrated anharmonicity
+ * (device.anharmonicity(q)).  Qubits sharing an anharmonicity share
+ * one library instance through the (method, alpha) memo, so a uniform
+ * device yields numQubits() aliases of a single variant.
+ */
+std::vector<std::shared_ptr<const pulse::PulseLibrary>>
+perQubitPulseLibraries(PulseMethod method, const dev::Device &device);
+
+/** Clear the in-process library memos — both the per-method map and
+ *  the per-(method, anharmonicity) DRAG variants (tests).
+ *  Thread-safe; shared handles from getPulseLibraryShared() remain
+ *  valid. */
 void clearPulseLibraryCache();
 
 } // namespace qzz::core

@@ -103,4 +103,41 @@ Schedule::maxNq() const
     return best;
 }
 
+double
+residualZzRate(const Layer &layer, const std::vector<double> &zz)
+{
+    if (layer.is_virtual)
+        return 0.0;
+    const std::vector<char> &unsuppressed =
+        layer.metrics.unsuppressed_edge;
+    double sum = 0.0;
+    if (unsuppressed.empty()) {
+        // No cut structure (ParSched): every coupling stays on.
+        for (double lambda : zz)
+            sum += lambda;
+        return sum;
+    }
+    require(unsuppressed.size() == zz.size(),
+            "residualZzRate: per-edge ZZ vector does not match the "
+            "layer's edge count");
+    for (size_t e = 0; e < zz.size(); ++e)
+        if (unsuppressed[e])
+            sum += zz[e];
+    return sum;
+}
+
+double
+meanResidualZz(const Schedule &schedule, const std::vector<double> &zz)
+{
+    double sum = 0.0;
+    int count = 0;
+    for (const Layer &l : schedule.layers) {
+        if (l.is_virtual)
+            continue;
+        sum += residualZzRate(l, zz);
+        ++count;
+    }
+    return count ? sum / double(count) : 0.0;
+}
+
 } // namespace qzz::core

@@ -85,6 +85,22 @@ struct Schedule
     int maxNq() const;
 };
 
+/**
+ * Calibrated residual ZZ rate of one layer: the sum of per-edge ZZ
+ * strengths (rad/ns, from the device calibration snapshot, aligned by
+ * edge id) over the layer's unsuppressed couplings.  A physical layer
+ * without cut structure (ParSched) suppresses nothing, so every
+ * coupling counts; virtual layers contribute 0.  Where NC counts
+ * unsuppressed couplings uniformly, this weighs them by their actual
+ * calibrated rates — two cuts with equal NC can differ substantially
+ * on a heterogeneous device.
+ */
+double residualZzRate(const Layer &layer, const std::vector<double> &zz);
+
+/** Mean residualZzRate() over physical layers (0 if none). */
+double meanResidualZz(const Schedule &schedule,
+                      const std::vector<double> &zz);
+
 } // namespace qzz::core
 
 #endif // QZZ_CORE_SCHEDULE_H

@@ -168,6 +168,8 @@ writeScheduleDocument(const Schedule &schedule,
         w.value(pulseMethodName(program->pulse_method));
         w.key("sched_policy");
         w.value(schedPolicyName(program->sched_policy));
+        w.key("calib_epoch");
+        w.value(double(program->calib_epoch));
     }
 
     w.key("layers");

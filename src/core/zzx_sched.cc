@@ -154,7 +154,8 @@ twoQSchedule(const QuantumCircuit &c, const std::vector<int> &sg2,
 } // namespace
 
 ZzxDeviceTables::ZzxDeviceTables(const dev::Device &dev)
-    : solver(dev.topology()), dist(dev.graph().allPairsDistances())
+    : solver(dev.topology()), dist(dev.graph().allPairsDistances()),
+      zz(dev.couplings())
 {
 }
 

@@ -60,6 +60,11 @@ struct ZzxDeviceTables
 
     SuppressionSolver solver;
     std::vector<std::vector<int>> dist;
+    /** Per-edge calibrated ZZ rates from the device snapshot (edge-id
+     *  aligned) — lets policies and diagnostics weigh cuts by their
+     *  actual residual crosstalk (residualZzRate()) instead of the
+     *  uniform NC count. */
+    std::vector<double> zz;
 };
 
 /**

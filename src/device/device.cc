@@ -6,35 +6,39 @@
 
 namespace qzz::dev {
 
-Device::Device(graph::Topology topo, DeviceParams params, Rng &rng)
-    : topo_(std::move(topo)), params_(params)
+Device::Device(graph::Topology topo, Calibration calib)
+    : topo_(std::move(topo)), calib_(std::move(calib))
 {
-    couplings_.reserve(size_t(topo_.g.numEdges()));
-    for (int e = 0; e < topo_.g.numEdges(); ++e) {
-        couplings_.push_back(rng.truncatedNormal(
-            params_.coupling_mean, params_.coupling_stddev,
-            params_.coupling_mean * 0.05, params_.coupling_mean * 4.0));
-    }
+    calib_.validateFor(topo_);
+}
+
+Device::Device(graph::Topology topo, DeviceParams params, Rng &rng)
+    : topo_(std::move(topo)),
+      calib_(Calibration::sampled(topo_, params, rng))
+{
 }
 
 Device::Device(graph::Topology topo, DeviceParams params,
                std::vector<double> couplings)
-    : topo_(std::move(topo)), params_(params),
-      couplings_(std::move(couplings))
+    : topo_(std::move(topo))
 {
-    require(int(couplings_.size()) == topo_.g.numEdges(),
+    require(int(couplings.size()) == topo_.g.numEdges(),
             "Device: coupling count must match edge count");
+    calib_ = Calibration::uniform(topo_, params, std::move(couplings));
 }
 
-void
-Device::setCoherence(double t1, double t2)
+Device
+Device::withCoherence(double t1, double t2) const
 {
-    require(t1 > 0.0 && t2 > 0.0, "Device::setCoherence: bad times");
-    // Physicality: 1/T_phi = 1/T2 - 1/(2 T1) must be non-negative.
-    require(1.0 / t2 - 0.5 / t1 > -1e-15,
-            "Device::setCoherence: requires T2 <= 2 T1");
-    params_.t1 = t1;
-    params_.t2 = t2;
+    Device out = *this;
+    out.calib_ = calib_.withUniformCoherence(t1, t2);
+    return out;
+}
+
+Device
+Device::withCalibration(Calibration calib) const
+{
+    return Device(topo_, std::move(calib));
 }
 
 std::pair<int, int>

@@ -1,12 +1,18 @@
 /**
  * @file
- * Device model: topology plus physical parameters.
+ * Device model: topology plus a per-qubit calibration snapshot.
  *
- * Couplings carry always-on ZZ strengths lambda (rad/ns), sampled per
- * edge from N(mu, sigma) as in Sec. 7.3 of the paper (mu = 200 kHz,
- * sigma = 50 kHz, quoted as lambda/2pi).  Decoherence is described by
- * uniform T1/T2 times, and the transmon anharmonicity feeds the
- * leakage study.
+ * A Device binds a topology to one dev::Calibration: per-edge
+ * always-on ZZ strengths lambda (rad/ns), per-qubit T1/T2 times and
+ * transmon anharmonicities.  The historical uniform constructors
+ * (DeviceParams + rng / explicit couplings) remain as bit-identical
+ * shims that build a uniform snapshot internally — couplings sampled
+ * per edge from N(mu, sigma) as in Sec. 7.3 of the paper (mu =
+ * 200 kHz, sigma = 50 kHz, quoted as lambda/2pi).
+ *
+ * Devices are value types: "changing" the calibration produces a new
+ * Device (withCoherence(), withCalibration()), so a compile in flight
+ * can never observe a device mutating under it.
  */
 
 #ifndef QZZ_DEVICE_DEVICE_H
@@ -16,11 +22,12 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "device/calibration.h"
 #include "graph/topologies.h"
 
 namespace qzz::dev {
 
-/** Physical parameter set for device construction. */
+/** Uniform physical parameter set for shim device construction. */
 struct DeviceParams
 {
     /** Mean ZZ strength lambda (rad/ns); default 2pi * 200 kHz. */
@@ -35,18 +42,23 @@ struct DeviceParams
     double anharmonicity = -2.0 * 3.14159265358979323846 * 300e-3;
 };
 
-/** A quantum device: topology + sampled couplings + coherence data. */
+/** A quantum device: topology + calibration snapshot. */
 class Device
 {
   public:
+    /** Bind @p calib (validated against @p topo) to the topology. */
+    Device(graph::Topology topo, Calibration calib);
+
     /**
-     * Build a device over @p topo with couplings sampled from
-     * N(params.coupling_mean, params.coupling_stddev), truncated to
-     * stay positive.
+     * Uniform shim: build a device over @p topo with couplings
+     * sampled from N(params.coupling_mean, params.coupling_stddev),
+     * truncated to stay positive.  Equivalent to constructing from
+     * Calibration::sampled(topo, params, rng) — bit-identical
+     * couplings for the same rng state.
      */
     Device(graph::Topology topo, DeviceParams params, Rng &rng);
 
-    /** Build with explicitly specified per-edge couplings. */
+    /** Uniform shim with explicitly specified per-edge couplings. */
     Device(graph::Topology topo, DeviceParams params,
            std::vector<double> couplings);
 
@@ -56,14 +68,41 @@ class Device
     int numCouplings() const { return topo_.g.numEdges(); }
 
     /** ZZ strength of coupling @p edge_id (rad/ns). */
-    double coupling(int edge_id) const { return couplings_[edge_id]; }
+    double
+    coupling(int edge_id) const
+    {
+        return calib_.zz[size_t(edge_id)];
+    }
 
-    const std::vector<double> &couplings() const { return couplings_; }
+    const std::vector<double> &couplings() const { return calib_.zz; }
 
-    const DeviceParams &params() const { return params_; }
+    /** @name Per-qubit calibration accessors
+     *  @{ */
+    double t1(int q) const { return calib_.t1[size_t(q)]; }
+    double t2(int q) const { return calib_.t2[size_t(q)]; }
+    double
+    anharmonicity(int q) const
+    {
+        return calib_.anharmonicity[size_t(q)];
+    }
+    /** @} */
 
-    /** Override the T1/T2 times (used by the decoherence sweep). */
-    void setCoherence(double t1, double t2);
+    /** The full calibration snapshot this device was built from.
+     *  (The historical uniform params() view is gone: read the
+     *  per-qubit accessors, or the snapshot's sampling moments.) */
+    const Calibration &calibration() const { return calib_; }
+
+    /**
+     * Copy of this device with every qubit's T1/T2 replaced (used by
+     * the decoherence sweeps).  Returns a new Device rather than
+     * mutating shared state, so a compile holding this device can
+     * never observe the change.
+     */
+    Device withCoherence(double t1, double t2) const;
+
+    /** Copy of this device under a different calibration snapshot
+     *  (validated against the topology). */
+    Device withCalibration(Calibration calib) const;
 
     /**
      * Grid dimensions used for an n-qubit benchmark: 2x2, 2x3, 3x3 and
@@ -77,8 +116,7 @@ class Device
 
   private:
     graph::Topology topo_;
-    DeviceParams params_;
-    std::vector<double> couplings_;
+    Calibration calib_;
 };
 
 } // namespace qzz::dev

@@ -62,6 +62,7 @@
 #include "pulse/program.h"
 #include "pulse/waveform.h"
 
+#include "device/calibration.h"
 #include "device/device.h"
 
 #include "circuit/benchmarks.h"

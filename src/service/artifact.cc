@@ -98,6 +98,7 @@ writeProgramArtifact(const core::CompiledProgram &program,
        << "\n";
     os << "sched_policy " << core::schedPolicyName(program.sched_policy)
        << "\n";
+    os << "calib_epoch " << program.calib_epoch << "\n";
 
     const ckt::QuantumCircuit &native = program.native;
     os << "native " << native.numQubits() << " ";
@@ -166,9 +167,14 @@ readProgramArtifact(std::istream &is, bool attach_library)
     if (!method || !policy)
         return std::nullopt;
 
+    uint64_t calib_epoch = 0;
+    if (!expectTag(is, "calib_epoch") || !(is >> calib_epoch))
+        return std::nullopt;
+
     core::CompiledProgram program;
     program.pulse_method = *method;
     program.sched_policy = *policy;
+    program.calib_epoch = calib_epoch;
 
     int native_qubits = 0;
     std::string native_name;

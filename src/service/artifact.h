@@ -25,8 +25,10 @@
 
 namespace qzz::svc {
 
-/** Artifact format version (stored in the header line). */
-inline constexpr int kArtifactVersion = 1;
+/** Artifact format version (stored in the header line).
+ *  v2: adds the calib_epoch field — artifacts are versioned by the
+ *  calibration-snapshot epoch they were compiled against. */
+inline constexpr int kArtifactVersion = 2;
 
 /** Serialize @p program (without its pulse library) to @p os. */
 void writeProgramArtifact(const core::CompiledProgram &program,

@@ -42,6 +42,12 @@ struct RequestHandle::Task
     std::atomic<int> state{kQueued};
 };
 
+/** Followers parked on one in-flight cold compile. */
+struct CompileService::Inflight
+{
+    std::vector<TaskPtr> followers;
+};
+
 bool
 RequestHandle::cancel()
 {
@@ -60,6 +66,8 @@ outcomeName(Outcome outcome)
         return "Compiled";
     case Outcome::CacheHit:
         return "CacheHit";
+    case Outcome::Coalesced:
+        return "Coalesced";
     case Outcome::Failed:
         return "Failed";
     case Outcome::Cancelled:
@@ -279,6 +287,7 @@ CompileService::serve(const TaskPtr &task)
     }
 
     const CompileRequest &request = task->request;
+    std::shared_ptr<Inflight> inflight;
     if (request.request.use_cache) {
         if (auto program = cache_.lookup(task->fingerprint)) {
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -288,6 +297,38 @@ CompileService::serve(const TaskPtr &task)
             finish(task, std::move(result));
             return;
         }
+        if (config_.coalesce) {
+            std::lock_guard<std::mutex> lock(coalesce_mu_);
+            auto it = inflight_.find(task->fingerprint);
+            if (it != inflight_.end()) {
+                // An identical compile is already in flight on
+                // another worker: park on it.  The primary resolves
+                // this task's promise when it publishes, and this
+                // worker is immediately free for other requests.
+                // Counted as coalesced, not as a cache miss — the
+                // hit rate should reflect compiles actually run.
+                it->second->followers.push_back(task);
+                return;
+            }
+            // Primary election re-checks the cache under the registry
+            // lock: a finishing primary inserts into the cache before
+            // retiring its registry entry (also under this lock), so
+            // "no entry and still a miss" proves no successful
+            // duplicate compile finished in between — concurrent
+            // identical submissions cold-compile at most once.
+            if (auto program = cache_.lookup(task->fingerprint)) {
+                cache_hits_.fetch_add(1, std::memory_order_relaxed);
+                completed_.fetch_add(1, std::memory_order_relaxed);
+                result.outcome = Outcome::CacheHit;
+                result.program = std::move(program);
+                finish(task, std::move(result));
+                return;
+            }
+            inflight = std::make_shared<Inflight>();
+            inflight_.emplace(task->fingerprint, inflight);
+        }
+        // Only an elected primary (or a cold compile with coalescing
+        // off) is a real miss: it runs the compiler.
         cache_misses_.fetch_add(1, std::memory_order_relaxed);
     }
 
@@ -334,7 +375,47 @@ CompileService::serve(const TaskPtr &task)
         failed_.fetch_add(1, std::memory_order_relaxed);
         result.outcome = Outcome::Failed;
     }
+    if (inflight)
+        resolveFollowers(inflight, result);
     finish(task, std::move(result));
+}
+
+void
+CompileService::resolveFollowers(
+    const std::shared_ptr<Inflight> &inflight,
+    const ServiceResult &primary)
+{
+    std::vector<TaskPtr> followers;
+    {
+        // Retire the registry entry only now — after the successful
+        // program has been inserted into the cache — so a racing
+        // duplicate that finds no entry is guaranteed to find the
+        // cache entry instead (see the primary-election comment in
+        // serve()).  Followers stop accumulating once the entry is
+        // gone.
+        std::lock_guard<std::mutex> lock(coalesce_mu_);
+        inflight_.erase(primary.fingerprint);
+        followers.swap(inflight->followers);
+    }
+    for (const TaskPtr &follower : followers) {
+        ServiceResult result;
+        result.fingerprint = follower->fingerprint;
+        result.seed = follower->request.request.seed;
+        result.queue_ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - follower->enqueued)
+                              .count();
+        result.status = primary.status;
+        if (primary.program) {
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            result.outcome = Outcome::Coalesced;
+            result.program = primary.program;
+        } else {
+            failed_.fetch_add(1, std::memory_order_relaxed);
+            result.outcome = Outcome::Failed;
+        }
+        finish(follower, std::move(result));
+    }
 }
 
 std::shared_ptr<const core::Compiler>
@@ -368,6 +449,7 @@ CompileService::finish(const TaskPtr &task, ServiceResult result)
 {
     if (result.outcome == Outcome::Compiled ||
         result.outcome == Outcome::CacheHit ||
+        result.outcome == Outcome::Coalesced ||
         result.outcome == Outcome::Failed) {
         const double latency =
             std::chrono::duration<double, std::milli>(
@@ -421,6 +503,7 @@ CompileService::metrics() const
     m.rejected = rejected_.load(std::memory_order_relaxed);
     m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     m.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    m.coalesced = coalesced_.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mu_);
         m.queue_depth = queue_.size();

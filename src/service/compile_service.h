@@ -19,9 +19,13 @@
  * priority), an optional deadline (expired requests are failed
  * without compiling), an explicit RNG seed recorded for provenance
  * (the service itself is deterministic: no global RNG anywhere in
- * the request path), and land on a std::future.  Graceful teardown:
- * drain() waits for the queue to empty; shutdown() optionally drains
- * or fails pending requests, then joins the workers.
+ * the request path), and land on a std::future.  Identical concurrent
+ * submissions coalesce: at most one cold compile runs per fingerprint
+ * at a time, with duplicates parking on the in-flight compilation and
+ * resolving as Outcome::Coalesced when it publishes.  Graceful
+ * teardown: drain() waits for the queue to empty; shutdown()
+ * optionally drains or fails pending requests, then joins the
+ * workers.
  *
  * Every completed request updates a MetricsSnapshot (throughput,
  * latency percentiles, queue depth, cache hit rate) suitable for
@@ -78,6 +82,7 @@ enum class Outcome
 {
     Compiled,         ///< cold compile succeeded
     CacheHit,         ///< served from the program cache
+    Coalesced,        ///< rode an identical in-flight compilation
     Failed,           ///< compiler reported an error (see status)
     Cancelled,        ///< cancelled while queued
     DeadlineExceeded, ///< deadline passed before a worker got to it
@@ -148,6 +153,18 @@ struct CompileServiceConfig
     bool start_paused = false;
     /** Latency samples kept for the percentile estimates. */
     size_t latency_window = 8192;
+    /**
+     * Collapse concurrent duplicate requests onto one compilation:
+     * when a worker misses the cache but an identical fingerprint is
+     * already compiling on another worker, the request parks on that
+     * in-flight compile and resolves with Outcome::Coalesced instead
+     * of cold-compiling a second time.  Guarantees at most one cold
+     * compile per fingerprint among concurrent cache-using
+     * submissions (the in-flight registry is checked under one lock
+     * with the cache, and the winner publishes to the cache before
+     * retiring its registry entry).
+     */
+    bool coalesce = true;
     ProgramCacheConfig cache;
 };
 
@@ -162,6 +179,9 @@ struct MetricsSnapshot
     uint64_t rejected = 0;
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    /** Requests that rode an identical in-flight compilation instead
+     *  of cold-compiling (counted toward completed). */
+    uint64_t coalesced = 0;
     size_t queue_depth = 0;
     int workers = 0;
     double uptime_ms = 0.0;
@@ -220,12 +240,18 @@ class CompileService
         bool operator()(const TaskPtr &a, const TaskPtr &b) const;
     };
 
+    struct Inflight;
+
     void workerLoop();
     void serve(const TaskPtr &task);
     std::shared_ptr<const core::Compiler>
     compilerFor(const TaskPtr &task);
     void finish(const TaskPtr &task, ServiceResult result);
     void recordLatency(double ms);
+    /** Resolve every follower parked on @p inflight with the primary
+     *  compile's outcome (shared program, or the failure status). */
+    void resolveFollowers(const std::shared_ptr<Inflight> &inflight,
+                          const ServiceResult &primary);
 
     CompileServiceConfig config_;
     ProgramCache cache_;
@@ -247,6 +273,13 @@ class CompileService
                        FingerprintHash>
         compilers_;
 
+    /** In-flight cold compiles by fingerprint; duplicate requests
+     *  park here until the primary publishes (request coalescing). */
+    std::mutex coalesce_mu_;
+    std::unordered_map<Fingerprint, std::shared_ptr<Inflight>,
+                       FingerprintHash>
+        inflight_;
+
     mutable std::mutex latency_mu_;
     std::vector<double> latency_window_;
     size_t latency_next_ = 0;
@@ -259,6 +292,7 @@ class CompileService
     std::atomic<uint64_t> rejected_{0};
     std::atomic<uint64_t> cache_hits_{0};
     std::atomic<uint64_t> cache_misses_{0};
+    std::atomic<uint64_t> coalesced_{0};
     std::atomic<uint64_t> completion_seq_{0};
 
     std::vector<std::thread> workers_;

@@ -176,6 +176,31 @@ fingerprintCircuit(const ckt::QuantumCircuit &circuit)
 }
 
 Fingerprint
+fingerprintCalibration(const dev::Calibration &calib)
+{
+    FingerprintBuilder h;
+    h.mix(std::string_view("calibration"));
+    // The id is provenance, not physics: it must NOT be mixed, so
+    // relabelled-but-identical snapshots share cache entries.  The
+    // epoch IS mixed: a recalibration is a distinct cache generation
+    // even when it happens to reproduce the same numbers.
+    h.mix(calib.epoch);
+    h.mix(calib.num_qubits);
+    h.mix(calib.coupling_mean);
+    h.mix(calib.coupling_stddev);
+    auto mixVector = [&h](const std::vector<double> &v) {
+        h.mix(uint64_t(v.size()));
+        for (double x : v)
+            h.mix(x);
+    };
+    mixVector(calib.t1);
+    mixVector(calib.t2);
+    mixVector(calib.anharmonicity);
+    mixVector(calib.zz);
+    return h.finish();
+}
+
+Fingerprint
 fingerprintDevice(const dev::Device &device)
 {
     FingerprintBuilder h;
@@ -194,14 +219,7 @@ fingerprintDevice(const dev::Device &device)
         h.mix(x);
         h.mix(y);
     }
-    for (double lambda : device.couplings())
-        h.mix(lambda);
-    const dev::DeviceParams &p = device.params();
-    h.mix(p.coupling_mean);
-    h.mix(p.coupling_stddev);
-    h.mix(p.t1);
-    h.mix(p.t2);
-    h.mix(p.anharmonicity);
+    h.mix(fingerprintCalibration(device.calibration()));
     return h.finish();
 }
 

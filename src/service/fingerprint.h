@@ -33,8 +33,11 @@
 
 namespace qzz::svc {
 
-/** Bumped whenever the fingerprinted content or mixing changes. */
-inline constexpr uint64_t kFingerprintVersion = 1;
+/** Bumped whenever the fingerprinted content or mixing changes.
+ *  v2: the device hash covers the full per-qubit calibration
+ *  snapshot (per-qubit T1/T2/anharmonicity, per-edge ZZ, epoch)
+ *  instead of one uniform DeviceParams tuple. */
+inline constexpr uint64_t kFingerprintVersion = 2;
 
 /** A 128-bit content hash. */
 struct Fingerprint
@@ -128,10 +131,21 @@ Fingerprint fingerprintOrderedCircuit(const ckt::QuantumCircuit &circuit);
 /**
  * Fingerprint of a device: vertex/edge structure, straight-line
  * coordinates (they fix the planar embedding and hence the
- * suppression solver's cut space), per-edge ZZ couplings, and the
- * DeviceParams (coherence, anharmonicity, sampling moments).
+ * suppression solver's cut space), and the full calibration snapshot
+ * — per-edge ZZ couplings, per-qubit T1/T2/anharmonicity vectors,
+ * the sampling moments, and the snapshot epoch.  The snapshot id is
+ * deliberately excluded: it is a provenance label, and the
+ * fingerprint must change iff a physical field or the epoch changes,
+ * so equal recalibrations relabelled differently still share cached
+ * programs while every real drift (or a new epoch over identical
+ * numbers) gets its own cache entry.
  */
 Fingerprint fingerprintDevice(const dev::Device &device);
+
+/** The calibration component of fingerprintDevice() on its own (no
+ *  topology): epoch, sampling moments, per-qubit vectors, per-edge
+ *  ZZ.  Excludes Calibration::id (see fingerprintDevice()). */
+Fingerprint fingerprintCalibration(const dev::Calibration &calib);
 
 /** Fingerprint of the compile configuration (pulse, sched, zzx). */
 Fingerprint fingerprintOptions(const core::CompileOptions &options);

@@ -175,6 +175,21 @@ DensityMatrix::applyDephasing(int q, double keep)
         }
 }
 
+void
+DensityMatrix::applyDecoherence(const std::vector<double> &gamma,
+                                const std::vector<double> &keep)
+{
+    require(int(gamma.size()) == n_ && int(keep.size()) == n_,
+            "applyDecoherence: per-qubit rate vectors must have one "
+            "entry per qubit");
+    for (int q = 0; q < n_; ++q) {
+        if (gamma[size_t(q)] > 0.0)
+            applyAmplitudeDamping(q, gamma[size_t(q)]);
+        if (keep[size_t(q)] < 1.0)
+            applyDephasing(q, keep[size_t(q)]);
+    }
+}
+
 double
 DensityMatrix::expectationPure(const StateVector &psi) const
 {

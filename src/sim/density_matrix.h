@@ -52,6 +52,16 @@ class DensityMatrix
     /** Pure dephasing: off-diagonals in @p q scaled by @p keep. */
     void applyDephasing(int q, double keep);
 
+    /**
+     * Per-qubit decoherence sweep: amplitude damping with decay
+     * probability @p gamma[q] followed by dephasing with retention
+     * @p keep[q] on every qubit.  Qubits with gamma 0 / keep 1 are
+     * skipped, so a heterogeneous device pays only for its lossy
+     * qubits.  Both vectors must have numQubits() entries.
+     */
+    void applyDecoherence(const std::vector<double> &gamma,
+                          const std::vector<double> &keep);
+
     /** <psi| rho |psi>. */
     double expectationPure(const StateVector &psi) const;
 

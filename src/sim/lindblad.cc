@@ -26,6 +26,10 @@ DensityMatrixScheduleSimulator::DensityMatrixScheduleSimulator(
                           options_.crosstalk_scale);
     }
     zz_energies_ = zzEnergyTable(device_.numQubits(), edges, lambdas);
+    for (int q = 0; q < device_.numQubits(); ++q)
+        if (std::isfinite(device_.t1(q)) ||
+            std::isfinite(device_.t2(q)))
+            any_decoherence_ = true;
 }
 
 namespace {
@@ -82,26 +86,26 @@ drive2QStep(const PulseProgram &p, double t_mid, double dt)
 } // namespace
 
 void
-DensityMatrixScheduleSimulator::applyDecoherence(DensityMatrix &rho,
-                                                 double dt) const
+DensityMatrixScheduleSimulator::decoherenceFactors(
+    double dt, std::vector<double> &gamma,
+    std::vector<double> &keep) const
 {
-    const double t1 = device_.params().t1;
-    const double t2 = device_.params().t2;
-    if (!std::isfinite(t1) && !std::isfinite(t2))
-        return;
-    const double gamma =
-        std::isfinite(t1) ? 1.0 - std::exp(-dt / t1) : 0.0;
-    // 1/T_phi = 1/T2 - 1/(2 T1); keep factor on coherences.
-    double rate_phi = 0.0;
-    if (std::isfinite(t2))
-        rate_phi = 1.0 / t2 - (std::isfinite(t1) ? 0.5 / t1 : 0.0);
-    rate_phi = std::max(0.0, rate_phi);
-    const double keep = std::exp(-dt * rate_phi);
-    for (int q = 0; q < rho.numQubits(); ++q) {
-        if (gamma > 0.0)
-            rho.applyAmplitudeDamping(q, gamma);
-        if (keep < 1.0)
-            rho.applyDephasing(q, keep);
+    const int n = device_.numQubits();
+    gamma.assign(size_t(n), 0.0);
+    keep.assign(size_t(n), 1.0);
+    for (int q = 0; q < n; ++q) {
+        // Each qubit decays at its own calibrated rates (the snapshot
+        // is heterogeneous in general): gamma from T1(q), and the
+        // pure-dephasing keep factor from 1/T_phi = 1/T2 - 1/(2 T1).
+        const double t1 = device_.t1(q);
+        const double t2 = device_.t2(q);
+        if (std::isfinite(t1))
+            gamma[size_t(q)] = 1.0 - std::exp(-dt / t1);
+        double rate_phi = 0.0;
+        if (std::isfinite(t2))
+            rate_phi = 1.0 / t2 - (std::isfinite(t1) ? 0.5 / t1 : 0.0);
+        rate_phi = std::max(0.0, rate_phi);
+        keep[size_t(q)] = std::exp(-dt * rate_phi);
     }
 }
 
@@ -121,6 +125,10 @@ DensityMatrixScheduleSimulator::runLayer(const core::Layer &layer,
         1, size_t(std::ceil(layer.duration / options_.dt)));
     const double dt = layer.duration / double(steps);
 
+    std::vector<double> gamma, keep;
+    if (any_decoherence_)
+        decoherenceFactors(dt, gamma, keep);
+
     for (size_t s = 0; s < steps; ++s) {
         const double t_mid = (double(s) + 0.5) * dt;
         rho.applyDiagonalPhase(zz_energies_, dt / 2.0);
@@ -138,7 +146,8 @@ DensityMatrixScheduleSimulator::runLayer(const core::Layer &layer,
             }
         }
         rho.applyDiagonalPhase(zz_energies_, dt / 2.0);
-        applyDecoherence(rho, dt);
+        if (any_decoherence_)
+            rho.applyDecoherence(gamma, keep);
     }
 }
 

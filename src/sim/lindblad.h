@@ -5,8 +5,9 @@
  *
  * Same Strang-split evolution as PulseScheduleSimulator, acting on a
  * density matrix, with exact per-step amplitude-damping and
- * pure-dephasing Kraus channels on every qubit (rates 1/T1 and
- * 1/T_phi = 1/T2 - 1/(2 T1)).
+ * pure-dephasing Kraus channels on every qubit (rates 1/T1(q) and
+ * 1/T_phi(q) = 1/T2(q) - 1/(2 T1(q)), read per qubit from the
+ * device's calibration snapshot).
  */
 
 #ifndef QZZ_SIM_LINDBLAD_H
@@ -44,8 +45,16 @@ class DensityMatrixScheduleSimulator
     pulse::PulseLibrary library_;
     PulseSimOptions options_;
     std::vector<double> zz_energies_;
+    /** True when any qubit has a finite T1 or T2 (skip the Kraus
+     *  sweep entirely on fully coherent devices). */
+    bool any_decoherence_ = false;
 
-    void applyDecoherence(DensityMatrix &rho, double dt) const;
+    /** Per-qubit decay probability / dephasing retention for one
+     *  integrator step of @p dt, from the calibrated T1(q)/T2(q).
+     *  Computed once per layer (dt is fixed within it), applied at
+     *  every Strang step. */
+    void decoherenceFactors(double dt, std::vector<double> &gamma,
+                            std::vector<double> &keep) const;
 };
 
 } // namespace qzz::sim

@@ -87,5 +87,40 @@ TEST(ScheduleTest, MeanNcAndMaxNq)
     EXPECT_EQ(s.maxNq(), 3);
 }
 
+TEST(ScheduleTest, ResidualZzWeighsUnsuppressedEdges)
+{
+    // Three couplings with heterogeneous calibrated rates: the
+    // residual of a layer is the sum over its unsuppressed edges,
+    // not the uniform NC count.
+    const std::vector<double> zz = {khz(150.0), khz(200.0),
+                                    khz(320.0)};
+    Layer cut;
+    cut.metrics.nc = 2;
+    cut.metrics.unsuppressed_edge = {1, 0, 1};
+    EXPECT_DOUBLE_EQ(residualZzRate(cut, zz), zz[0] + zz[2]);
+
+    // No cut structure (ParSched): everything stays on.
+    Layer flat;
+    EXPECT_DOUBLE_EQ(residualZzRate(flat, zz),
+                     zz[0] + zz[1] + zz[2]);
+
+    // Virtual layers are free.
+    Layer v;
+    v.is_virtual = true;
+    v.metrics.unsuppressed_edge = {1, 1, 1};
+    EXPECT_DOUBLE_EQ(residualZzRate(v, zz), 0.0);
+
+    Layer suppressed;
+    suppressed.metrics.unsuppressed_edge = {0, 0, 0};
+    Schedule s;
+    s.num_qubits = 4;
+    s.layers = {cut, v, suppressed};
+    EXPECT_DOUBLE_EQ(meanResidualZz(s, zz), (zz[0] + zz[2]) / 2.0);
+
+    Layer mismatched;
+    mismatched.metrics.unsuppressed_edge = {1, 1};
+    EXPECT_THROW(residualZzRate(mismatched, zz), UserError);
+}
+
 } // namespace
 } // namespace qzz::core

@@ -230,5 +230,16 @@ TEST(ZzxSchedTest, DeterministicAcrossRuns)
         EXPECT_EQ(s1.layers[i].gates.size(), s2.layers[i].gates.size());
 }
 
+TEST(ZzxSchedTest, DeviceTablesCarryCalibratedZz)
+{
+    // The shared per-device tables expose the snapshot's per-edge ZZ
+    // rates so policies and diagnostics can weigh cuts by calibrated
+    // residual crosstalk.
+    const dev::Device dev = gridDevice(2, 3);
+    const ZzxDeviceTables tables(dev);
+    EXPECT_EQ(tables.zz, dev.couplings());
+    EXPECT_EQ(int(tables.zz.size()), dev.numCouplings());
+}
+
 } // namespace
 } // namespace qzz::core

@@ -79,8 +79,8 @@ TEST(PipelineTest, DecoherenceVariantTracksPureVariant)
 
 TEST(PipelineTest, FiniteCoherenceLowersFidelity)
 {
-    auto dev = smallDevice();
-    dev.setCoherence(us(50.0), us(50.0));
+    const auto dev =
+        smallDevice().withCoherence(us(50.0), us(50.0));
     Rng rng(4);
     ckt::QuantumCircuit c = ckt::hiddenShift(4, rng);
     core::CompileOptions opt;

@@ -390,10 +390,112 @@ TEST(CompileServiceTest, MetricsSnapshotIsCoherent)
     EXPECT_EQ(m.cache_stats.entries, 2u);
 }
 
+TEST(CompileServiceTest, ConcurrentDuplicatesColdCompileExactlyOnce)
+{
+    // The coalescing contract: N identical cache-using submissions
+    // racing across the worker pool produce exactly ONE cold compile
+    // — a duplicate either parks on the in-flight compilation
+    // (Coalesced) or lands on the cache entry the winner published
+    // (CacheHit).  Before coalescing, two workers could both miss
+    // before either inserted and compile the same fingerprint twice.
+    constexpr int kDuplicates = 8;
+    auto device = makeDevice(3, 4);
+    CompileService service(serviceConfig(4, /*paused=*/true));
+    std::vector<RequestHandle> handles;
+    for (int i = 0; i < kDuplicates; ++i)
+        handles.push_back(service.submit(qftRequest(device)));
+    service.resume();
+
+    int compiled = 0, coalesced = 0, hits = 0;
+    std::shared_ptr<const core::CompiledProgram> first;
+    for (RequestHandle &h : handles) {
+        ServiceResult result = h.get();
+        ASSERT_TRUE(result.ok());
+        if (!first)
+            first = result.program;
+        // Every duplicate shares the single compiled instance.
+        EXPECT_EQ(result.program.get(), first.get());
+        switch (result.outcome) {
+        case Outcome::Compiled:
+            ++compiled;
+            break;
+        case Outcome::Coalesced:
+            ++coalesced;
+            break;
+        case Outcome::CacheHit:
+            ++hits;
+            break;
+        default:
+            FAIL() << outcomeName(result.outcome);
+        }
+    }
+    EXPECT_EQ(compiled, 1);
+    EXPECT_EQ(coalesced + hits, kDuplicates - 1);
+
+    const MetricsSnapshot m = service.metrics();
+    EXPECT_EQ(m.completed, uint64_t(kDuplicates));
+    EXPECT_EQ(m.coalesced, uint64_t(coalesced));
+    EXPECT_EQ(m.cache_hits, uint64_t(hits));
+}
+
+TEST(CompileServiceTest, CoalescedFollowerSharesThePrimaryProgram)
+{
+    // Two workers, two identical paused requests: the second worker
+    // claims the duplicate while the first is still compiling and
+    // must park on it rather than compile again.
+    auto device = makeDevice(3, 4, 5);
+    CompileService service(serviceConfig(2, /*paused=*/true));
+    RequestHandle a = service.submit(qftRequest(device));
+    RequestHandle b = service.submit(qftRequest(device));
+    service.resume();
+    ServiceResult ra = a.get();
+    ServiceResult rb = b.get();
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(ra.fingerprint, rb.fingerprint);
+    EXPECT_EQ(ra.program.get(), rb.program.get());
+    const int cold = (ra.outcome == Outcome::Compiled ? 1 : 0) +
+                     (rb.outcome == Outcome::Compiled ? 1 : 0);
+    EXPECT_EQ(cold, 1);
+}
+
+TEST(CompileServiceTest, UseCacheFalseNeverCoalesces)
+{
+    // Explicit cold compiles must stay cold — they neither park on an
+    // in-flight duplicate nor serve followers.
+    auto device = makeDevice();
+    CompileService service(serviceConfig(2, /*paused=*/true));
+    CompileRequest req = qftRequest(device);
+    req.request.use_cache = false;
+    RequestHandle a = service.submit(req);
+    RequestHandle b = service.submit(req);
+    service.resume();
+    EXPECT_EQ(a.get().outcome, Outcome::Compiled);
+    EXPECT_EQ(b.get().outcome, Outcome::Compiled);
+    EXPECT_EQ(service.metrics().coalesced, 0u);
+}
+
+TEST(CompileServiceTest, CoalescingDisabledStillServes)
+{
+    CompileServiceConfig config = serviceConfig(2, /*paused=*/true);
+    config.coalesce = false;
+    auto device = makeDevice();
+    CompileService service(config);
+    RequestHandle a = service.submit(qftRequest(device));
+    RequestHandle b = service.submit(qftRequest(device));
+    service.resume();
+    ServiceResult ra = a.get();
+    ServiceResult rb = b.get();
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(programArtifactString(*ra.program),
+              programArtifactString(*rb.program));
+    EXPECT_EQ(service.metrics().coalesced, 0u);
+}
+
 TEST(CompileServiceTest, OutcomeNamesRoundTripForDisplay)
 {
     EXPECT_EQ(outcomeName(Outcome::Compiled), "Compiled");
     EXPECT_EQ(outcomeName(Outcome::CacheHit), "CacheHit");
+    EXPECT_EQ(outcomeName(Outcome::Coalesced), "Coalesced");
     EXPECT_EQ(outcomeName(Outcome::Failed), "Failed");
     EXPECT_EQ(outcomeName(Outcome::Cancelled), "Cancelled");
     EXPECT_EQ(outcomeName(Outcome::DeadlineExceeded),

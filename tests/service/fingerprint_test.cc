@@ -91,7 +91,7 @@ TEST(FingerprintTest, StableGoldenValue)
     c.cx(0, 1);
     c.rz(1, 0.25);
     EXPECT_EQ(fingerprintCircuit(c).hex(),
-              "ddeb0fa747e149c704c9de5f36cb2310");
+              "15ddc797395910d5ae024a3aeaac0b00");
 }
 
 TEST(FingerprintTest, CanonicalOrderIsReorderInvariant)
@@ -203,8 +203,7 @@ TEST(FingerprintTest, DeviceCouplingsAndCoherenceMatter)
     dev::Device b(graph::gridTopology(2, 2), dev::DeviceParams{}, rng_b);
     EXPECT_NE(fingerprintDevice(a), fingerprintDevice(b));
 
-    dev::Device c = a;
-    c.setCoherence(50e3, 70e3);
+    const dev::Device c = a.withCoherence(50e3, 70e3);
     EXPECT_NE(fingerprintDevice(a), fingerprintDevice(c));
 }
 

@@ -220,8 +220,8 @@ TEST_F(ProgramCacheDiskTest, CorruptCountFieldsAreMissesNotCrashes)
 
     // Huge-but-parseable counts are equally rejected.
     std::istringstream huge(
-        "qzzprog 1\npulse_method Gaussian\nsched_policy ParSched\n"
-        "native 2 0 \n184467440737095516\n");
+        "qzzprog 2\npulse_method Gaussian\nsched_policy ParSched\n"
+        "calib_epoch 0\nnative 2 0 \n184467440737095516\n");
     EXPECT_FALSE(readProgramArtifact(huge, false).has_value());
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "circuit/gate.h"
+#include "common/error.h"
 #include "common/units.h"
 
 namespace qzz::sim {
@@ -99,6 +100,29 @@ TEST(DensityMatrixTest, DampingOnOneQubitLeavesOthersAlone)
     rho.applyAmplitudeDamping(0, 0.5);
     EXPECT_NEAR(rho.probabilityOne(0), 0.5, 1e-12);
     EXPECT_NEAR(rho.probabilityOne(1), 1.0, 1e-12);
+}
+
+TEST(DensityMatrixTest, PerQubitDecoherenceSweep)
+{
+    // Heterogeneous rates: qubit 0 damps, qubit 1 only dephases,
+    // qubit 2 is untouched — in one sweep.
+    DensityMatrix rho(3);
+    for (int q = 0; q < 3; ++q)
+        rho.apply1Q(ckt::gateMatrix({ckt::GateKind::H, {0}}), q);
+    rho.applyDecoherence({0.5, 0.0, 0.0}, {1.0, 0.5, 1.0});
+
+    DensityMatrix expected(3);
+    for (int q = 0; q < 3; ++q)
+        expected.apply1Q(ckt::gateMatrix({ckt::GateKind::H, {0}}), q);
+    expected.applyAmplitudeDamping(0, 0.5);
+    expected.applyDephasing(1, 0.5);
+    for (size_t r = 0; r < rho.dim(); ++r)
+        for (size_t c = 0; c < rho.dim(); ++c)
+            EXPECT_NEAR(std::abs(rho.matrix()(r, c) -
+                                 expected.matrix()(r, c)),
+                        0.0, 1e-14);
+
+    EXPECT_THROW(rho.applyDecoherence({0.5}, {1.0}), UserError);
 }
 
 TEST(DensityMatrixTest, MixedStateExpectation)

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/gate.h"
 #include "common/units.h"
 #include "core/par_sched.h"
 #include "core/zzx_sched.h"
 #include "graph/topologies.h"
 #include "sim/ideal_sim.h"
+#include "sim/lindblad.h"
 
 namespace qzz::sim {
 namespace {
@@ -148,6 +150,40 @@ TEST(PulseSimTest, NormPreserved)
     PulseScheduleSimulator sim(dev, pulse::PulseLibrary::gaussian());
     StateVector out = sim.run(sched);
     EXPECT_NEAR(out.norm(), 1.0, 1e-8);
+}
+
+TEST(PulseSimTest, HeterogeneousT1DecaysPerQubit)
+{
+    // A two-qubit device whose snapshot gives qubit 0 a short T1 and
+    // leaves qubit 1 fully coherent: after an idle layer from |11>,
+    // only qubit 0 loses population.
+    graph::Topology topo = graph::lineTopology(2);
+    dev::DeviceParams params;
+    Rng rng(4);
+    dev::Calibration calib =
+        dev::Calibration::sampled(topo, params, rng);
+    calib.t1[0] = 200.0; // ns, deliberately lossy
+    calib.t2[0] = 200.0;
+    const dev::Device dev(topo, calib);
+
+    ckt::QuantumCircuit c(2);
+    c.idle(0);
+    c.idle(1);
+    core::Schedule sched = scheduleOf(c, dev);
+
+    PulseSimOptions opt;
+    opt.dt = 0.1;
+    opt.crosstalk_scale = 0.0;
+    DensityMatrixScheduleSimulator sim(
+        dev, pulse::PulseLibrary::gaussian(), opt);
+    DensityMatrix rho(2);
+    for (int q = 0; q < 2; ++q)
+        rho.apply1Q(ckt::gateMatrix({ckt::GateKind::X, {0}}), q);
+    sim.run(sched, rho);
+    // Identity = Rx(2 pi) returns each qubit to |1> up to phase, but
+    // qubit 0 decohered along the way.
+    EXPECT_LT(rho.probabilityOne(0), 0.95);
+    EXPECT_GT(rho.probabilityOne(1), 0.999);
 }
 
 TEST(PulseSimTest, ZzxScheduleRunsEndToEnd)
