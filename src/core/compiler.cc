@@ -58,10 +58,15 @@ ZzxScheduler::schedule(const ckt::QuantumCircuit &native,
                        const GateDurations &durations,
                        const SchedulerState *state) const
 {
-    if (const auto *tables = dynamic_cast<const ZzxTablesState *>(state))
-        return zzxSchedule(native, dev, durations, opt_,
-                           tables->tables);
-    return zzxSchedule(native, dev, durations, opt_);
+    if (const auto *tables =
+            dynamic_cast<const ZzxTablesState *>(state))
+        return weighted_ ? zzxWeightedSchedule(native, dev, durations,
+                                               opt_, tables->tables)
+                         : zzxSchedule(native, dev, durations, opt_,
+                                       tables->tables);
+    return weighted_
+               ? zzxWeightedSchedule(native, dev, durations, opt_)
+               : zzxSchedule(native, dev, durations, opt_);
 }
 
 std::shared_ptr<const Scheduler>
@@ -69,7 +74,8 @@ makeScheduler(SchedPolicy policy, const ZzxOptions &zzx)
 {
     if (policy == SchedPolicy::Par)
         return std::make_shared<ParScheduler>();
-    return std::make_shared<ZzxScheduler>(zzx);
+    return std::make_shared<ZzxScheduler>(
+        zzx, policy == SchedPolicy::ZzxWeighted);
 }
 
 // ---------------------------------------------------------------------------

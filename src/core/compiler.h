@@ -167,14 +167,26 @@ class ParScheduler final : public Scheduler
                       const SchedulerState *state) const override;
 };
 
-/** The paper's ZZ-aware scheduler (wraps zzxSchedule()). */
+/**
+ * The paper's ZZ-aware scheduler (wraps zzxSchedule()), optionally in
+ * its calibration-weighted variant (SchedPolicy::ZzxWeighted, wraps
+ * zzxWeightedSchedule()): the weighted flag swaps the suppression
+ * objective to calibrated residual ZZ with the classic order as
+ * tie-break, so uniform snapshots schedule bit-identically.
+ */
 class ZzxScheduler final : public Scheduler
 {
   public:
-    explicit ZzxScheduler(ZzxOptions opt = {}) : opt_(opt) {}
+    explicit ZzxScheduler(ZzxOptions opt = {}, bool weighted = false)
+        : opt_(opt), weighted_(weighted)
+    {
+    }
 
-    std::string name() const override { return "ZZXSched"; }
-    /** Builds the shared ZzxDeviceTables (distances + solver). */
+    std::string name() const override
+    {
+        return weighted_ ? "ZzxWeighted" : "ZZXSched";
+    }
+    /** Builds the shared ZzxDeviceTables (distances + solver + ZZ). */
     std::shared_ptr<const SchedulerState>
     prepare(const dev::Device &dev) const override;
     Schedule schedule(const ckt::QuantumCircuit &native,
@@ -183,9 +195,11 @@ class ZzxScheduler final : public Scheduler
                       const SchedulerState *state) const override;
 
     const ZzxOptions &options() const { return opt_; }
+    bool weighted() const { return weighted_; }
 
   private:
     ZzxOptions opt_;
+    bool weighted_ = false;
 };
 
 /** Scheduler implementing a SchedPolicy enum value. */

@@ -1,6 +1,7 @@
 #include "core/cut.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 
@@ -24,6 +25,20 @@ evaluateCut(const graph::Graph &g, const std::vector<int> &side)
     m.nq = sizes.empty() ? 0
                          : *std::max_element(sizes.begin(), sizes.end());
     return m;
+}
+
+double
+residualZz(const SuppressionMetrics &metrics,
+           const std::vector<double> &zz)
+{
+    require(metrics.unsuppressed_edge.size() == zz.size(),
+            "residualZz: per-edge ZZ vector does not match the cut's "
+            "edge count");
+    double sum = 0.0;
+    for (size_t e = 0; e < zz.size(); ++e)
+        if (metrics.unsuppressed_edge[e])
+            sum += std::abs(zz[e]);
+    return sum;
 }
 
 bool

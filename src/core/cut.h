@@ -48,6 +48,17 @@ struct SuppressionMetrics
 SuppressionMetrics evaluateCut(const graph::Graph &g,
                                const std::vector<int> &side);
 
+/**
+ * Calibrated residual ZZ of a cut: the sum of per-edge ZZ strength
+ * *magnitudes* (rad/ns, edge-id aligned with the topology; static ZZ
+ * is conventionally negative) over the cut's unsuppressed couplings.
+ * The calibration-weighted counterpart of NC — two cuts with equal NC
+ * can differ substantially on a device whose couplers are not all
+ * equally strong.
+ */
+double residualZz(const SuppressionMetrics &metrics,
+                  const std::vector<double> &zz);
+
 /** True when all vertices of @p q share one side value. */
 bool sameSide(const std::vector<int> &side, const std::vector<int> &q);
 

@@ -9,7 +9,15 @@ namespace qzz::core {
 std::string
 schedPolicyName(SchedPolicy p)
 {
-    return p == SchedPolicy::Par ? "ParSched" : "ZZXSched";
+    switch (p) {
+    case SchedPolicy::Par:
+        return "ParSched";
+    case SchedPolicy::Zzx:
+        return "ZZXSched";
+    case SchedPolicy::ZzxWeighted:
+        return "ZzxWeighted";
+    }
+    panic("schedPolicyName: unknown policy");
 }
 
 std::optional<SchedPolicy>
@@ -19,6 +27,9 @@ schedPolicyFromName(std::string_view name)
         return SchedPolicy::Par;
     if (iequalsAscii(name, "ZZXSched") || iequalsAscii(name, "Zzx"))
         return SchedPolicy::Zzx;
+    if (iequalsAscii(name, "ZzxWeighted") ||
+        iequalsAscii(name, "Weighted"))
+        return SchedPolicy::ZzxWeighted;
     return std::nullopt;
 }
 
@@ -27,7 +38,8 @@ schedPolicyNames()
 {
     static const std::vector<std::string> names = {
         schedPolicyName(SchedPolicy::Par),
-        schedPolicyName(SchedPolicy::Zzx)};
+        schedPolicyName(SchedPolicy::Zzx),
+        schedPolicyName(SchedPolicy::ZzxWeighted)};
     return names;
 }
 

@@ -33,11 +33,17 @@
 
 namespace qzz::core {
 
-/** Scheduling policies compared in the paper. */
+/** Scheduling policies compared in the paper (plus the
+ *  calibration-weighted extension; see docs/architecture.md). */
 enum class SchedPolicy
 {
     Par, ///< maximal parallelism (baseline)
     Zzx, ///< ZZ-aware co-optimized scheduling
+    /** ZZXSched with the suppression objective weighted by the
+     *  device snapshot's calibrated per-edge ZZ rates
+     *  (core::zzxWeightedSchedule()); reproduces Zzx bit-identically
+     *  on uniform snapshots. */
+    ZzxWeighted,
 };
 
 /** Display name of a policy. */

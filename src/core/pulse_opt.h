@@ -91,16 +91,28 @@ struct PulseOptConfig
     double smoothness_weight = 3e-4;
 };
 
-/** Sensible per-method, per-gate defaults (see the .cc for values). */
+/**
+ * Nominal per-method, per-gate optimization defaults, assuming the
+ * paper's 200 kHz mean coupling: gate-implementation weight 10, a
+ * cosine-decayed Adam schedule (lr 0.02 -> 0.002, <= 800 iters),
+ * lambda_intra = 200 kHz, and for OptCtrl a small lambda sample grid
+ * ({0.25, 0.75, 1.5} MHz; {0.3, 1.0} MHz for RZX).  RZX runs a
+ * coarser objective dt (0.05 vs 0.02 ns) with a single restart.
+ * These values reproduce the committed calib/ store entries — change
+ * them only together with the cache-key version (docs/formats.md,
+ * "Pulse-coefficient cache").
+ */
 PulseOptConfig defaultPulseOptConfig(PulseMethod method,
                                      pulse::PulseGate gate);
 
 /**
  * Device-calibrated defaults: defaultPulseOptConfig() with the
  * objective's ZZ strengths read from the device's calibration
- * snapshot — lambda_intra set to the mean per-edge ZZ rate, and the
- * OptCtrl lambda samples rescaled by the ratio of that mean to the
- * nominal 200 kHz the stock defaults assume.
+ * snapshot — lambda_intra set to the snapshot's mean per-edge ZZ
+ * rate (dev::Calibration::meanZz()), and the OptCtrl lambda samples
+ * rescaled by the ratio of that mean to the nominal 200 kHz the
+ * stock defaults assume.  An edgeless device keeps the nominal
+ * strengths unchanged.
  */
 PulseOptConfig defaultPulseOptConfig(PulseMethod method,
                                      pulse::PulseGate gate,
@@ -171,7 +183,12 @@ getDraggedLibraryShared(PulseMethod method, double alpha);
  * library DRAG-corrected for qubit q's calibrated anharmonicity
  * (device.anharmonicity(q)).  Qubits sharing an anharmonicity share
  * one library instance through the (method, alpha) memo, so a uniform
- * device yields numQubits() aliases of a single variant.
+ * device yields numQubits() aliases of a single variant.  The
+ * returned vector always has exactly device.numQubits() entries,
+ * none null; thread-safe like getDraggedLibraryShared().  Note that
+ * CompiledProgram still attaches a single library — these variants
+ * are for callers simulating heterogeneous devices per qubit (the
+ * per-qubit attachment extension is a ROADMAP item).
  */
 std::vector<std::shared_ptr<const pulse::PulseLibrary>>
 perQubitPulseLibraries(PulseMethod method, const dev::Device &device);

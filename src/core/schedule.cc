@@ -1,6 +1,7 @@
 #include "core/schedule.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 
@@ -108,22 +109,15 @@ residualZzRate(const Layer &layer, const std::vector<double> &zz)
 {
     if (layer.is_virtual)
         return 0.0;
-    const std::vector<char> &unsuppressed =
-        layer.metrics.unsuppressed_edge;
-    double sum = 0.0;
-    if (unsuppressed.empty()) {
-        // No cut structure (ParSched): every coupling stays on.
+    if (layer.metrics.unsuppressed_edge.empty()) {
+        // Empty mask = all-on: no cut structure (ParSched), every
+        // coupling stays unsuppressed.
+        double sum = 0.0;
         for (double lambda : zz)
-            sum += lambda;
+            sum += std::abs(lambda);
         return sum;
     }
-    require(unsuppressed.size() == zz.size(),
-            "residualZzRate: per-edge ZZ vector does not match the "
-            "layer's edge count");
-    for (size_t e = 0; e < zz.size(); ++e)
-        if (unsuppressed[e])
-            sum += zz[e];
-    return sum;
+    return residualZz(layer.metrics, zz);
 }
 
 double

@@ -87,13 +87,21 @@ struct Schedule
 
 /**
  * Calibrated residual ZZ rate of one layer: the sum of per-edge ZZ
- * strengths (rad/ns, from the device calibration snapshot, aligned by
- * edge id) over the layer's unsuppressed couplings.  A physical layer
- * without cut structure (ParSched) suppresses nothing, so every
- * coupling counts; virtual layers contribute 0.  Where NC counts
- * unsuppressed couplings uniformly, this weighs them by their actual
- * calibrated rates — two cuts with equal NC can differ substantially
- * on a heterogeneous device.
+ * strength magnitudes (rad/ns, from the device calibration snapshot,
+ * aligned by edge id; static ZZ is conventionally negative) over the
+ * layer's unsuppressed couplings.  Where NC counts unsuppressed
+ * couplings uniformly, this weighs them by their actual calibrated
+ * rates — two cuts with equal NC can differ substantially on a
+ * heterogeneous device.  SchedPolicy::ZzxWeighted scores candidate
+ * cuts by exactly this quantity (normalized, alongside the alpha * NQ
+ * term; see SuppressionOptions::edge_zz).
+ *
+ * Contract on the layer's `metrics.unsuppressed_edge` mask:
+ *  - empty = all-on: the layer carries no cut structure (ParSched),
+ *    nothing is suppressed, and every entry of @p zz counts;
+ *  - non-empty: its size must equal zz.size() (the topology's edge
+ *    count) or the call throws UserError.
+ * Virtual layers contribute 0 regardless of the mask.
  */
 double residualZzRate(const Layer &layer, const std::vector<double> &zz);
 

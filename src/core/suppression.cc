@@ -1,6 +1,7 @@
 #include "core/suppression.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.h"
@@ -53,6 +54,31 @@ SuppressionSolver::solve(const std::vector<int> &q,
     for (int v : q)
         require(v >= 0 && v < g.numVertices(),
                 "SuppressionSolver::solve: qubit out of range");
+
+    // Calibration weighting: when the caller supplied per-edge ZZ
+    // rates, the primary objective replaces NC by the sum of
+    // |zz[e]| / max|zz| over unsuppressed edges.  Magnitudes, not
+    // signed rates: transmon static ZZ is conventionally negative,
+    // and a signed sum would *reward* leaving the strongest couplers
+    // on.  Dividing each edge by the strongest coupler keeps the
+    // weighted count on the NC scale (and makes every weight exactly
+    // 1.0 on a uniform snapshot, so the weighted objective
+    // degenerates bit-identically to the classic one).  A snapshot
+    // without a nonzero finite rate has nothing to weigh by; fall
+    // back to uniform counting.  Validated here — before any
+    // fallback return — so a wrong-sized vector always throws.
+    const std::vector<double> *edge_zz = opt.edge_zz;
+    double zz_ref = 0.0;
+    if (edge_zz != nullptr) {
+        require(int(edge_zz->size()) == m,
+                "SuppressionSolver::solve: edge_zz size does not match "
+                "the topology's edge count");
+        for (double rate : *edge_zz)
+            if (std::isfinite(rate) && std::abs(rate) > zz_ref)
+                zz_ref = std::abs(rate);
+        if (zz_ref <= 0.0)
+            edge_zz = nullptr;
+    }
 
     // E_Q: topology edges with both endpoints in Q.
     std::vector<char> in_q(size_t(g.numVertices()), 0);
@@ -157,13 +183,18 @@ SuppressionSolver::solve(const std::vector<int> &q,
         return make_fallback();
 
     // Candidate evaluation: XOR the selected paths, add E*_Q, induce a
-    // cut, check the constraint, and compute the objective.
+    // cut, check the constraint, and compute the objective.  The
+    // score orders lexicographically: the (possibly weighted) primary
+    // objective first, the classic alpha * NQ + NC as tie-break — on
+    // uniform weights both components coincide, so the order is the
+    // classic one exactly.
     struct Evaluated
     {
         bool valid = false;
         std::vector<int> side;
         SuppressionMetrics metrics;
         double objective = 0.0;
+        double tie = 0.0;
     };
     auto evaluate = [&](const std::vector<size_t> &choice) {
         Evaluated ev;
@@ -179,8 +210,22 @@ SuppressionSolver::solve(const std::vector<int> &q,
         ev.valid = true;
         ev.side = std::move(*colors);
         ev.metrics = evaluateCut(g, ev.side);
-        ev.objective = ev.metrics.objective(opt.alpha);
+        ev.tie = ev.metrics.objective(opt.alpha);
+        if (edge_zz != nullptr) {
+            double weighted_nc = 0.0;
+            for (size_t e = 0; e < size_t(m); ++e)
+                if (ev.metrics.unsuppressed_edge[e])
+                    weighted_nc += std::abs((*edge_zz)[e]) / zz_ref;
+            ev.objective =
+                opt.alpha * double(ev.metrics.nq) + weighted_nc;
+        } else {
+            ev.objective = ev.tie;
+        }
         return ev;
+    };
+    auto scoreLess = [](double obj_a, double tie_a, double obj_b,
+                        double tie_b) {
+        return obj_a < obj_b || (obj_a == obj_b && tie_a < tie_b);
     };
 
     // Greedy relaxation (Algorithm 1, lines 11-21): advance one pair's
@@ -196,10 +241,12 @@ SuppressionSolver::solve(const std::vector<int> &q,
         std::vector<size_t> choice(path_lists.size(), 0);
         best = evaluate(choice);
         double best_obj = best.valid ? best.objective : inf;
+        double best_tie = best.valid ? best.tie : inf;
         while (true) {
             int best_pair = -1;
             Evaluated best_cand;
             double best_cand_obj = inf;
+            double best_cand_tie = inf;
             for (size_t p = 0; p < path_lists.size(); ++p) {
                 if (choice[p] + 1 >= path_lists[p].size())
                     continue;
@@ -208,16 +255,20 @@ SuppressionSolver::solve(const std::vector<int> &q,
                 Evaluated ev = evaluate(cand);
                 if (!ev.valid)
                     continue;
-                if (ev.objective < best_cand_obj) {
+                if (scoreLess(ev.objective, ev.tie, best_cand_obj,
+                              best_cand_tie)) {
                     best_cand_obj = ev.objective;
+                    best_cand_tie = ev.tie;
                     best_cand = std::move(ev);
                     best_pair = int(p);
                 }
             }
-            if (best_pair >= 0 && best_cand_obj < best_obj) {
+            if (best_pair >= 0 && scoreLess(best_cand_obj, best_cand_tie,
+                                            best_obj, best_tie)) {
                 ++choice[size_t(best_pair)];
                 best = std::move(best_cand);
                 best_obj = best_cand_obj;
+                best_tie = best_cand_tie;
                 continue;
             }
             if (!best.valid) {
@@ -237,6 +288,7 @@ SuppressionSolver::solve(const std::vector<int> &q,
                 if (ev.valid) {
                     best = std::move(ev);
                     best_obj = best.objective;
+                    best_tie = best.tie;
                 }
                 continue;
             }

@@ -40,6 +40,24 @@ struct SuppressionOptions
     double alpha = 0.5;
     /** Number of alternative shortest paths per pair (paper: 3). */
     int top_k = 3;
+    /**
+     * Optional per-edge calibrated ZZ rates (rad/ns, edge-id aligned
+     * with the topology; non-owning — the caller keeps the vector
+     * alive across solve()).  When set, candidate cuts are scored by
+     * the calibration-weighted objective
+     *
+     *   alpha * NQ + sum_{e unsuppressed} |zz[e]| / max|zz|
+     *
+     * — the uniform NC count replaced by each coupling's strength
+     * (magnitude: static ZZ is conventionally negative) relative to
+     * the strongest coupler — with the classic alpha * NQ + NC
+     * objective as a deterministic tie-break.  On a uniform snapshot
+     * every ratio is exactly 1.0, so the weighted objective is
+     * bit-identical to the classic one and the solver reproduces
+     * classic ZZXSched decisions exactly.  The suppression
+     * requirement R (nq_max / nc_max) is unaffected.
+     */
+    const std::vector<double> *edge_zz = nullptr;
 };
 
 /** Outcome of one alpha-optimal suppression run. */

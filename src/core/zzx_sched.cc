@@ -168,6 +168,27 @@ zzxSchedule(const QuantumCircuit &native, const dev::Device &dev,
 }
 
 Schedule
+zzxWeightedSchedule(const QuantumCircuit &native, const dev::Device &dev,
+                    const GateDurations &durations, const ZzxOptions &opt)
+{
+    return zzxWeightedSchedule(native, dev, durations, opt,
+                               ZzxDeviceTables(dev));
+}
+
+Schedule
+zzxWeightedSchedule(const QuantumCircuit &native, const dev::Device &dev,
+                    const GateDurations &durations,
+                    const ZzxOptions &opt, const ZzxDeviceTables &tables)
+{
+    // The weighted policy is the classic search with the calibrated
+    // per-edge rates injected into the suppression objective; the
+    // tables outlive the call, so the solver can borrow them.
+    ZzxOptions weighted = opt;
+    weighted.suppression.edge_zz = &tables.zz;
+    return zzxSchedule(native, dev, durations, weighted, tables);
+}
+
+Schedule
 zzxSchedule(const QuantumCircuit &native, const dev::Device &dev,
             const GateDurations &durations, const ZzxOptions &opt_in,
             const ZzxDeviceTables &tables)

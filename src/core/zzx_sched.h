@@ -88,6 +88,33 @@ Schedule zzxSchedule(const ckt::QuantumCircuit &native,
                      const ZzxDeviceTables &tables);
 
 /**
+ * Calibration-weighted ZZXSched (SchedPolicy::ZzxWeighted): the same
+ * frontier walk and TwoQSchedule seeding/growth as zzxSchedule(), but
+ * the inner suppression search scores candidate cuts by calibrated
+ * residual ZZ — the per-edge rates of the device snapshot
+ * (ZzxDeviceTables::zz, see core::residualZzRate()) — instead of the
+ * uniform NC count, with the classic alpha * NQ + NC objective as a
+ * deterministic tie-break.  On a uniform snapshot (all couplers
+ * equal) every decision ties back to the classic order, so the
+ * produced schedule is bit-identical to zzxSchedule(); on a
+ * heterogeneous snapshot the cut search steers unsuppressed crosstalk
+ * onto the weakest couplers.  The suppression requirement R is
+ * enforced exactly as in zzxSchedule().
+ */
+Schedule zzxWeightedSchedule(const ckt::QuantumCircuit &native,
+                             const dev::Device &dev,
+                             const GateDurations &durations,
+                             const ZzxOptions &opt = {});
+
+/** Same, reusing precomputed per-device tables (the per-edge ZZ rates
+ *  are taken from @p tables). */
+Schedule zzxWeightedSchedule(const ckt::QuantumCircuit &native,
+                             const dev::Device &dev,
+                             const GateDurations &durations,
+                             const ZzxOptions &opt,
+                             const ZzxDeviceTables &tables);
+
+/**
  * Distance between two-qubit gates (Definition 6.1): the sum of the
  * four endpoint shortest-path distances.
  */

@@ -17,6 +17,9 @@
  * encoded as the strings "inf"/"-inf"), and persist with the same
  * write-private-temp + rename convention as the pulse calibration
  * store, so concurrent writers can never leave a torn file behind.
+ * The document grammar, the infinity encoding, and the epoch/id
+ * semantics are specified in docs/formats.md ("Calibration
+ * snapshots").
  */
 
 #ifndef QZZ_DEVICE_CALIBRATION_H
@@ -38,7 +41,10 @@ struct DeviceParams;
 /** Calibration document format version (stored in the JSON). */
 inline constexpr int kCalibrationVersion = 1;
 
-/** Relative 1-sigma spreads used by Calibration::jittered(). */
+/** Relative 1-sigma spreads used by Calibration::jittered().  A
+ *  field set to 0 leaves that quantity at its nominal value, so e.g.
+ *  {0, 0, 0, zz_rel} isolates per-edge ZZ heterogeneity (the sweep
+ *  axis of bench/fig_weighted_sched.cc). */
 struct CalibrationJitter
 {
     /** Fractional spread of per-qubit T1 (and T2). */
@@ -46,7 +52,10 @@ struct CalibrationJitter
     double t2_rel = 0.10;
     /** Fractional spread of per-qubit anharmonicity. */
     double anharmonicity_rel = 0.02;
-    /** Fractional spread of per-edge ZZ on top of the sampled value. */
+    /** Fractional spread of per-edge ZZ *on top of* the sampled
+     *  value (couplings are first drawn from N(coupling_mean,
+     *  coupling_stddev) like sampled(); set coupling_stddev = 0 to
+     *  make zz_rel the only source of ZZ spread). */
     double zz_rel = 0.0;
 };
 

@@ -30,6 +30,9 @@
  * Every completed request updates a MetricsSnapshot (throughput,
  * latency percentiles, queue depth, cache hit rate) suitable for
  * export to a monitoring system.
+ *
+ * The JSON-lines wire protocol examples/compile_server speaks on top
+ * of this service is specified in docs/protocol.md.
  */
 
 #ifndef QZZ_SERVICE_COMPILE_SERVICE_H
@@ -80,10 +83,16 @@ struct CompileRequest
 /** How a request left the service. */
 enum class Outcome
 {
-    Compiled,         ///< cold compile succeeded
-    CacheHit,         ///< served from the program cache
-    Coalesced,        ///< rode an identical in-flight compilation
-    Failed,           ///< compiler reported an error (see status)
+    Compiled, ///< cold compile succeeded
+    CacheHit, ///< served from the program cache
+    /** Rode an identical in-flight compilation instead of compiling:
+     *  the result shares the primary's program (same shared_ptr) and
+     *  compiler status, with the follower's own fingerprint, seed
+     *  and queue time; compile_ms is 0 and diagnostics are empty
+     *  (the primary did the work).  A primary that *fails* resolves
+     *  its followers as Failed, not Coalesced. */
+    Coalesced,
+    Failed, ///< compiler reported an error (see status)
     Cancelled,        ///< cancelled while queued
     DeadlineExceeded, ///< deadline passed before a worker got to it
     Rejected,         ///< queue full or service shutting down

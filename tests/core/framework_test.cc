@@ -22,11 +22,13 @@ TEST(FrameworkTest, PolicyNames)
 {
     EXPECT_EQ(schedPolicyName(SchedPolicy::Par), "ParSched");
     EXPECT_EQ(schedPolicyName(SchedPolicy::Zzx), "ZZXSched");
+    EXPECT_EQ(schedPolicyName(SchedPolicy::ZzxWeighted), "ZzxWeighted");
 }
 
 TEST(FrameworkTest, PolicyNameRoundTrips)
 {
-    for (SchedPolicy p : {SchedPolicy::Par, SchedPolicy::Zzx}) {
+    for (SchedPolicy p : {SchedPolicy::Par, SchedPolicy::Zzx,
+                          SchedPolicy::ZzxWeighted}) {
         auto parsed = schedPolicyFromName(schedPolicyName(p));
         ASSERT_TRUE(parsed.has_value());
         EXPECT_EQ(*parsed, p);
@@ -35,8 +37,28 @@ TEST(FrameworkTest, PolicyNameRoundTrips)
     EXPECT_EQ(schedPolicyFromName("par"), SchedPolicy::Par);
     EXPECT_EQ(schedPolicyFromName("zzx"), SchedPolicy::Zzx);
     EXPECT_EQ(schedPolicyFromName("zzxsched"), SchedPolicy::Zzx);
+    EXPECT_EQ(schedPolicyFromName("zzxweighted"),
+              SchedPolicy::ZzxWeighted);
+    EXPECT_EQ(schedPolicyFromName("weighted"), SchedPolicy::ZzxWeighted);
     EXPECT_FALSE(schedPolicyFromName("").has_value());
     EXPECT_FALSE(schedPolicyFromName("asap").has_value());
+}
+
+TEST(FrameworkTest, PolicyNameListingCoversEveryPolicy)
+{
+    // The canonical listing drives CLI validation messages and the
+    // compile_server --help text: every enum value must appear, in
+    // enum order, and every listed name must parse back to itself.
+    const std::vector<std::string> &names = schedPolicyNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "ParSched");
+    EXPECT_EQ(names[1], "ZZXSched");
+    EXPECT_EQ(names[2], "ZzxWeighted");
+    for (size_t i = 0; i < names.size(); ++i) {
+        auto parsed = schedPolicyFromName(names[i]);
+        ASSERT_TRUE(parsed.has_value()) << names[i];
+        EXPECT_EQ(size_t(*parsed), i) << names[i];
+    }
 }
 
 TEST(FrameworkTest, CompiledProgramIsComplete)

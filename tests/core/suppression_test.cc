@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "graph/topologies.h"
 
@@ -122,6 +123,20 @@ TEST(SuppressionTest, CutIsValidOnRandomConstrainedQueries)
         EXPECT_EQ(check.nc, res.metrics.nc);
         EXPECT_EQ(check.nq, res.metrics.nq);
     }
+}
+
+TEST(SuppressionTest, EdgeZzSizeMismatchAlwaysThrows)
+{
+    // The weighted-objective weights must match the topology's edge
+    // count; the check runs before any fallback return, so the
+    // caller bug surfaces on every query, not only on layers where
+    // the path search happens to succeed.
+    SuppressionSolver solver(graph::gridTopology(2, 2));
+    const std::vector<double> wrong_size(3, 1.0); // grid 2x2 has 4 edges
+    SuppressionOptions opt;
+    opt.edge_zz = &wrong_size;
+    EXPECT_THROW(solver.solve({}, opt), UserError);
+    EXPECT_THROW(solver.solve({0, 1}, opt), UserError);
 }
 
 TEST(SuppressionTest, SideMaskOrientsTowardQ)

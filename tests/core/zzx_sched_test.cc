@@ -230,6 +230,156 @@ TEST(ZzxSchedTest, DeterministicAcrossRuns)
         EXPECT_EQ(s1.layers[i].gates.size(), s2.layers[i].gates.size());
 }
 
+/** Layer-by-layer structural equality of two schedules. */
+void
+expectSameSchedule(const Schedule &a, const Schedule &b)
+{
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        const Layer &la = a.layers[i];
+        const Layer &lb = b.layers[i];
+        EXPECT_EQ(la.is_virtual, lb.is_virtual) << "layer " << i;
+        EXPECT_EQ(la.side, lb.side) << "layer " << i;
+        EXPECT_EQ(la.metrics.nc, lb.metrics.nc) << "layer " << i;
+        EXPECT_EQ(la.metrics.nq, lb.metrics.nq) << "layer " << i;
+        ASSERT_EQ(la.gates.size(), lb.gates.size()) << "layer " << i;
+        for (size_t g = 0; g < la.gates.size(); ++g) {
+            EXPECT_EQ(la.gates[g].gate.kind, lb.gates[g].gate.kind);
+            EXPECT_EQ(la.gates[g].gate.qubits, lb.gates[g].gate.qubits);
+            EXPECT_EQ(la.gates[g].supplemented, lb.gates[g].supplemented);
+        }
+    }
+}
+
+TEST(ZzxSchedTest, WeightedMatchesClassicOnUniformSnapshot)
+{
+    // Uniform snapshot: every per-edge weight normalizes to exactly
+    // 1.0, the weighted objective degenerates to alpha * NQ + NC, and
+    // the weighted search must reproduce classic ZZXSched decisions
+    // bit-identically.  Triangulated grid so layers genuinely carry
+    // NC > 0 and the objective is exercised.
+    const graph::Topology topo = graph::triangulatedGridTopology(2, 3);
+    const std::vector<double> couplings(size_t(topo.g.numEdges()),
+                                        khz(200.0));
+    const dev::Device dev(topo, dev::DeviceParams{}, couplings);
+
+    ckt::QuantumCircuit c(6);
+    for (int q = 0; q < 6; ++q)
+        c.sx(q);
+    c.rzx(0, 1, kPi / 2.0);
+    c.rzx(4, 5, kPi / 2.0);
+    for (int q = 0; q < 6; ++q)
+        c.sx(q);
+
+    const ZzxDeviceTables tables(dev);
+    const Schedule classic =
+        zzxSchedule(c, dev, GateDurations{}, {}, tables);
+    const Schedule weighted =
+        zzxWeightedSchedule(c, dev, GateDurations{}, {}, tables);
+    expectSameSchedule(classic, weighted);
+}
+
+TEST(ZzxSchedTest, WeightedSteersResidualOntoWeakCouplers)
+{
+    // One coupler 50x stronger than the rest on a non-bipartite
+    // topology (complete suppression impossible): the weighted
+    // objective must keep the strong edge suppressed and never leave
+    // more calibrated residual than the classic uniform count.
+    const graph::Topology topo = graph::triangulatedGridTopology(2, 3);
+    std::vector<double> couplings(size_t(topo.g.numEdges()),
+                                  khz(200.0));
+    const size_t strong_edge = 3;
+    couplings[strong_edge] = khz(10000.0);
+    const dev::Device dev(topo, dev::DeviceParams{}, couplings);
+
+    ckt::QuantumCircuit c(6);
+    for (int q = 0; q < 6; ++q)
+        c.sx(q);
+
+    const ZzxDeviceTables tables(dev);
+    const Schedule classic =
+        zzxSchedule(c, dev, GateDurations{}, {}, tables);
+    const Schedule weighted =
+        zzxWeightedSchedule(c, dev, GateDurations{}, {}, tables);
+    checkInvariants(weighted, c, dev);
+
+    EXPECT_LE(meanResidualZz(weighted, tables.zz),
+              meanResidualZz(classic, tables.zz));
+    // The strong coupler never stays on in a weighted layer.
+    for (const Layer &l : weighted.layers) {
+        if (l.is_virtual)
+            continue;
+        ASSERT_EQ(l.metrics.unsuppressed_edge.size(), couplings.size());
+        EXPECT_EQ(l.metrics.unsuppressed_edge[strong_edge], 0);
+    }
+}
+
+TEST(ZzxSchedTest, WeightedUsesRateMagnitudes)
+{
+    // Static ZZ is conventionally negative and Calibration only
+    // requires finite rates: the weighted objective must weigh by
+    // |zz|, so an all-negative snapshot schedules identically to its
+    // mirrored positive one and still suppresses the strongest
+    // coupler (a signed sum would instead *reward* leaving it on).
+    const graph::Topology topo = graph::triangulatedGridTopology(2, 3);
+    std::vector<double> pos(size_t(topo.g.numEdges()), khz(200.0));
+    const size_t strong_edge = 3;
+    pos[strong_edge] = khz(10000.0);
+    std::vector<double> neg = pos;
+    for (double &rate : neg)
+        rate = -rate;
+    const dev::Device dev_pos(topo, dev::DeviceParams{}, pos);
+
+    dev::Calibration calib =
+        dev_pos.calibration(); // keep coherence/anharmonicity equal
+    calib.zz = neg;
+    const dev::Device dev_neg = dev_pos.withCalibration(calib);
+
+    ckt::QuantumCircuit c(6);
+    for (int q = 0; q < 6; ++q)
+        c.sx(q);
+
+    const ZzxDeviceTables tables_pos(dev_pos);
+    const ZzxDeviceTables tables_neg(dev_neg);
+    const Schedule wpos =
+        zzxWeightedSchedule(c, dev_pos, GateDurations{}, {}, tables_pos);
+    const Schedule wneg =
+        zzxWeightedSchedule(c, dev_neg, GateDurations{}, {}, tables_neg);
+    expectSameSchedule(wpos, wneg);
+    for (const Layer &l : wneg.layers)
+        if (!l.is_virtual)
+            EXPECT_EQ(l.metrics.unsuppressed_edge[strong_edge], 0);
+}
+
+TEST(ZzxSchedTest, WeightedRespectsRequirementBounds)
+{
+    // The suppression requirement R is policy-independent: weighted
+    // layers obey the same NQ/NC caps as classic ones (mirrors
+    // RequirementBoundsHold, on a heterogeneous snapshot).
+    Rng rng(21);
+    const graph::Topology topo = graph::gridTopology(3, 3);
+    const dev::Device dev(
+        topo, dev::Calibration::jittered(topo, dev::DeviceParams{},
+                                         {0.0, 0.0, 0.0, 0.5}, rng));
+    ckt::QuantumCircuit logical(9);
+    logical.h(0);
+    for (int q = 0; q + 1 < 9; ++q)
+        logical.cx(q, q + 1);
+    ckt::QuantumCircuit native = ckt::decomposeToNative(
+        ckt::routeCircuit(logical, dev.graph()).circuit);
+
+    const ZzxOptions opt = resolveZzxOptions({}, dev);
+    const Schedule s =
+        zzxWeightedSchedule(native, dev, GateDurations{}, opt);
+    checkInvariants(s, native, dev);
+    for (const Layer &l : s.layers) {
+        if (l.is_virtual)
+            continue;
+        EXPECT_LE(l.metrics.nq, opt.nq_max);
+        EXPECT_LE(l.metrics.nc, opt.nc_max);
+    }
+}
+
 TEST(ZzxSchedTest, DeviceTablesCarryCalibratedZz)
 {
     // The shared per-device tables expose the snapshot's per-edge ZZ

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Service-level tests of the calibration-weighted scheduling policy:
+ *
+ *  - SchedPolicy::ZzxWeighted on a *uniform* calibration snapshot
+ *    compiles byte-identically (programArtifactString) to classic
+ *    ZZXSched — the regression bar that lets uniform deployments
+ *    adopt the weighted policy without invalidating expectations;
+ *  - on a *jittered* snapshot the weighted policy leaves strictly
+ *    less calibrated residual ZZ than ParSched (the guaranteed
+ *    bound; vs classic ZZXSched the objective may trade residual for
+ *    smaller regions, so that comparison is only instance-pinned);
+ *  - the policy round-trips through the artifact text format and
+ *    fingerprints as a distinct cache generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/benchmarks.h"
+#include "common/units.h"
+#include "core/compiler.h"
+#include "graph/topologies.h"
+#include "service/artifact.h"
+#include "service/fingerprint.h"
+
+namespace qzz::svc {
+namespace {
+
+/** Uniform snapshot: every coupler identical -> weighted == classic. */
+dev::Device
+uniformDevice()
+{
+    const graph::Topology topo = graph::triangulatedGridTopology(2, 3);
+    const std::vector<double> couplings(size_t(topo.g.numEdges()),
+                                        khz(200.0));
+    return dev::Device(topo, dev::DeviceParams{}, couplings);
+}
+
+/** Heterogeneous snapshot: per-edge ZZ jittered by 50%. */
+dev::Device
+jitteredDevice(uint64_t seed = 17)
+{
+    Rng rng(seed);
+    const graph::Topology topo = graph::triangulatedGridTopology(2, 3);
+    return dev::Device(
+        topo, dev::Calibration::jittered(topo, dev::DeviceParams{},
+                                         {0.0, 0.0, 0.0, 0.5}, rng));
+}
+
+ckt::QuantumCircuit
+benchmark(int qubits = 6, uint64_t seed = 3)
+{
+    auto circuit = ckt::namedBenchmark("QFT", qubits, seed);
+    EXPECT_TRUE(circuit.has_value());
+    return *circuit;
+}
+
+core::CompileResult
+compileWith(const dev::Device &device, core::SchedPolicy sched,
+            const ckt::QuantumCircuit &circuit)
+{
+    core::CompileOptions opt;
+    opt.pulse = core::PulseMethod::Gaussian;
+    opt.sched = sched;
+    const core::Compiler compiler =
+        core::CompilerBuilder(device).options(opt).build();
+    return compiler.compile(circuit);
+}
+
+TEST(WeightedSchedTest, UniformSnapshotBitIdenticalToClassic)
+{
+    // The tie-break contract: on a uniform snapshot every weighted
+    // decision falls back to the classic NC/NQ order, so the two
+    // policies must not differ in a single byte of the compiled
+    // program apart from the recorded policy name.
+    const dev::Device device = uniformDevice();
+    const ckt::QuantumCircuit circuit = benchmark();
+
+    core::CompileResult classic =
+        compileWith(device, core::SchedPolicy::Zzx, circuit);
+    core::CompileResult weighted =
+        compileWith(device, core::SchedPolicy::ZzxWeighted, circuit);
+    ASSERT_TRUE(classic.ok() && weighted.ok());
+
+    // The artifact embeds the policy name; normalize it away so the
+    // comparison covers everything else byte-for-byte.
+    weighted.program.sched_policy = core::SchedPolicy::Zzx;
+    EXPECT_EQ(programArtifactString(classic.program),
+              programArtifactString(weighted.program));
+    EXPECT_DOUBLE_EQ(classic.diagnostics.mean_residual_zz,
+                     weighted.diagnostics.mean_residual_zz);
+}
+
+TEST(WeightedSchedTest, JitteredSnapshotLowersResidualZz)
+{
+    const dev::Device device = jitteredDevice();
+    const ckt::QuantumCircuit circuit = benchmark();
+
+    const core::CompileResult par =
+        compileWith(device, core::SchedPolicy::Par, circuit);
+    const core::CompileResult classic =
+        compileWith(device, core::SchedPolicy::Zzx, circuit);
+    const core::CompileResult weighted =
+        compileWith(device, core::SchedPolicy::ZzxWeighted, circuit);
+    ASSERT_TRUE(par.ok() && classic.ok() && weighted.ok());
+
+    // ParSched suppresses nothing; any cut-shaped schedule beats it.
+    EXPECT_LT(weighted.diagnostics.mean_residual_zz,
+              par.diagnostics.mean_residual_zz);
+    // Versus classic ZZXSched the bound below is NOT a general
+    // guarantee (the alpha * NQ term can trade a sliver of residual
+    // for smaller regions) — it is an instance pin on this exact
+    // (seed 17, QFT-6, trigrid 2x3) input.  If a benign solver or
+    // generator change flips it, re-verify the instance and repin
+    // rather than treating it as a policy regression.
+    EXPECT_LE(weighted.diagnostics.mean_residual_zz,
+              classic.diagnostics.mean_residual_zz);
+}
+
+TEST(WeightedSchedTest, PolicyRoundTripsThroughArtifact)
+{
+    const dev::Device device = jitteredDevice();
+    const core::CompileResult result =
+        compileWith(device, core::SchedPolicy::ZzxWeighted,
+                    benchmark(4));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.program.sched_policy,
+              core::SchedPolicy::ZzxWeighted);
+
+    std::istringstream in(programArtifactString(result.program));
+    const auto back = readProgramArtifact(in);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->sched_policy, core::SchedPolicy::ZzxWeighted);
+    EXPECT_EQ(programArtifactString(*back),
+              programArtifactString(result.program));
+}
+
+TEST(WeightedSchedTest, PolicyIsADistinctCacheGeneration)
+{
+    // Same circuit + device, different policy: the request
+    // fingerprint must differ (the options hash covers the enum), so
+    // weighted and classic programs never alias one cache entry.
+    core::CompileOptions classic;
+    core::CompileOptions weighted;
+    classic.sched = core::SchedPolicy::Zzx;
+    weighted.sched = core::SchedPolicy::ZzxWeighted;
+    EXPECT_NE(fingerprintOptions(classic), fingerprintOptions(weighted));
+
+    const dev::Device device = jitteredDevice();
+    const ckt::QuantumCircuit circuit = benchmark();
+    EXPECT_NE(fingerprintRequest(circuit, device, classic),
+              fingerprintRequest(circuit, device, weighted));
+}
+
+} // namespace
+} // namespace qzz::svc
