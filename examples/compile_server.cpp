@@ -1,35 +1,19 @@
 /**
  * @file
- * compile_server: a JSON-lines compilation daemon over
- * svc::CompileService.
+ * compile_server: the JSON-lines compilation daemon.
  *
- * Reads one request object per stdin line, compiles asynchronously on
- * the service's worker pool (with fingerprint-keyed program caching),
- * and streams one response object per line to stdout *in request
- * order*.  A dedicated writer thread emits each response the moment
- * its turn completes, so an interactive client doing strict
- * request -> response alternation never deadlocks, while a batch
- * piped in at once still compiles in parallel behind the reader.
- *
- * Request fields (flat JSON object; see --help for the full list):
- *   {"benchmark":"QFT","qubits":6,"seed":3,
- *    "topology":"grid","rows":2,"cols":3,
- *    "pulse":"Pert","sched":"ZZXSched",
- *    "priority":1,"deadline_ms":5000,"use_cache":true,"id":"job-1"}
- * Control records: {"cmd":"metrics"} | {"cmd":"quit"}.
- *
- * Successful responses embed the full schedule document produced by
- * core::writeCompiledProgramJson() under "program".
+ * All serving logic lives in the library (svc::Server / svc::Session,
+ * src/service/server.h); this binary is flag parsing plus transport
+ * selection.  Without --listen it speaks the classic stdio protocol
+ * (one request per stdin line, one response per stdout line, in
+ * request order); with --listen it serves the same protocol over a
+ * TCP or Unix-domain socket, one session per connection.  The wire
+ * protocol is specified in docs/protocol.md.
  */
 
-#include <condition_variable>
-#include <deque>
 #include <iostream>
-#include <mutex>
-#include <sstream>
+#include <memory>
 #include <string>
-#include <thread>
-#include <unordered_map>
 
 #include "qzz.h"
 
@@ -37,29 +21,30 @@ using namespace qzz;
 
 namespace {
 
-struct ServerConfig
-{
-    int workers = 0;
-    size_t cache_capacity = 256;
-    std::string artifact_dir;
-    double sample_dt = 0.0;
-};
-
 void
 printUsage(std::ostream &os)
 {
     os << "Usage: compile_server [options]\n"
           "\n"
-          "JSON-lines compilation daemon: one request object per stdin\n"
-          "line, one response object per stdout line, in request order.\n"
+          "JSON-lines compilation daemon: one request object per line,\n"
+          "one response object per line, in request order (per\n"
+          "connection).  See docs/protocol.md for the full protocol.\n"
           "\n"
           "Options:\n"
-          "  --workers N         worker threads (default: all cores)\n"
-          "  --cache-capacity N  program-cache entries (default: 256)\n"
-          "  --artifact-dir DIR  persist compiled programs as artifacts\n"
-          "  --sample-dt DT      waveform sample spacing (ns) in the\n"
-          "                      schedule JSON; 0 omits samples (default)\n"
-          "  --help              this text\n"
+          "  --workers N           worker threads (default: all cores)\n"
+          "  --cache-capacity N    program-cache entries (default: 256)\n"
+          "  --artifact-dir DIR    persist compiled programs as artifacts\n"
+          "  --sample-dt DT        waveform sample spacing (ns) in the\n"
+          "                        schedule JSON; 0 omits samples (default)\n"
+          "  --listen SPEC         serve tcp:[HOST:]PORT or unix:PATH\n"
+          "                        instead of stdin/stdout\n"
+          "  --idle-timeout-ms N   drop a socket session idle this long\n"
+          "  --max-line-bytes N    socket request-line bound (default 1MiB)\n"
+          "  --gc-capacity-bytes N artifact-dir byte bound (GC-enforced)\n"
+          "  --gc-max-age-ms N     evict artifacts older than this\n"
+          "  --gc-keep-epochs N    keep only the newest N calib epochs\n"
+          "  --gc-interval-ms N    background GC pass interval\n"
+          "  --help                this text\n"
           "\n"
           "Request fields:\n"
           "  benchmark   family: "
@@ -84,401 +69,17 @@ printUsage(std::ostream &os)
           "  use_cache   default true\n"
           "  id          echoed back verbatim (optional)\n"
           "\n"
-          "Control records: {\"cmd\":\"metrics\"} {\"cmd\":\"quit\"}\n";
+          "Control records: {\"cmd\":\"hello\"} {\"cmd\":\"metrics\"} "
+          "{\"cmd\":\"gc\"} {\"cmd\":\"quit\"}\n";
 }
-
-/** A submitted request waiting for its response slot. */
-struct Pending
-{
-    std::string id;
-    std::string label;
-    svc::RequestHandle handle;
-};
-
-/** One queued stdout line: a pending response or an inline error. */
-struct OutItem
-{
-    bool is_error = false;
-    Pending pending;     ///< valid when !is_error
-    std::string id;      ///< valid when is_error
-    std::string message; ///< valid when is_error
-};
-
-class Server
-{
-  public:
-    explicit Server(const ServerConfig &config) : config_(config)
-    {
-        svc::CompileServiceConfig sc;
-        sc.num_workers = config.workers;
-        sc.cache.capacity = config.cache_capacity;
-        sc.cache.artifact_dir = config.artifact_dir;
-        service_ = std::make_unique<svc::CompileService>(sc);
-        writer_ = std::thread([this] { writerLoop(); });
-    }
-
-    ~Server() { stopWriter(); }
-
-    int
-    run()
-    {
-        std::string line;
-        uint64_t lineno = 0;
-        while (std::getline(std::cin, line)) {
-            ++lineno;
-            if (line.find_first_not_of(" \t\r") == std::string::npos)
-                continue;
-            std::string error;
-            const auto obj = svc::JsonObject::parse(line, &error);
-            if (!obj) {
-                enqueueError(std::to_string(lineno),
-                             "parse error: " + error);
-                continue;
-            }
-            if (const auto cmd = obj->getString("cmd")) {
-                // Control records are synchronization points: settle
-                // every earlier response before acting.
-                waitForWriterIdle();
-                if (*cmd == "quit")
-                    break;
-                if (*cmd == "metrics")
-                    respondMetrics();
-                else
-                    enqueueError(requestId(*obj, lineno),
-                                 "unknown cmd '" + *cmd + "'");
-                continue;
-            }
-            handleRequest(*obj, lineno);
-        }
-        stopWriter();
-        service_->shutdown(true);
-        return 0;
-    }
-
-  private:
-    static std::string
-    requestId(const svc::JsonObject &obj, uint64_t lineno)
-    {
-        if (const auto id = obj.getString("id"))
-            return *id;
-        return std::to_string(lineno);
-    }
-
-    void
-    handleRequest(const svc::JsonObject &obj, uint64_t lineno)
-    {
-        const std::string id = requestId(obj, lineno);
-
-        const auto family = obj.getString("benchmark");
-        if (!family) {
-            enqueueError(id, "missing 'benchmark' (one of: " +
-                                 joinNames(ckt::benchmarkFamilyNames()) +
-                                 ")");
-            return;
-        }
-        // Bounded before the int64 -> int narrowing: a huge value
-        // must produce an error line, not a wrapped register size or
-        // a generator allocation failure.
-        constexpr int64_t kMaxQubits = 256;
-        const auto qubits = obj.getInt("qubits");
-        if (!qubits || *qubits < 2 || *qubits > kMaxQubits) {
-            enqueueError(id, "missing or bad 'qubits' (integer in [2, " +
-                                 std::to_string(kMaxQubits) + "])");
-            return;
-        }
-        const uint64_t seed = uint64_t(obj.getInt("seed").value_or(1));
-
-        svc::CompileRequest request;
-        try {
-            auto circuit =
-                ckt::namedBenchmark(*family, int(*qubits), seed);
-            if (!circuit) {
-                enqueueError(id, "unknown benchmark '" + *family +
-                                     "' (one of: " +
-                                     joinNames(
-                                         ckt::benchmarkFamilyNames()) +
-                                     ")");
-                return;
-            }
-            request.circuit = std::move(*circuit);
-            request.device = deviceFor(obj, int(*qubits));
-        } catch (const std::exception &e) {
-            // UserError for bad parameters, plus anything a generator
-            // or topology builder throws on extreme inputs: one error
-            // line, never a dead daemon.
-            enqueueError(id, e.what());
-            return;
-        }
-
-        if (const auto pulse = obj.getString("pulse")) {
-            const auto method = core::pulseMethodFromName(*pulse);
-            if (!method) {
-                enqueueError(id, "unknown pulse method '" + *pulse +
-                                     "' (one of: " +
-                                     joinNames(core::pulseMethodNames()) +
-                                     ")");
-                return;
-            }
-            request.options.pulse = *method;
-        }
-        if (const auto sched = obj.getString("sched")) {
-            const auto policy = core::schedPolicyFromName(*sched);
-            if (!policy) {
-                enqueueError(id, "unknown scheduling policy '" + *sched +
-                                     "' (one of: " +
-                                     joinNames(core::schedPolicyNames()) +
-                                     ")");
-                return;
-            }
-            request.options.sched = *policy;
-        }
-        request.request.priority =
-            int(obj.getInt("priority").value_or(0));
-        request.request.seed = seed;
-        request.request.use_cache = obj.getBool("use_cache").value_or(true);
-        if (const auto deadline = obj.getNumber("deadline_ms"))
-            request.request.deadline = std::chrono::milliseconds(
-                int64_t(std::max(0.0, *deadline)));
-
-        Pending pending;
-        pending.id = id;
-        pending.label = request.circuit.name();
-        pending.handle = service_->submit(std::move(request));
-        OutItem item;
-        item.pending = std::move(pending);
-        enqueue(std::move(item));
-    }
-
-    /** Device construction + memo, shared across requests. */
-    std::shared_ptr<const dev::Device>
-    deviceFor(const svc::JsonObject &obj, int circuit_qubits)
-    {
-        const std::string kind =
-            obj.getString("topology").value_or("grid");
-        const uint64_t device_seed =
-            uint64_t(obj.getInt("device_seed").value_or(7));
-        constexpr int64_t kMaxEpoch = 4096;
-        const int64_t calib_epoch =
-            obj.getInt("calib_epoch").value_or(0);
-        if (calib_epoch < 0 || calib_epoch > kMaxEpoch)
-            fatal("bad 'calib_epoch' (integer in [0, " +
-                  std::to_string(kMaxEpoch) + "])");
-
-        graph::Topology topo;
-        if (kind == "grid" || kind == "trigrid") {
-            auto [r, c] = dev::Device::gridDimsForQubits(circuit_qubits);
-            const int rows = int(obj.getInt("rows").value_or(r));
-            const int cols = int(obj.getInt("cols").value_or(c));
-            topo = kind == "grid"
-                       ? graph::gridTopology(rows, cols)
-                       : graph::triangulatedGridTopology(rows, cols);
-        } else if (kind == "heavyhex") {
-            const int rows = int(obj.getInt("rows").value_or(1));
-            const int cols = int(obj.getInt("cols").value_or(1));
-            topo = graph::heavyHexTopology(rows, cols);
-        } else if (kind == "line") {
-            topo = graph::lineTopology(
-                int(obj.getInt("size").value_or(circuit_qubits)));
-        } else if (kind == "ring") {
-            topo = graph::ringTopology(
-                int(obj.getInt("size").value_or(circuit_qubits)));
-        } else {
-            fatal("unknown topology '" + kind +
-                  "' (one of: grid, line, ring, heavyhex, trigrid)");
-        }
-
-        const std::string key = topo.name + "#" +
-                                std::to_string(device_seed) + "@" +
-                                std::to_string(calib_epoch);
-        auto it = devices_.find(key);
-        if (it != devices_.end())
-            return it->second;
-        // Epoch e = the base snapshot recalibrated e times, each
-        // drift step deterministically seeded, so every client asking
-        // for (topology, device_seed, epoch) sees the same device —
-        // and the same fingerprint.
-        Rng rng(device_seed);
-        dev::Calibration calib =
-            dev::Calibration::sampled(topo, dev::DeviceParams{}, rng);
-        for (int64_t e = 0; e < calib_epoch; ++e) {
-            Rng drift_rng(device_seed ^ (uint64_t(e) + 1));
-            calib = calib.drifted({}, drift_rng);
-        }
-        auto device = std::make_shared<const dev::Device>(
-            std::move(topo), std::move(calib));
-        devices_.emplace(key, device);
-        return device;
-    }
-
-    // ------------------------------------------------------------------
-    // Ordered output: a writer thread blocks on each queued item in
-    // turn, so responses stream out the moment their turn completes
-    // while the reader keeps accepting requests.
-    // ------------------------------------------------------------------
-
-    void
-    writerLoop()
-    {
-        for (;;) {
-            OutItem item;
-            {
-                std::unique_lock<std::mutex> lock(out_mu_);
-                out_cv_.wait(lock, [this] {
-                    return out_done_ || !out_.empty();
-                });
-                if (out_.empty()) {
-                    if (out_done_)
-                        return;
-                    continue;
-                }
-                item = std::move(out_.front());
-                out_.pop_front();
-                writer_busy_ = true;
-            }
-            if (item.is_error)
-                printError(item.id, item.message);
-            else
-                respond(item.pending, item.pending.handle.get());
-            {
-                std::lock_guard<std::mutex> lock(out_mu_);
-                writer_busy_ = false;
-                if (out_.empty())
-                    idle_cv_.notify_all();
-            }
-        }
-    }
-
-    void
-    enqueue(OutItem item)
-    {
-        {
-            std::lock_guard<std::mutex> lock(out_mu_);
-            out_.push_back(std::move(item));
-        }
-        out_cv_.notify_one();
-    }
-
-    void
-    enqueueError(const std::string &id, const std::string &message)
-    {
-        OutItem item;
-        item.is_error = true;
-        item.id = id;
-        item.message = message;
-        enqueue(std::move(item));
-    }
-
-    /** Block until every queued response has been written. */
-    void
-    waitForWriterIdle()
-    {
-        std::unique_lock<std::mutex> lock(out_mu_);
-        idle_cv_.wait(lock, [this] {
-            return out_.empty() && !writer_busy_;
-        });
-    }
-
-    void
-    stopWriter()
-    {
-        {
-            std::lock_guard<std::mutex> lock(out_mu_);
-            if (out_done_ && !writer_.joinable())
-                return;
-            out_done_ = true;
-        }
-        out_cv_.notify_all();
-        if (writer_.joinable())
-            writer_.join();
-    }
-
-    void
-    respond(const Pending &pending, const svc::ServiceResult &result)
-    {
-        std::ostringstream os;
-        os.precision(12);
-        os << "{\"id\":\"" << svc::jsonEscape(pending.id)
-           << "\",\"ok\":" << (result.ok() ? "true" : "false")
-           << ",\"outcome\":\"" << svc::outcomeName(result.outcome)
-           << "\",\"benchmark\":\"" << svc::jsonEscape(pending.label)
-           << "\",\"fingerprint\":\"" << result.fingerprint.hex()
-           << "\",\"cache_hit\":"
-           << (result.outcome == svc::Outcome::CacheHit ? "true"
-                                                        : "false")
-           << ",\"queue_ms\":" << result.queue_ms
-           << ",\"compile_ms\":" << result.compile_ms;
-        if (result.ok()) {
-            std::ostringstream program;
-            core::ScheduleIoOptions io;
-            io.pretty = false;
-            io.sample_dt = config_.sample_dt;
-            core::writeCompiledProgramJson(*result.program, program, io);
-            std::string doc = program.str();
-            while (!doc.empty() && doc.back() == '\n')
-                doc.pop_back();
-            os << ",\"program\":" << doc;
-        } else if (!result.status.message.empty()) {
-            os << ",\"error\":\""
-               << svc::jsonEscape(result.status.message) << "\"";
-        }
-        os << "}";
-        std::cout << os.str() << "\n" << std::flush;
-    }
-
-    void
-    printError(const std::string &id, const std::string &message)
-    {
-        std::cout << "{\"id\":\"" << svc::jsonEscape(id)
-                  << "\",\"ok\":false,\"error\":\""
-                  << svc::jsonEscape(message) << "\"}\n"
-                  << std::flush;
-    }
-
-    void
-    respondMetrics()
-    {
-        const svc::MetricsSnapshot m = service_->metrics();
-        std::ostringstream os;
-        os.precision(12);
-        os << "{\"metrics\":true,\"submitted\":" << m.submitted
-           << ",\"completed\":" << m.completed
-           << ",\"failed\":" << m.failed
-           << ",\"cancelled\":" << m.cancelled
-           << ",\"expired\":" << m.expired
-           << ",\"rejected\":" << m.rejected
-           << ",\"cache_hits\":" << m.cache_hits
-           << ",\"cache_misses\":" << m.cache_misses
-           << ",\"coalesced\":" << m.coalesced
-           << ",\"cache_hit_rate\":" << m.cache_hit_rate
-           << ",\"queue_depth\":" << m.queue_depth
-           << ",\"workers\":" << m.workers
-           << ",\"throughput_per_s\":" << m.throughput_per_s
-           << ",\"latency_p50_ms\":" << m.latency_p50_ms
-           << ",\"latency_p95_ms\":" << m.latency_p95_ms
-           << ",\"latency_p99_ms\":" << m.latency_p99_ms << "}";
-        std::cout << os.str() << "\n" << std::flush;
-    }
-
-    ServerConfig config_;
-    std::unique_ptr<svc::CompileService> service_;
-    std::unordered_map<std::string, std::shared_ptr<const dev::Device>>
-        devices_;
-
-    std::mutex out_mu_;
-    std::condition_variable out_cv_;
-    std::condition_variable idle_cv_;
-    std::deque<OutItem> out_;
-    bool out_done_ = false;
-    bool writer_busy_ = false;
-    std::thread writer_;
-};
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    ServerConfig config;
+    svc::ServerConfig config;
+    svc::SocketTransportConfig socket_config;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&](const char *what) -> std::string {
@@ -501,6 +102,7 @@ main(int argc, char **argv)
                 std::exit(1);
             }
         };
+        auto stoll = [](const std::string &v) { return std::stoll(v); };
         if (arg == "--help" || arg == "-h") {
             printUsage(std::cout);
             return 0;
@@ -519,6 +121,31 @@ main(int argc, char **argv)
             config.sample_dt = numeric(
                 "a spacing in ns",
                 [](const std::string &v) { return std::stod(v); });
+        } else if (arg == "--listen") {
+            socket_config.listen = next("tcp:[HOST:]PORT or unix:PATH");
+        } else if (arg == "--idle-timeout-ms") {
+            socket_config.idle_timeout =
+                std::chrono::milliseconds(numeric("a duration", stoll));
+        } else if (arg == "--max-line-bytes") {
+            socket_config.max_line_bytes =
+                numeric("a byte count", [](const std::string &v) {
+                    return size_t(std::stoull(v));
+                });
+        } else if (arg == "--gc-capacity-bytes") {
+            config.gc_capacity_bytes =
+                numeric("a byte count", [](const std::string &v) {
+                    return uint64_t(std::stoull(v));
+                });
+        } else if (arg == "--gc-max-age-ms") {
+            config.gc_max_age =
+                std::chrono::milliseconds(numeric("a duration", stoll));
+        } else if (arg == "--gc-keep-epochs") {
+            config.gc_keep_epochs = numeric(
+                "an epoch count",
+                [](const std::string &v) { return std::stoi(v); });
+        } else if (arg == "--gc-interval-ms") {
+            config.gc_interval =
+                std::chrono::milliseconds(numeric("a duration", stoll));
         } else {
             std::cerr << "compile_server: unknown option '" << arg
                       << "' (see --help)\n";
@@ -526,7 +153,19 @@ main(int argc, char **argv)
         }
     }
     try {
-        return Server(config).run();
+        svc::Server server(config);
+        std::unique_ptr<svc::Transport> transport;
+        if (socket_config.listen.empty()) {
+            transport = std::make_unique<svc::StdioTransport>();
+        } else {
+            transport = std::make_unique<svc::SocketTransport>(
+                std::move(socket_config));
+            // stderr so scripted clients parsing stdout never see it;
+            // tcp:0 callers learn the kernel-picked port from here.
+            std::cerr << "compile_server: listening on "
+                      << transport->name() << "\n";
+        }
+        return server.serve(*transport);
     } catch (const std::exception &e) {
         std::cerr << "compile_server: " << e.what() << "\n";
         return 1;

@@ -87,10 +87,13 @@
 #include "core/zzx_sched.h"
 
 #include "service/artifact.h"
+#include "service/artifact_gc.h"
 #include "service/compile_service.h"
 #include "service/fingerprint.h"
 #include "service/jsonl.h"
 #include "service/program_cache.h"
+#include "service/server.h"
+#include "service/transport.h"
 
 #include "sim/density_matrix.h"
 #include "sim/fitting.h"

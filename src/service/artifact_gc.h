@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Garbage collection for the shared on-disk artifact tier.
+ *
+ * N server processes share one artifact directory (program_cache.h
+ * writes one "<fingerprint>.qzzprog" file per compiled program).  To
+ * keep that directory bounded, the tier maintains a versioned
+ * manifest — manifest.jsonl, one flat JSON line per artifact carrying
+ * its fingerprint, byte size, mtime and calib_epoch — and ArtifactGc
+ * enforces three bounds over it:
+ *
+ *   - byte capacity: least-recently-used artifacts (by file mtime;
+ *     disk hits touch the file) are evicted until the directory fits;
+ *   - max age: artifacts older than the bound are evicted;
+ *   - stale calibration epochs: with keep_epochs = K, artifacts whose
+ *     calib_epoch trails the newest epoch in the directory by K or
+ *     more are evicted — a calibration roll retires the old
+ *     generation instead of leaving it pinned by recency.
+ *
+ * Concurrency model (docs/formats.md#artifact-manifest):
+ *   - Writers append one manifest line under an advisory exclusive
+ *     flock on manifest.lock, after the artifact file itself has been
+ *     atomically renamed into place.
+ *   - ArtifactGc::run() takes the same lock, reconciles the manifest
+ *     against a directory scan (files missing from the manifest are
+ *     adopted; manifest lines whose file vanished are dropped),
+ *     evicts, and rewrites the manifest compacted via temp + rename.
+ *     The lock serializes GC passes and manifest appends across
+ *     processes.
+ *   - Readers take no lock at all: a cache lookup just opens the
+ *     artifact file, and if GC unlinked it first the open fails and
+ *     the lookup falls back to a miss (an already-open file survives
+ *     unlink, so in-progress loads always complete).
+ */
+
+#ifndef QZZ_SERVICE_ARTIFACT_GC_H
+#define QZZ_SERVICE_ARTIFACT_GC_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/fingerprint.h"
+
+namespace qzz::svc {
+
+/** Manifest format version (header line of manifest.jsonl). */
+inline constexpr int kManifestVersion = 1;
+
+/** One manifest line: the GC-relevant facts about one artifact. */
+struct ManifestEntry
+{
+    Fingerprint fp;
+    uint64_t bytes = 0;
+    /** Milliseconds since the Unix epoch of the artifact's mtime at
+     *  append time; GC refreshes it from stat() when reconciling. */
+    int64_t mtime_ms = 0;
+    /** CompiledProgram::calib_epoch the artifact was compiled at. */
+    uint64_t calib_epoch = 0;
+};
+
+/**
+ * RAII advisory exclusive lock on an artifact directory's
+ * manifest.lock file (flock, blocking).  ok() is false when the lock
+ * file could not be opened — callers degrade to best effort: a
+ * writer skips its manifest append (the next GC pass adopts the
+ * orphaned artifact from the directory scan).
+ */
+class ArtifactDirLock
+{
+  public:
+    explicit ArtifactDirLock(const std::string &dir);
+    ~ArtifactDirLock();
+
+    ArtifactDirLock(const ArtifactDirLock &) = delete;
+    ArtifactDirLock &operator=(const ArtifactDirLock &) = delete;
+
+    bool ok() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
+
+/** Append one line to @p dir's manifest under the directory lock.
+ *  Returns false (best effort, never throws) when the directory or
+ *  lock is unavailable. */
+bool appendManifestEntry(const std::string &dir, const ManifestEntry &e);
+
+/** Parse @p dir's manifest (no locking — callers that need a
+ *  consistent view hold an ArtifactDirLock).  Malformed lines and a
+ *  missing file read as an empty/partial result, never an error. */
+std::vector<ManifestEntry> readManifest(const std::string &dir);
+
+/** ArtifactGc policy knobs; a zero value disables that bound. */
+struct ArtifactGcConfig
+{
+    /** Directory byte bound (sum of *.qzzprog sizes). */
+    uint64_t capacity_bytes = 0;
+    /** Evict artifacts whose mtime is older than this. */
+    std::chrono::milliseconds max_age{0};
+    /** Keep only the newest K calibration epochs present in the
+     *  directory: artifacts with calib_epoch <= max_epoch - K are
+     *  evicted.  0 keeps every epoch. */
+    int keep_epochs = 0;
+};
+
+/** What one ArtifactGc::run() pass did. */
+struct ArtifactGcStats
+{
+    uint64_t scanned = 0;          ///< artifacts present before the pass
+    uint64_t manifest_entries = 0; ///< manifest lines read (pre-reconcile)
+    uint64_t adopted = 0;          ///< files present but unlisted
+    uint64_t dropped_lines = 0;    ///< manifest lines without a file
+    uint64_t evicted = 0;          ///< artifacts deleted
+    uint64_t evicted_age = 0;      ///< ... for exceeding max_age
+    uint64_t evicted_epoch = 0;    ///< ... for a stale calib_epoch
+    uint64_t evicted_capacity = 0; ///< ... LRU under the byte bound
+    uint64_t bytes_before = 0;
+    uint64_t bytes_after = 0;
+    uint64_t max_epoch = 0; ///< newest calib_epoch seen
+};
+
+/**
+ * The artifact-tier garbage collector.  run() executes one pass (safe
+ * to call concurrently from any thread or process — the directory
+ * lock serializes).  start() runs passes on a background thread at a
+ * fixed interval; maybeCollect() is the write-path hook: it runs a
+ * pass only when a cheap directory scan shows the byte capacity
+ * exceeded, so a burst of cold compiles cannot overshoot the bound by
+ * more than one artifact per process for long.
+ */
+class ArtifactGc
+{
+  public:
+    ArtifactGc(std::string dir, ArtifactGcConfig config);
+    ~ArtifactGc();
+
+    ArtifactGc(const ArtifactGc &) = delete;
+    ArtifactGc &operator=(const ArtifactGc &) = delete;
+
+    /** One GC pass; returns what it did. */
+    ArtifactGcStats run();
+
+    /** Run a pass iff the directory currently exceeds the byte
+     *  capacity (no-op when capacity_bytes is 0 or a pass is already
+     *  running in this process). */
+    void maybeCollect();
+
+    /** Current sum of artifact byte sizes in the directory (no lock:
+     *  a moving target under concurrent writers). */
+    uint64_t directoryBytes() const;
+
+    /** Start periodic passes on a background thread.  Idempotent. */
+    void start(std::chrono::milliseconds interval);
+    /** Stop the background thread (joins).  Idempotent. */
+    void stop();
+
+    /** Cumulative stats of the most recent completed pass. */
+    ArtifactGcStats lastStats() const;
+    /** Total passes run by this instance. */
+    uint64_t passes() const { return passes_.load(); }
+
+    const std::string &dir() const { return dir_; }
+    const ArtifactGcConfig &config() const { return config_; }
+
+  private:
+    std::string dir_;
+    ArtifactGcConfig config_;
+
+    std::atomic<bool> collecting_{false};
+    std::atomic<uint64_t> passes_{0};
+
+    mutable std::mutex stats_mu_;
+    ArtifactGcStats last_stats_;
+
+    std::mutex bg_mu_;
+    std::condition_variable bg_cv_;
+    bool bg_stop_ = false;
+    std::thread bg_thread_;
+};
+
+} // namespace qzz::svc
+
+#endif // QZZ_SERVICE_ARTIFACT_GC_H

@@ -1,6 +1,8 @@
 #include "service/compile_service.h"
 
 #include <algorithm>
+#include <deque>
+#include <map>
 #include <utility>
 
 #include "common/error.h"
@@ -34,8 +36,11 @@ struct RequestHandle::Task
      *  precomputed by submit() so serve() need not rehash. */
     Fingerprint compiler_key;
     uint64_t id = 0;
-    /** FIFO tiebreak within a priority (equals the submit id). */
+    /** FIFO tiebreak within a lane (equals the submit id). */
     uint64_t seq = 0;
+    /** Admission hint: the fingerprint was cache-resident at
+     *  submit time (see CompileService::Admission). */
+    bool warm = false;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     std::chrono::steady_clock::time_point enqueued;
     std::promise<ServiceResult> promise;
@@ -46,6 +51,127 @@ struct RequestHandle::Task
 struct CompileService::Inflight
 {
     std::vector<TaskPtr> followers;
+};
+
+/**
+ * The cache-aware admission queue (guarded by CompileService::mu_).
+ *
+ * Per priority class (higher first) there are two lanes:
+ *   - warm: requests whose fingerprint was cache-resident at submit
+ *     time, FIFO.  Always served before the cold lane of the same
+ *     class — a warm request only needs a cache read, so boosting it
+ *     costs the cold work nothing measurable.
+ *   - cold: requests grouped per compiler key (device x options), so
+ *     consecutive cold compiles share one immutable core::Compiler's
+ *     routing tables and pulse library.  The queue serves up to
+ *     batch_limit requests from the sticky active group, then
+ *     rotates to the group holding the oldest waiter, which bounds
+ *     how long a group can be starved by a hot neighbour.
+ *
+ * With cache_aware off, every task lands in one cold group per
+ * class, which degenerates to the classic strict FIFO per priority.
+ */
+class CompileService::Admission
+{
+  public:
+    Admission(bool cache_aware, int batch_limit)
+        : cache_aware_(cache_aware), batch_limit_(batch_limit)
+    {
+    }
+
+    void
+    push(const TaskPtr &task)
+    {
+        Class &cls = classes_[task->request.request.priority];
+        if (cache_aware_ && task->warm) {
+            cls.warm.push_back(task);
+        } else {
+            const Fingerprint key =
+                cache_aware_ ? task->compiler_key : Fingerprint{};
+            cls.cold[key].push_back(task);
+        }
+        ++total_;
+    }
+
+    /** Next task per the admission policy; requires !empty(). */
+    TaskPtr
+    pop()
+    {
+        auto cls_it = classes_.begin();
+        Class &cls = cls_it->second;
+        TaskPtr task;
+        if (!cls.warm.empty()) {
+            task = cls.warm.front();
+            cls.warm.pop_front();
+        } else {
+            auto group = cls.cold.end();
+            if (cls.has_active &&
+                cls.served_in_batch < batch_limit_)
+                group = cls.cold.find(cls.active_key);
+            if (group == cls.cold.end()) {
+                // Rotate to the group with the oldest waiting head.
+                uint64_t oldest = ~uint64_t(0);
+                for (auto it = cls.cold.begin(); it != cls.cold.end();
+                     ++it) {
+                    if (it->second.front()->seq < oldest) {
+                        oldest = it->second.front()->seq;
+                        group = it;
+                    }
+                }
+                cls.active_key = group->first;
+                cls.has_active = true;
+                cls.served_in_batch = 0;
+            }
+            task = group->second.front();
+            group->second.pop_front();
+            ++cls.served_in_batch;
+            if (group->second.empty()) {
+                cls.cold.erase(group);
+                cls.has_active = false;
+            }
+        }
+        if (cls.warm.empty() && cls.cold.empty())
+            classes_.erase(cls_it);
+        --total_;
+        return task;
+    }
+
+    bool empty() const { return total_ == 0; }
+    size_t size() const { return total_; }
+
+    /** Remove and return everything (shutdown without drain). */
+    std::vector<TaskPtr>
+    drainAll()
+    {
+        std::vector<TaskPtr> all;
+        all.reserve(total_);
+        for (auto &[priority, cls] : classes_) {
+            all.insert(all.end(), cls.warm.begin(), cls.warm.end());
+            for (auto &[key, group] : cls.cold)
+                all.insert(all.end(), group.begin(), group.end());
+        }
+        classes_.clear();
+        total_ = 0;
+        return all;
+    }
+
+  private:
+    struct Class
+    {
+        std::deque<TaskPtr> warm;
+        std::unordered_map<Fingerprint, std::deque<TaskPtr>,
+                           FingerprintHash>
+            cold;
+        Fingerprint active_key;
+        bool has_active = false;
+        int served_in_batch = 0;
+    };
+
+    bool cache_aware_;
+    int batch_limit_;
+    /** Highest priority first. */
+    std::map<int, Class, std::greater<int>> classes_;
+    size_t total_ = 0;
 };
 
 bool
@@ -84,25 +210,17 @@ outcomeName(Outcome outcome)
 // CompileService
 // ---------------------------------------------------------------------------
 
-bool
-CompileService::TaskOrder::operator()(const TaskPtr &a,
-                                      const TaskPtr &b) const
-{
-    // priority_queue keeps the "largest" element on top: serve the
-    // highest priority first, oldest first within a priority.
-    const int pa = a->request.request.priority;
-    const int pb = b->request.request.priority;
-    if (pa != pb)
-        return pa < pb;
-    return a->seq > b->seq;
-}
-
 CompileService::CompileService(CompileServiceConfig config)
     : config_(std::move(config)), cache_(config_.cache),
-      start_(Clock::now()), paused_(config_.start_paused)
+      start_(Clock::now()),
+      queue_(std::make_unique<Admission>(config_.cache_aware_admission,
+                                         config_.cold_batch_limit)),
+      paused_(config_.start_paused)
 {
     require(config_.latency_window >= 1,
             "CompileService: latency_window must be >= 1");
+    require(config_.cold_batch_limit >= 1,
+            "CompileService: cold_batch_limit must be >= 1");
     int n = config_.num_workers;
     if (n <= 0)
         n = std::max(1u, std::thread::hardware_concurrency());
@@ -147,16 +265,25 @@ CompileService::submit(CompileRequest request)
     bool accepted = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (accepting_ && queue_.size() < config_.max_queue) {
+        if (accepting_ && queue_->size() < config_.max_queue) {
             task->id = next_id_++;
             task->seq = task->id;
             handle.id_ = task->id;
-            queue_.push(task);
+            // The warm probe happens at admission time, under mu_, so
+            // the lane choice is consistent with everything already
+            // queued; a fingerprint evicted between here and serve()
+            // just costs that one request a cold compile.
+            task->warm = task->request.request.use_cache &&
+                         config_.cache_aware_admission &&
+                         cache_.contains(task->fingerprint);
+            queue_->push(task);
             accepted = true;
         }
     }
     if (accepted) {
         submitted_.fetch_add(1, std::memory_order_relaxed);
+        if (task->warm)
+            warm_boosted_.fetch_add(1, std::memory_order_relaxed);
         work_cv_.notify_one();
     } else {
         rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -195,7 +322,7 @@ CompileService::drain()
 {
     std::unique_lock<std::mutex> lock(mu_);
     idle_cv_.wait(lock,
-                  [this] { return queue_.empty() && in_flight_ == 0; });
+                  [this] { return queue_->empty() && in_flight_ == 0; });
 }
 
 void
@@ -206,12 +333,8 @@ CompileService::shutdown(bool drain_pending)
         std::lock_guard<std::mutex> lock(mu_);
         accepting_ = false;
         paused_ = false;
-        if (!drain_pending) {
-            while (!queue_.empty()) {
-                dropped.push_back(queue_.top());
-                queue_.pop();
-            }
-        }
+        if (!drain_pending)
+            dropped = queue_->drainAll();
         stopping_ = true;
     }
     work_cv_.notify_all();
@@ -238,11 +361,10 @@ CompileService::workerLoop()
         {
             std::unique_lock<std::mutex> lock(mu_);
             work_cv_.wait(lock, [this] {
-                return stopping_ || (!paused_ && !queue_.empty());
+                return stopping_ || (!paused_ && !queue_->empty());
             });
-            if (!paused_ && !queue_.empty()) {
-                task = queue_.top();
-                queue_.pop();
+            if (!paused_ && !queue_->empty()) {
+                task = queue_->pop();
                 ++in_flight_;
             } else if (stopping_) {
                 return;
@@ -254,7 +376,7 @@ CompileService::workerLoop()
         {
             std::lock_guard<std::mutex> lock(mu_);
             --in_flight_;
-            if (queue_.empty() && in_flight_ == 0)
+            if (queue_->empty() && in_flight_ == 0)
                 idle_cv_.notify_all();
         }
     }
@@ -504,9 +626,10 @@ CompileService::metrics() const
     m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     m.cache_misses = cache_misses_.load(std::memory_order_relaxed);
     m.coalesced = coalesced_.load(std::memory_order_relaxed);
+    m.warm_boosted = warm_boosted_.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mu_);
-        m.queue_depth = queue_.size();
+        m.queue_depth = queue_->size();
     }
     m.workers = int(workers_.size());
     m.uptime_ms = std::chrono::duration<double, std::milli>(

@@ -15,17 +15,29 @@
  *                            fingerprint, sharing ZzxDeviceTables and
  *                            the pulse library across all requests
  *
- * Requests carry a priority (higher served first; FIFO within a
- * priority), an optional deadline (expired requests are failed
- * without compiling), an explicit RNG seed recorded for provenance
- * (the service itself is deterministic: no global RNG anywhere in
- * the request path), and land on a std::future.  Identical concurrent
- * submissions coalesce: at most one cold compile runs per fingerprint
- * at a time, with duplicates parking on the in-flight compilation and
- * resolving as Outcome::Coalesced when it publishes.  Graceful
- * teardown: drain() waits for the queue to empty; shutdown()
- * optionally drains or fails pending requests, then joins the
- * workers.
+ * Requests carry a priority (higher served first), an optional
+ * deadline (expired requests are failed without compiling), an
+ * explicit RNG seed recorded for provenance (the service itself is
+ * deterministic: no global RNG anywhere in the request path), and
+ * land on a std::future.  Identical concurrent submissions coalesce:
+ * at most one cold compile runs per fingerprint at a time, with
+ * duplicates parking on the in-flight compilation and resolving as
+ * Outcome::Coalesced when it publishes.  Graceful teardown: drain()
+ * waits for the queue to empty; shutdown() optionally drains or
+ * fails pending requests, then joins the workers.
+ *
+ * Admission is cache-aware within a priority class: requests whose
+ * fingerprint is already resident in the program cache ("warm") jump
+ * ahead of cold ones — a warm request costs microseconds and holds a
+ * worker for no meaningful time, so boosting it slashes its latency
+ * without delaying any cold compile by more than that.  Cold
+ * requests are batched per (device, options) compiler key: up to
+ * cold_batch_limit consecutive requests sharing one immutable
+ * core::Compiler (its routing tables and pulse library) are served
+ * back to back for locality, after which the queue rotates to the
+ * group holding the oldest waiting request, bounding cross-group
+ * unfairness.  Both lanes stay FIFO internally, and turning
+ * cache_aware_admission off restores strict FIFO within a priority.
  *
  * Every completed request updates a MetricsSnapshot (throughput,
  * latency percentiles, queue depth, cache hit rate) suitable for
@@ -45,7 +57,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -58,7 +69,9 @@ namespace qzz::svc {
 /** Per-request controls. */
 struct RequestOptions
 {
-    /** Higher priorities are served first; FIFO within a priority. */
+    /** Higher priorities are served first; within a priority, warm
+     *  (already-cached) requests lead and cold ones batch per
+     *  compiler key (see the admission notes above). */
     int priority = 0;
     /** Relative deadline from submit(); requests still queued past it
      *  complete with Outcome::DeadlineExceeded (never compiled). */
@@ -174,6 +187,16 @@ struct CompileServiceConfig
      * retiring its registry entry).
      */
     bool coalesce = true;
+    /**
+     * Cache-aware admission (see the file comment): warm requests
+     * jump ahead of cold ones within their priority class, and cold
+     * requests are served in per-compiler-key batches.  Off = strict
+     * FIFO within a priority.
+     */
+    bool cache_aware_admission = true;
+    /** Consecutive cold requests served from one compiler-key group
+     *  before rotating to the group with the oldest waiter (>= 1). */
+    int cold_batch_limit = 8;
     ProgramCacheConfig cache;
 };
 
@@ -191,6 +214,9 @@ struct MetricsSnapshot
     /** Requests that rode an identical in-flight compilation instead
      *  of cold-compiling (counted toward completed). */
     uint64_t coalesced = 0;
+    /** Requests admitted to the warm lane (fingerprint already
+     *  resident at submit time; served ahead of cold peers). */
+    uint64_t warm_boosted = 0;
     size_t queue_depth = 0;
     int workers = 0;
     double uptime_ms = 0.0;
@@ -244,10 +270,8 @@ class CompileService
     using Clock = std::chrono::steady_clock;
     using TaskPtr = std::shared_ptr<RequestHandle::Task>;
 
-    struct TaskOrder
-    {
-        bool operator()(const TaskPtr &a, const TaskPtr &b) const;
-    };
+    /** The cache-aware admission queue (defined in the .cc). */
+    class Admission;
 
     struct Inflight;
 
@@ -269,7 +293,7 @@ class CompileService
     mutable std::mutex mu_;
     std::condition_variable work_cv_;
     std::condition_variable idle_cv_;
-    std::priority_queue<TaskPtr, std::vector<TaskPtr>, TaskOrder> queue_;
+    std::unique_ptr<Admission> queue_;
     size_t in_flight_ = 0;
     bool paused_ = false;
     bool accepting_ = true;
@@ -302,6 +326,7 @@ class CompileService
     std::atomic<uint64_t> cache_hits_{0};
     std::atomic<uint64_t> cache_misses_{0};
     std::atomic<uint64_t> coalesced_{0};
+    std::atomic<uint64_t> warm_boosted_{0};
     std::atomic<uint64_t> completion_seq_{0};
 
     std::vector<std::thread> workers_;

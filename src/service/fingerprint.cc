@@ -41,6 +41,27 @@ Fingerprint::hex() const
     return out;
 }
 
+std::optional<Fingerprint>
+Fingerprint::fromHex(std::string_view hex)
+{
+    if (hex.size() != 32)
+        return std::nullopt;
+    Fingerprint fp;
+    for (size_t i = 0; i < 32; ++i) {
+        const char c = hex[i];
+        uint64_t nibble;
+        if (c >= '0' && c <= '9')
+            nibble = uint64_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nibble = uint64_t(c - 'a') + 10;
+        else
+            return std::nullopt;
+        uint64_t &lane = i < 16 ? fp.hi : fp.lo;
+        lane = (lane << 4) | nibble;
+    }
+    return fp;
+}
+
 FingerprintBuilder::FingerprintBuilder()
     : hi_(diffuse(kLaneHiSeed ^ kFingerprintVersion)),
       lo_(diffuse(kLaneLoSeed + kFingerprintVersion))

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -49,6 +50,11 @@ struct Fingerprint
 
     /** Lowercase 32-digit hex form, e.g. for artifact file names. */
     std::string hex() const;
+
+    /** Inverse of hex(): exactly 32 lowercase hex digits, else
+     *  nullopt (used to parse artifact file names and manifest
+     *  lines back into keys). */
+    static std::optional<Fingerprint> fromHex(std::string_view hex);
 };
 
 /** Hasher for unordered containers keyed by Fingerprint. */

@@ -1,5 +1,6 @@
 #include "service/program_cache.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -9,6 +10,7 @@
 
 #include "common/error.h"
 #include "service/artifact.h"
+#include "service/artifact_gc.h"
 
 namespace qzz::svc {
 
@@ -61,6 +63,20 @@ ProgramCache::shardFor(const Fingerprint &key)
     return *shards_[size_t(key.lo) & (shards_.size() - 1)];
 }
 
+const ProgramCache::Shard &
+ProgramCache::shardFor(const Fingerprint &key) const
+{
+    return *shards_[size_t(key.lo) & (shards_.size() - 1)];
+}
+
+bool
+ProgramCache::contains(const Fingerprint &key) const
+{
+    const Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.find(key) != shard.map.end();
+}
+
 std::shared_ptr<const core::CompiledProgram>
 ProgramCache::lookup(const Fingerprint &key)
 {
@@ -74,10 +90,11 @@ ProgramCache::lookup(const Fingerprint &key)
             return it->second->program;
         }
     }
-    if (auto program = loadArtifact(key)) {
+    uint64_t bytes = 0;
+    if (auto program = loadArtifact(key, bytes)) {
         disk_hits_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(shard.mu);
-        insertLocked(shard, key, program);
+        insertLocked(shard, key, program, bytes);
         return program;
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -89,28 +106,39 @@ ProgramCache::insert(const Fingerprint &key,
                      std::shared_ptr<const core::CompiledProgram> program)
 {
     require(program != nullptr, "ProgramCache::insert: null program");
+    // Serialize exactly once: the string is both the entry's byte
+    // accounting (the unit the manifest and GC bound use) and, when
+    // the disk tier is on, the artifact payload itself.
+    const std::string serialized = programArtifactString(*program);
+    const uint64_t bytes = serialized.size();
     if (!config_.artifact_dir.empty())
-        storeArtifact(key, *program);
+        storeArtifact(key, serialized, program->calib_epoch);
     Shard &shard = shardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    insertLocked(shard, key, std::move(program));
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        insertLocked(shard, key, std::move(program), bytes);
+    }
     insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
 ProgramCache::insertLocked(
     Shard &shard, const Fingerprint &key,
-    std::shared_ptr<const core::CompiledProgram> program)
+    std::shared_ptr<const core::CompiledProgram> program, uint64_t bytes)
 {
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        shard.bytes += bytes - it->second->bytes;
         it->second->program = std::move(program);
+        it->second->bytes = bytes;
         return;
     }
-    shard.lru.push_front(Entry{key, std::move(program)});
+    shard.lru.push_front(Entry{key, std::move(program), bytes});
     shard.map.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
     while (shard.lru.size() > shard_capacity_) {
+        shard.bytes -= shard.lru.back().bytes;
         shard.map.erase(shard.lru.back().key);
         shard.lru.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -124,6 +152,7 @@ ProgramCache::clear()
         std::lock_guard<std::mutex> lock(shard->mu);
         shard->lru.clear();
         shard->map.clear();
+        shard->bytes = 0;
     }
 }
 
@@ -148,18 +177,25 @@ ProgramCache::stats() const
     s.insertions = insertions_.load(std::memory_order_relaxed);
     s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
     s.disk_writes = disk_writes_.load(std::memory_order_relaxed);
-    s.entries = size();
+    s.disk_bytes_written =
+        disk_bytes_written_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        s.entries += shard->lru.size();
+        s.entry_bytes += shard->bytes;
+    }
     return s;
 }
 
 std::shared_ptr<const core::CompiledProgram>
-ProgramCache::loadArtifact(const Fingerprint &key)
+ProgramCache::loadArtifact(const Fingerprint &key, uint64_t &bytes)
 {
     if (config_.artifact_dir.empty())
         return nullptr;
-    std::ifstream in(artifactPath(config_.artifact_dir, key));
+    const auto path = artifactPath(config_.artifact_dir, key);
+    std::ifstream in(path);
     if (!in)
-        return nullptr;
+        return nullptr; // includes a GC eviction racing this lookup
     // A corrupt artifact must read as a miss, never kill a serving
     // worker: beyond parse failures (nullopt), circuit reconstruction
     // can throw UserError on mangled gate payloads.
@@ -168,6 +204,13 @@ ProgramCache::loadArtifact(const Fingerprint &key)
             readProgramArtifact(in);
         if (!program)
             return nullptr; // torn/stale artifact: treat as a miss
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(path, ec);
+        bytes = ec ? 0 : uint64_t(size);
+        // Touch the artifact so the GC's LRU-by-mtime order reflects
+        // use; best effort (the file may already be evicted).
+        std::filesystem::last_write_time(
+            path, std::filesystem::file_time_type::clock::now(), ec);
         return std::make_shared<const core::CompiledProgram>(
             std::move(*program));
     } catch (const std::exception &) {
@@ -177,7 +220,8 @@ ProgramCache::loadArtifact(const Fingerprint &key)
 
 void
 ProgramCache::storeArtifact(const Fingerprint &key,
-                            const core::CompiledProgram &program)
+                            const std::string &serialized,
+                            uint64_t calib_epoch)
 {
     std::error_code ec;
     std::filesystem::create_directories(config_.artifact_dir, ec);
@@ -201,14 +245,31 @@ ProgramCache::storeArtifact(const Fingerprint &key,
         std::ofstream out(tmp);
         if (!out)
             return;
-        writeProgramArtifact(program, out);
+        out << serialized;
         out.flush();
         ok = out.good();
     }
     if (ok) {
         std::filesystem::rename(tmp, final_path, ec);
-        if (!ec)
+        if (!ec) {
             disk_writes_.fetch_add(1, std::memory_order_relaxed);
+            disk_bytes_written_.fetch_add(serialized.size(),
+                                          std::memory_order_relaxed);
+            // Record the artifact in the shared manifest (under the
+            // directory's advisory lock), then let the GC enforce
+            // the byte bound while the write is still hot.
+            ManifestEntry entry;
+            entry.fp = key;
+            entry.bytes = serialized.size();
+            entry.mtime_ms =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+            entry.calib_epoch = calib_epoch;
+            appendManifestEntry(config_.artifact_dir, entry);
+            if (config_.gc)
+                config_.gc->maybeCollect();
+        }
     }
     if (!ok || ec)
         std::filesystem::remove(tmp, ec);

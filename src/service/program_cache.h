@@ -19,7 +19,13 @@
  * temp-then-rename pattern as the pulse calibration store, so
  * concurrent writers can never leave a torn artifact; misses fall
  * back to loading from disk (surviving process restarts and sharing
- * warm state between processes).
+ * warm state between processes).  Each persisted artifact is recorded
+ * in the directory's manifest.jsonl under an advisory file lock, and
+ * the tier is bounded by svc::ArtifactGc (artifact_gc.h): N server
+ * processes share one directory, with lock-free readers falling back
+ * to a miss when GC races an eviction under them.  Disk hits touch
+ * the artifact's mtime so the GC's LRU order tracks use, not just
+ * creation.
  */
 
 #ifndef QZZ_SERVICE_PROGRAM_CACHE_H
@@ -39,6 +45,8 @@
 
 namespace qzz::svc {
 
+class ArtifactGc;
+
 /** ProgramCache construction knobs. */
 struct ProgramCacheConfig
 {
@@ -51,6 +59,11 @@ struct ProgramCacheConfig
     int shards = 8;
     /** On-disk artifact tier directory; empty disables the tier. */
     std::string artifact_dir;
+    /** Artifact-tier garbage collector (artifact_gc.h).  When set,
+     *  every artifact write is followed by ArtifactGc::maybeCollect()
+     *  so the directory's byte bound holds under load instead of
+     *  waiting for the next periodic pass. */
+    std::shared_ptr<ArtifactGc> gc;
 };
 
 /** Monotonic counters + current occupancy of a ProgramCache. */
@@ -62,7 +75,14 @@ struct ProgramCacheStats
     uint64_t insertions = 0;  ///< successful insert() calls
     uint64_t disk_hits = 0;   ///< misses rescued by the artifact tier
     uint64_t disk_writes = 0; ///< artifacts persisted
+    /** Cumulative artifact bytes persisted to the disk tier — the
+     *  write-side number the GC's byte bound meters against. */
+    uint64_t disk_bytes_written = 0;
     size_t entries = 0;       ///< current in-memory entry count
+    /** Sum of the per-entry artifact byte sizes of the in-memory
+     *  entries (each entry's size is its serialized-artifact length,
+     *  the same accounting unit as the on-disk manifest). */
+    uint64_t entry_bytes = 0;
 
     double
     hitRate() const
@@ -98,6 +118,14 @@ class ProgramCache
     void insert(const Fingerprint &key,
                 std::shared_ptr<const core::CompiledProgram> program);
 
+    /**
+     * True iff @p key is resident in the in-memory tier right now.
+     * Touches no counters and no LRU state, and never goes to disk —
+     * this is the cheap admission probe (compile_service.h boosts
+     * requests whose fingerprint is already warm), not a lookup.
+     */
+    bool contains(const Fingerprint &key) const;
+
     /** Drop every in-memory entry (artifact tier is untouched). */
     void clear();
 
@@ -114,6 +142,8 @@ class ProgramCache
     {
         Fingerprint key;
         std::shared_ptr<const core::CompiledProgram> program;
+        /** Serialized-artifact size (the manifest accounting unit). */
+        uint64_t bytes = 0;
     };
     struct Shard
     {
@@ -123,15 +153,19 @@ class ProgramCache
         std::unordered_map<Fingerprint, std::list<Entry>::iterator,
                            FingerprintHash>
             map;
+        /** Sum of Entry::bytes over this shard's entries. */
+        uint64_t bytes = 0;
     };
 
     Shard &shardFor(const Fingerprint &key);
+    const Shard &shardFor(const Fingerprint &key) const;
     void insertLocked(Shard &shard, const Fingerprint &key,
-                      std::shared_ptr<const core::CompiledProgram> program);
+                      std::shared_ptr<const core::CompiledProgram> program,
+                      uint64_t bytes);
     std::shared_ptr<const core::CompiledProgram>
-    loadArtifact(const Fingerprint &key);
-    void storeArtifact(const Fingerprint &key,
-                       const core::CompiledProgram &program);
+    loadArtifact(const Fingerprint &key, uint64_t &bytes);
+    void storeArtifact(const Fingerprint &key, const std::string &serialized,
+                       uint64_t calib_epoch);
 
     ProgramCacheConfig config_;
     size_t shard_capacity_ = 1;
@@ -143,6 +177,7 @@ class ProgramCache
     std::atomic<uint64_t> insertions_{0};
     std::atomic<uint64_t> disk_hits_{0};
     std::atomic<uint64_t> disk_writes_{0};
+    std::atomic<uint64_t> disk_bytes_written_{0};
 };
 
 } // namespace qzz::svc

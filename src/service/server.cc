@@ -1,0 +1,564 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "circuit/benchmarks.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/pulse_opt.h"
+#include "core/schedule_io.h"
+#include "graph/topologies.h"
+#include "service/artifact.h"
+#include "service/artifact_gc.h"
+#include "service/jsonl.h"
+
+namespace qzz::svc {
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(Server &server, Connection &conn)
+    : server_(server), conn_(conn)
+{
+    writer_ = std::thread([this] { writerLoop(); });
+}
+
+Session::~Session() { stopWriter(); }
+
+bool
+Session::run()
+{
+    std::string line;
+    uint64_t lineno = 0;
+    bool quit = false;
+    while (!quit && conn_.readLine(line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        std::string error;
+        const auto obj = JsonObject::parse(line, &error);
+        if (!obj) {
+            enqueueError(std::to_string(lineno),
+                         "parse error: " + error);
+            continue;
+        }
+        if (const auto cmd = obj->getString("cmd")) {
+            // Control records are synchronization points: settle
+            // every earlier response before acting.
+            waitForWriterIdle();
+            if (*cmd == "quit") {
+                quit = true;
+            } else if (*cmd == "metrics") {
+                respondMetrics();
+            } else if (*cmd == "hello") {
+                respondHello();
+            } else if (*cmd == "gc") {
+                respondGc();
+            } else {
+                enqueueError(requestId(*obj, lineno),
+                             "unknown cmd '" + *cmd + "'");
+            }
+            continue;
+        }
+        handleRequest(*obj, lineno);
+    }
+    stopWriter();
+    return quit;
+}
+
+std::string
+Session::requestId(const JsonObject &obj, uint64_t lineno)
+{
+    if (const auto id = obj.getString("id"))
+        return *id;
+    return std::to_string(lineno);
+}
+
+void
+Session::handleRequest(const JsonObject &obj, uint64_t lineno)
+{
+    const std::string id = requestId(obj, lineno);
+
+    const auto family = obj.getString("benchmark");
+    if (!family) {
+        enqueueError(id, "missing 'benchmark' (one of: " +
+                             joinNames(ckt::benchmarkFamilyNames()) +
+                             ")");
+        return;
+    }
+    // Bounded before the int64 -> int narrowing: a huge value
+    // must produce an error line, not a wrapped register size or
+    // a generator allocation failure.
+    constexpr int64_t kMaxQubits = 256;
+    const auto qubits = obj.getInt("qubits");
+    if (!qubits || *qubits < 2 || *qubits > kMaxQubits) {
+        enqueueError(id, "missing or bad 'qubits' (integer in [2, " +
+                             std::to_string(kMaxQubits) + "])");
+        return;
+    }
+    const uint64_t seed = uint64_t(obj.getInt("seed").value_or(1));
+
+    CompileRequest request;
+    try {
+        auto circuit = ckt::namedBenchmark(*family, int(*qubits), seed);
+        if (!circuit) {
+            enqueueError(id, "unknown benchmark '" + *family +
+                                 "' (one of: " +
+                                 joinNames(
+                                     ckt::benchmarkFamilyNames()) +
+                                 ")");
+            return;
+        }
+        request.circuit = std::move(*circuit);
+        request.device = server_.deviceFor(obj, int(*qubits));
+    } catch (const std::exception &e) {
+        // UserError for bad parameters, plus anything a generator
+        // or topology builder throws on extreme inputs: one error
+        // line, never a dead daemon.
+        enqueueError(id, e.what());
+        return;
+    }
+
+    if (const auto pulse = obj.getString("pulse")) {
+        const auto method = core::pulseMethodFromName(*pulse);
+        if (!method) {
+            enqueueError(id, "unknown pulse method '" + *pulse +
+                                 "' (one of: " +
+                                 joinNames(core::pulseMethodNames()) +
+                                 ")");
+            return;
+        }
+        request.options.pulse = *method;
+    }
+    if (const auto sched = obj.getString("sched")) {
+        const auto policy = core::schedPolicyFromName(*sched);
+        if (!policy) {
+            enqueueError(id, "unknown scheduling policy '" + *sched +
+                                 "' (one of: " +
+                                 joinNames(core::schedPolicyNames()) +
+                                 ")");
+            return;
+        }
+        request.options.sched = *policy;
+    }
+    request.request.priority = int(obj.getInt("priority").value_or(0));
+    request.request.seed = seed;
+    request.request.use_cache = obj.getBool("use_cache").value_or(true);
+    if (const auto deadline = obj.getNumber("deadline_ms"))
+        request.request.deadline = std::chrono::milliseconds(
+            int64_t(std::max(0.0, *deadline)));
+
+    Pending pending;
+    pending.id = id;
+    pending.label = request.circuit.name();
+    pending.handle = server_.service().submit(std::move(request));
+    OutItem item;
+    item.pending = std::move(pending);
+    enqueue(std::move(item));
+}
+
+// ---------------------------------------------------------------------------
+// Ordered output: a writer thread blocks on each queued item in
+// turn, so responses stream out the moment their turn completes
+// while the reader keeps accepting requests.
+// ---------------------------------------------------------------------------
+
+void
+Session::writerLoop()
+{
+    for (;;) {
+        OutItem item;
+        {
+            std::unique_lock<std::mutex> lock(out_mu_);
+            out_cv_.wait(lock,
+                         [this] { return out_done_ || !out_.empty(); });
+            if (out_.empty()) {
+                if (out_done_)
+                    return;
+                continue;
+            }
+            item = std::move(out_.front());
+            out_.pop_front();
+            writer_busy_ = true;
+        }
+        if (item.is_error)
+            printError(item.id, item.message);
+        else
+            respond(item.pending, item.pending.handle.get());
+        {
+            std::lock_guard<std::mutex> lock(out_mu_);
+            writer_busy_ = false;
+            if (out_.empty())
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+Session::enqueue(OutItem item)
+{
+    {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        out_.push_back(std::move(item));
+    }
+    out_cv_.notify_one();
+}
+
+void
+Session::enqueueError(const std::string &id, const std::string &message)
+{
+    OutItem item;
+    item.is_error = true;
+    item.id = id;
+    item.message = message;
+    enqueue(std::move(item));
+}
+
+void
+Session::waitForWriterIdle()
+{
+    std::unique_lock<std::mutex> lock(out_mu_);
+    idle_cv_.wait(lock,
+                  [this] { return out_.empty() && !writer_busy_; });
+}
+
+void
+Session::stopWriter()
+{
+    {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        if (out_done_ && !writer_.joinable())
+            return;
+        out_done_ = true;
+    }
+    out_cv_.notify_all();
+    if (writer_.joinable())
+        writer_.join();
+}
+
+void
+Session::respond(const Pending &pending, const ServiceResult &result)
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\"id\":\"" << jsonEscape(pending.id)
+       << "\",\"ok\":" << (result.ok() ? "true" : "false")
+       << ",\"outcome\":\"" << outcomeName(result.outcome)
+       << "\",\"benchmark\":\"" << jsonEscape(pending.label)
+       << "\",\"fingerprint\":\"" << result.fingerprint.hex()
+       << "\",\"cache_hit\":"
+       << (result.outcome == Outcome::CacheHit ? "true" : "false")
+       << ",\"queue_ms\":" << result.queue_ms
+       << ",\"compile_ms\":" << result.compile_ms;
+    if (result.ok()) {
+        std::ostringstream program;
+        core::ScheduleIoOptions io;
+        io.pretty = false;
+        io.sample_dt = server_.config().sample_dt;
+        core::writeCompiledProgramJson(*result.program, program, io);
+        std::string doc = program.str();
+        while (!doc.empty() && doc.back() == '\n')
+            doc.pop_back();
+        os << ",\"program\":" << doc;
+    } else if (!result.status.message.empty()) {
+        os << ",\"error\":\"" << jsonEscape(result.status.message)
+           << "\"";
+    }
+    os << "}\n";
+    conn_.write(os.str());
+}
+
+void
+Session::printError(const std::string &id, const std::string &message)
+{
+    conn_.write("{\"id\":\"" + jsonEscape(id) +
+                "\",\"ok\":false,\"error\":\"" + jsonEscape(message) +
+                "\"}\n");
+}
+
+void
+Session::respondMetrics()
+{
+    const MetricsSnapshot m = server_.service().metrics();
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\"metrics\":true,\"submitted\":" << m.submitted
+       << ",\"completed\":" << m.completed << ",\"failed\":" << m.failed
+       << ",\"cancelled\":" << m.cancelled << ",\"expired\":" << m.expired
+       << ",\"rejected\":" << m.rejected
+       << ",\"cache_hits\":" << m.cache_hits
+       << ",\"cache_misses\":" << m.cache_misses
+       << ",\"coalesced\":" << m.coalesced
+       << ",\"cache_hit_rate\":" << m.cache_hit_rate
+       << ",\"queue_depth\":" << m.queue_depth
+       << ",\"workers\":" << m.workers
+       << ",\"throughput_per_s\":" << m.throughput_per_s
+       << ",\"latency_p50_ms\":" << m.latency_p50_ms
+       << ",\"latency_p95_ms\":" << m.latency_p95_ms
+       << ",\"latency_p99_ms\":" << m.latency_p99_ms
+       << ",\"warm_boosted\":" << m.warm_boosted
+       << ",\"cache_entries\":" << m.cache_stats.entries
+       << ",\"cache_entry_bytes\":" << m.cache_stats.entry_bytes
+       << ",\"disk_writes\":" << m.cache_stats.disk_writes
+       << ",\"disk_bytes_written\":" << m.cache_stats.disk_bytes_written
+       << "}\n";
+    conn_.write(os.str());
+}
+
+namespace {
+
+std::string
+jsonStringArray(const std::vector<std::string> &names)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (i)
+            out += ',';
+        out += '"';
+        out += jsonEscape(names[i]);
+        out += '"';
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace
+
+void
+Session::respondHello()
+{
+    std::ostringstream os;
+    os << "{\"hello\":true,\"protocol_version\":" << kProtocolVersion
+       << ",\"fingerprint_version\":" << kFingerprintVersion
+       << ",\"artifact_version\":" << kArtifactVersion
+       << ",\"manifest_version\":" << kManifestVersion
+       << ",\"benchmarks\":"
+       << jsonStringArray(ckt::benchmarkFamilyNames())
+       << ",\"pulse_methods\":"
+       << jsonStringArray(core::pulseMethodNames())
+       << ",\"sched_policies\":"
+       << jsonStringArray(core::schedPolicyNames())
+       << ",\"topologies\":[\"grid\",\"line\",\"ring\",\"heavyhex\","
+          "\"trigrid\"]"
+       << ",\"commands\":[\"hello\",\"metrics\",\"gc\",\"quit\"]}\n";
+    conn_.write(os.str());
+}
+
+void
+Session::respondGc()
+{
+    ArtifactGc *gc = server_.gc();
+    if (!gc) {
+        conn_.write("{\"gc\":true,\"enabled\":false}\n");
+        return;
+    }
+    const ArtifactGcStats s = gc->run();
+    std::ostringstream os;
+    os << "{\"gc\":true,\"enabled\":true,\"scanned\":" << s.scanned
+       << ",\"adopted\":" << s.adopted
+       << ",\"dropped_lines\":" << s.dropped_lines
+       << ",\"evicted\":" << s.evicted
+       << ",\"evicted_age\":" << s.evicted_age
+       << ",\"evicted_epoch\":" << s.evicted_epoch
+       << ",\"evicted_capacity\":" << s.evicted_capacity
+       << ",\"bytes_before\":" << s.bytes_before
+       << ",\"bytes_after\":" << s.bytes_after
+       << ",\"capacity_bytes\":" << gc->config().capacity_bytes
+       << ",\"passes\":" << gc->passes() << "}\n";
+    conn_.write(os.str());
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Server::Server(ServerConfig config) : config_(std::move(config))
+{
+    if (!config_.artifact_dir.empty()) {
+        ArtifactGcConfig gc_config;
+        gc_config.capacity_bytes = config_.gc_capacity_bytes;
+        gc_config.max_age = config_.gc_max_age;
+        gc_config.keep_epochs = config_.gc_keep_epochs;
+        gc_ = std::make_shared<ArtifactGc>(config_.artifact_dir,
+                                           gc_config);
+    }
+    CompileServiceConfig sc;
+    sc.num_workers = config_.workers;
+    sc.cache.capacity = config_.cache_capacity;
+    sc.cache.artifact_dir = config_.artifact_dir;
+    sc.cache.gc = gc_;
+    service_ = std::make_unique<CompileService>(sc);
+    if (gc_ && config_.gc_interval.count() > 0)
+        gc_->start(config_.gc_interval);
+}
+
+Server::~Server()
+{
+    if (gc_)
+        gc_->stop();
+    service_->shutdown(true);
+}
+
+bool
+Server::runSession(Connection &conn)
+{
+    Session session(*this, conn);
+    return session.run();
+}
+
+std::shared_ptr<const dev::Device>
+Server::deviceFor(const JsonObject &obj, int circuit_qubits)
+{
+    const std::string kind = obj.getString("topology").value_or("grid");
+    const uint64_t device_seed =
+        uint64_t(obj.getInt("device_seed").value_or(7));
+    constexpr int64_t kMaxEpoch = 4096;
+    const int64_t calib_epoch = obj.getInt("calib_epoch").value_or(0);
+    if (calib_epoch < 0 || calib_epoch > kMaxEpoch)
+        fatal("bad 'calib_epoch' (integer in [0, " +
+              std::to_string(kMaxEpoch) + "])");
+
+    graph::Topology topo;
+    if (kind == "grid" || kind == "trigrid") {
+        auto [r, c] = dev::Device::gridDimsForQubits(circuit_qubits);
+        const int rows = int(obj.getInt("rows").value_or(r));
+        const int cols = int(obj.getInt("cols").value_or(c));
+        topo = kind == "grid"
+                   ? graph::gridTopology(rows, cols)
+                   : graph::triangulatedGridTopology(rows, cols);
+    } else if (kind == "heavyhex") {
+        const int rows = int(obj.getInt("rows").value_or(1));
+        const int cols = int(obj.getInt("cols").value_or(1));
+        topo = graph::heavyHexTopology(rows, cols);
+    } else if (kind == "line") {
+        topo = graph::lineTopology(
+            int(obj.getInt("size").value_or(circuit_qubits)));
+    } else if (kind == "ring") {
+        topo = graph::ringTopology(
+            int(obj.getInt("size").value_or(circuit_qubits)));
+    } else {
+        fatal("unknown topology '" + kind +
+              "' (one of: grid, line, ring, heavyhex, trigrid)");
+    }
+
+    const std::string key = topo.name + "#" +
+                            std::to_string(device_seed) + "@" +
+                            std::to_string(calib_epoch);
+    // One mutex over lookup and construction: sessions racing on a
+    // cold key would otherwise build the same device twice, and
+    // construction is cheap next to a compile.
+    std::lock_guard<std::mutex> lock(devices_mu_);
+    auto it = devices_.find(key);
+    if (it != devices_.end())
+        return it->second;
+    // Epoch e = the base snapshot recalibrated e times, each
+    // drift step deterministically seeded, so every client asking
+    // for (topology, device_seed, epoch) sees the same device —
+    // and the same fingerprint.
+    Rng rng(device_seed);
+    dev::Calibration calib =
+        dev::Calibration::sampled(topo, dev::DeviceParams{}, rng);
+    for (int64_t e = 0; e < calib_epoch; ++e) {
+        Rng drift_rng(device_seed ^ (uint64_t(e) + 1));
+        calib = calib.drifted({}, drift_rng);
+    }
+    auto device = std::make_shared<const dev::Device>(std::move(topo),
+                                                      std::move(calib));
+    devices_.emplace(key, device);
+    return device;
+}
+
+namespace {
+
+/** serve()'s SIGTERM/SIGINT handler target: the only async-signal-
+ *  safe thing to do is write one byte to a pipe the watcher thread
+ *  reads. */
+std::atomic<int> g_term_pipe_wr{-1};
+
+void
+onTerminateSignal(int)
+{
+    const int fd = g_term_pipe_wr.load();
+    if (fd >= 0) {
+        const char byte = 1;
+        [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+    }
+}
+
+} // namespace
+
+int
+Server::serve(Transport &transport)
+{
+    int sig_pipe[2] = {-1, -1};
+    if (::pipe2(sig_pipe, O_CLOEXEC) != 0)
+        fatal("Server: pipe2(): " + std::string(std::strerror(errno)));
+    g_term_pipe_wr.store(sig_pipe[1]);
+    struct sigaction sa
+    {
+    };
+    sa.sa_handler = &onTerminateSignal;
+    ::sigemptyset(&sa.sa_mask);
+    struct sigaction old_term
+    {
+    };
+    struct sigaction old_int
+    {
+    };
+    ::sigaction(SIGTERM, &sa, &old_term);
+    ::sigaction(SIGINT, &sa, &old_int);
+
+    // The watcher turns a signal byte into a transport shutdown; the
+    // accept loop then winds down exactly like a client-driven stop:
+    // no new sessions, in-flight sessions and queued compiles finish.
+    std::thread watcher([&transport, &sig_pipe] {
+        char byte = 0;
+        for (;;) {
+            const ssize_t n = ::read(sig_pipe[0], &byte, 1);
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        if (byte == 1)
+            transport.shutdown();
+    });
+
+    std::vector<std::thread> sessions;
+    while (auto conn = transport.accept()) {
+        sessions.emplace_back(
+            [this, c = std::shared_ptr<Connection>(std::move(conn))] {
+                Session(*this, *c).run();
+            });
+    }
+    for (std::thread &session : sessions)
+        session.join();
+
+    g_term_pipe_wr.store(-1);
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGINT, &old_int, nullptr);
+    {
+        // A zero byte stops the watcher without a transport shutdown
+        // (it already happened or was never needed).
+        const char byte = 0;
+        [[maybe_unused]] const ssize_t n = ::write(sig_pipe[1], &byte, 1);
+    }
+    watcher.join();
+    ::close(sig_pipe[0]);
+    ::close(sig_pipe[1]);
+
+    service_->shutdown(true);
+    return 0;
+}
+
+} // namespace qzz::svc

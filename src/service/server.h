@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The JSON-lines serving front-end over CompileService, split from
+ * the transport it speaks over.
+ *
+ *   Transport (transport.h)          Server (this file)
+ *   ----------------------           ---------------------------
+ *   accept() -> Connection  --->     one Session per connection
+ *                                      |-- reader: parse, validate,
+ *                                      |   submit to the shared
+ *                                      |   CompileService
+ *                                      |-- writer thread: stream
+ *                                          responses in request order
+ *
+ * Server::serve() is the daemon loop: it accepts sessions until the
+ * transport shuts down (each on its own thread), installs a SIGTERM
+ * handler that drains gracefully — stop accepting, finish every
+ * in-flight session and queued compile, then exit — and finally
+ * drains the service.  All sessions share one CompileService (worker
+ * pool + program cache + artifact tier), one device memo, and one
+ * ArtifactGc, so N connections hitting the same fingerprints coalesce
+ * and share warm state exactly like one pipelined stdio client.
+ *
+ * Session is public on purpose: tests drive it directly over a
+ * StreamConnection pair of stringstreams, asserting the wire protocol
+ * (docs/protocol.md) without sockets or a child process.  The
+ * protocol itself is unchanged from the original stdio daemon —
+ * byte-identical responses for identical stdio input — plus two
+ * additive verbs: {"cmd":"hello"} (capability handshake) and
+ * {"cmd":"gc"} (run an artifact-tier GC pass).
+ */
+
+#ifndef QZZ_SERVICE_SERVER_H
+#define QZZ_SERVICE_SERVER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "device/device.h"
+#include "service/compile_service.h"
+#include "service/transport.h"
+
+namespace qzz::svc {
+
+class ArtifactGc;
+class JsonObject;
+
+/** Wire-protocol version reported by {"cmd":"hello"}; bumped when a
+ *  response field changes meaning (new fields are additive and do
+ *  not bump it). */
+inline constexpr int kProtocolVersion = 1;
+
+/** Server construction knobs (the compile_server flag surface). */
+struct ServerConfig
+{
+    /** CompileService worker threads; 0 = all cores. */
+    int workers = 0;
+    /** Program-cache entry capacity. */
+    size_t cache_capacity = 256;
+    /** On-disk artifact tier directory; empty disables it. */
+    std::string artifact_dir;
+    /** Waveform sample spacing (ns) in response schedule JSON; 0
+     *  omits samples. */
+    double sample_dt = 0.0;
+    /** Artifact-tier byte bound (0 = unbounded); enforced by GC on
+     *  the write path and on {"cmd":"gc"}. */
+    uint64_t gc_capacity_bytes = 0;
+    /** Artifact max age (0 = no age bound). */
+    std::chrono::milliseconds gc_max_age{0};
+    /** Keep only the newest K calibration epochs (0 = all). */
+    int gc_keep_epochs = 0;
+    /** Background GC pass interval (0 = no background thread). */
+    std::chrono::milliseconds gc_interval{0};
+};
+
+class Server;
+
+/** One client session: reads requests off a Connection, submits them
+ *  to the shared service, and streams responses back in request
+ *  order via a dedicated writer thread. */
+class Session
+{
+  public:
+    Session(Server &server, Connection &conn);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Serve until EOF, a dead connection, or {"cmd":"quit"}; true
+     *  iff quit ended it. */
+    bool run();
+
+  private:
+    /** A submitted request waiting for its response slot. */
+    struct Pending
+    {
+        std::string id;
+        std::string label;
+        RequestHandle handle;
+    };
+
+    /** One queued output line: a pending response or an inline
+     *  error. */
+    struct OutItem
+    {
+        bool is_error = false;
+        Pending pending;     ///< valid when !is_error
+        std::string id;      ///< valid when is_error
+        std::string message; ///< valid when is_error
+    };
+
+    static std::string requestId(const JsonObject &obj, uint64_t lineno);
+    void handleRequest(const JsonObject &obj, uint64_t lineno);
+
+    void writerLoop();
+    void enqueue(OutItem item);
+    void enqueueError(const std::string &id, const std::string &message);
+    /** Block until every queued response has been written. */
+    void waitForWriterIdle();
+    void stopWriter();
+
+    void respond(const Pending &pending, const ServiceResult &result);
+    void printError(const std::string &id, const std::string &message);
+    void respondMetrics();
+    void respondHello();
+    void respondGc();
+
+    Server &server_;
+    Connection &conn_;
+
+    std::mutex out_mu_;
+    std::condition_variable out_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<OutItem> out_;
+    bool out_done_ = false;
+    bool writer_busy_ = false;
+    std::thread writer_;
+};
+
+/** The daemon: shared serving state plus the accept loop. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config = {});
+    /** Stops background GC and drains the service. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Accept sessions from @p transport until it shuts down, then
+     * join every session thread and drain the service.  SIGTERM (and
+     * SIGINT) trigger exactly that shutdown — a graceful drain, not
+     * an abort.  Returns a process exit code.
+     */
+    int serve(Transport &transport);
+
+    /** Run one session synchronously on this thread (the stdio path
+     *  uses serve(); tests call this directly).  True iff the client
+     *  sent {"cmd":"quit"}. */
+    bool runSession(Connection &conn);
+
+    /**
+     * Resolve the device a request object names, memoized on
+     * (topology, device_seed, calib_epoch) and shared across every
+     * session.  Thread-safe.  Throws UserError on bad parameters.
+     */
+    std::shared_ptr<const dev::Device> deviceFor(const JsonObject &obj,
+                                                 int circuit_qubits);
+
+    CompileService &service() { return *service_; }
+    /** Null when no artifact dir is configured. */
+    ArtifactGc *gc() { return gc_.get(); }
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    ServerConfig config_;
+    std::shared_ptr<ArtifactGc> gc_;
+    std::unique_ptr<CompileService> service_;
+
+    std::mutex devices_mu_;
+    std::unordered_map<std::string, std::shared_ptr<const dev::Device>>
+        devices_;
+};
+
+} // namespace qzz::svc
+
+#endif // QZZ_SERVICE_SERVER_H

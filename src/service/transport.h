@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Pluggable byte transports for the JSON-lines serving front-end.
+ *
+ * A Transport accepts Connections; each Connection is one client
+ * session speaking the line protocol (docs/protocol.md).  Two
+ * implementations:
+ *
+ *   - StdioTransport: exactly one session over a std::istream /
+ *     std::ostream pair (stdin/stdout by default) — the classic
+ *     pipe-driven daemon, bit-compatible with the original
+ *     compile_server loop.  Also the test seam: point it at
+ *     stringstreams to drive a session in-process.
+ *
+ *   - SocketTransport: a TCP ("tcp:[HOST:]PORT") or Unix-domain
+ *     ("unix:PATH") listener serving one session per accepted
+ *     connection.  Sessions get per-connection DoS bounds the stdio
+ *     path deliberately lacks: an idle timeout (a silent peer is
+ *     disconnected) and a maximum line length (an unterminated
+ *     request cannot grow the buffer unboundedly).  accept() blocks
+ *     in poll() on the listener plus a self-pipe, so shutdown() —
+ *     including from a signal-watcher thread — wakes it immediately
+ *     for a graceful drain.
+ *
+ * Connections are blocking and owned by exactly one session thread;
+ * none of these classes is thread-safe per instance except
+ * Transport::shutdown(), which may race accept().
+ */
+
+#ifndef QZZ_SERVICE_TRANSPORT_H
+#define QZZ_SERVICE_TRANSPORT_H
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <memory>
+#include <string>
+
+namespace qzz::svc {
+
+/** One bidirectional line-oriented client session. */
+class Connection
+{
+  public:
+    virtual ~Connection() = default;
+
+    /**
+     * Read the next line into @p line (newline stripped; a trailing
+     * '\r' is stripped on socket connections).  False on EOF, a read
+     * error, an exceeded idle timeout, or an overlong line — the
+     * session ends either way.  A final unterminated line before EOF
+     * is delivered, matching std::getline.
+     */
+    virtual bool readLine(std::string &line) = 0;
+
+    /** Write @p data and flush; false when the peer is gone. */
+    virtual bool write(const std::string &data) = 0;
+
+    /** Human-readable peer description (logging only). */
+    virtual std::string peer() const = 0;
+};
+
+/** Accepts client connections until shut down. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Block until the next session; nullptr once shut down (or, for
+     *  stdio, after its single session has been handed out). */
+    virtual std::unique_ptr<Connection> accept() = 0;
+
+    /** Unblock accept() and make it return nullptr from now on.
+     *  Thread-safe and async-usable against a blocked accept(). */
+    virtual void shutdown() = 0;
+
+    /** Human-readable bound-endpoint description. */
+    virtual std::string name() const = 0;
+};
+
+/** A Connection over caller-owned iostreams (the stdio session and
+ *  the in-process test seam). */
+class StreamConnection : public Connection
+{
+  public:
+    StreamConnection(std::istream &in, std::ostream &out)
+        : in_(in), out_(out)
+    {
+    }
+
+    bool readLine(std::string &line) override;
+    bool write(const std::string &data) override;
+    std::string peer() const override { return "stdio"; }
+
+  private:
+    std::istream &in_;
+    std::ostream &out_;
+};
+
+/** The single-session pipe transport. */
+class StdioTransport : public Transport
+{
+  public:
+    StdioTransport(std::istream &in = std::cin,
+                   std::ostream &out = std::cout)
+        : in_(in), out_(out)
+    {
+    }
+
+    std::unique_ptr<Connection> accept() override;
+    void shutdown() override { done_.store(true); }
+    std::string name() const override { return "stdio"; }
+
+  private:
+    std::istream &in_;
+    std::ostream &out_;
+    std::atomic<bool> done_{false};
+};
+
+/** SocketTransport construction knobs. */
+struct SocketTransportConfig
+{
+    /** "tcp:PORT", "tcp:HOST:PORT" (numeric IPv4 host or localhost),
+     *  or "unix:PATH". */
+    std::string listen;
+    /** Disconnect a session after this long without a complete line;
+     *  0 waits forever (trusted peers only). */
+    std::chrono::milliseconds idle_timeout{0};
+    /** Session-fatal bound on one request line's length. */
+    size_t max_line_bytes = 1 << 20;
+};
+
+/** TCP / Unix-domain listener: one session per connection. */
+class SocketTransport : public Transport
+{
+  public:
+    /** Binds and listens; throws UserError on a bad spec or a bind
+     *  failure (the caller gets one clean error line, not a half-up
+     *  server). */
+    explicit SocketTransport(SocketTransportConfig config);
+    ~SocketTransport() override;
+
+    SocketTransport(const SocketTransport &) = delete;
+    SocketTransport &operator=(const SocketTransport &) = delete;
+
+    std::unique_ptr<Connection> accept() override;
+    void shutdown() override;
+    std::string name() const override { return name_; }
+
+    /** Actual TCP port after binding ("tcp:0" asks the kernel to
+     *  pick, which is how tests avoid port races); 0 for unix. */
+    int port() const { return port_; }
+
+  private:
+    SocketTransportConfig config_;
+    std::string name_;
+    std::string unix_path_; ///< unlinked on destruction
+    int listen_fd_ = -1;
+    int wake_fds_[2] = {-1, -1}; ///< self-pipe: shutdown() -> accept()
+    std::atomic<bool> down_{false};
+    int port_ = 0;
+};
+
+} // namespace qzz::svc
+
+#endif // QZZ_SERVICE_TRANSPORT_H

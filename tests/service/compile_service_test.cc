@@ -491,6 +491,132 @@ TEST(CompileServiceTest, CoalescingDisabledStillServes)
     EXPECT_EQ(service.metrics().coalesced, 0u);
 }
 
+TEST(CompileServiceTest, WarmRequestsJumpAheadOfColdOnes)
+{
+    // Cache-aware admission: a request whose fingerprint is already
+    // resident must be served before cold requests submitted earlier
+    // in the same priority class.
+    auto device = makeDevice();
+
+    // Compile the warm target once elsewhere to obtain its program,
+    // then seed the paused service's cache with it directly — the
+    // warm probe happens at submit time, so the entry must exist
+    // before the warm submission, not merely before serving.
+    CompileService oracle(serviceConfig(1));
+    ServiceResult seeded = oracle.submit(qftRequest(device)).get();
+    ASSERT_EQ(seeded.outcome, Outcome::Compiled);
+
+    CompileService service(serviceConfig(1, /*paused=*/true));
+    service.cache().insert(seeded.fingerprint, seeded.program);
+
+    std::vector<RequestHandle> cold;
+    for (uint64_t seed = 1; seed <= 2; ++seed) {
+        Rng rng(seed);
+        cold.push_back(service.submit(
+            {ckt::hiddenShift(6, rng), device, gaussianZzx(), {}}));
+    }
+    RequestHandle warm = service.submit(qftRequest(device));
+    service.resume();
+
+    ServiceResult warm_result = warm.get();
+    EXPECT_EQ(warm_result.outcome, Outcome::CacheHit);
+    for (RequestHandle &h : cold) {
+        // Submitted first, served after the warm jump.
+        EXPECT_GT(h.get().completion_seq, warm_result.completion_seq);
+    }
+    EXPECT_EQ(service.metrics().warm_boosted, 1u);
+}
+
+TEST(CompileServiceTest, ColdRequestsBatchPerCompilerKey)
+{
+    // Interleaved submissions against two compiler keys (different
+    // scheduling policies): with a batch limit wider than either
+    // group, the whole first-submitted group is served back to back
+    // before the queue rotates to the second.
+    auto device = makeDevice();
+    core::CompileOptions zzx = gaussianZzx();
+    core::CompileOptions seq = gaussianZzx();
+    seq.sched = core::SchedPolicy::Par;
+
+    CompileService service(serviceConfig(1, /*paused=*/true));
+    std::vector<RequestHandle> a, b;
+    for (int i = 0; i < 3; ++i) {
+        CompileRequest ra{ckt::qft(6), device, zzx, {}};
+        ra.request.use_cache = false;
+        a.push_back(service.submit(std::move(ra)));
+        CompileRequest rb{ckt::qft(6), device, seq, {}};
+        rb.request.use_cache = false;
+        b.push_back(service.submit(std::move(rb)));
+    }
+    service.resume();
+
+    uint64_t last_a = 0, first_b = ~uint64_t(0);
+    for (RequestHandle &h : a)
+        last_a = std::max(last_a, h.get().completion_seq);
+    for (RequestHandle &h : b)
+        first_b = std::min(first_b, h.get().completion_seq);
+    EXPECT_LT(last_a, first_b);
+}
+
+TEST(CompileServiceTest, ColdBatchLimitBoundsGroupStickiness)
+{
+    // With cold_batch_limit = 1 the same interleaved workload is
+    // served oldest-head-first — global FIFO across the groups —
+    // instead of group A monopolizing the worker.
+    auto device = makeDevice();
+    core::CompileOptions zzx = gaussianZzx();
+    core::CompileOptions seq = gaussianZzx();
+    seq.sched = core::SchedPolicy::Par;
+
+    CompileServiceConfig config = serviceConfig(1, /*paused=*/true);
+    config.cold_batch_limit = 1;
+    CompileService service(config);
+    std::vector<RequestHandle> handles;
+    for (int i = 0; i < 2; ++i) {
+        CompileRequest ra{ckt::qft(6), device, zzx, {}};
+        ra.request.use_cache = false;
+        handles.push_back(service.submit(std::move(ra)));
+        CompileRequest rb{ckt::qft(6), device, seq, {}};
+        rb.request.use_cache = false;
+        handles.push_back(service.submit(std::move(rb)));
+    }
+    service.resume();
+
+    uint64_t prev = 0;
+    for (RequestHandle &h : handles) {
+        const uint64_t cseq = h.get().completion_seq;
+        EXPECT_GT(cseq, prev);
+        prev = cseq;
+    }
+}
+
+TEST(CompileServiceTest, CacheAwareOffRestoresStrictFifo)
+{
+    // The degenerate mode: warm requests wait their turn like
+    // everything else.
+    auto device = makeDevice();
+    CompileService oracle(serviceConfig(1));
+    ServiceResult seeded = oracle.submit(qftRequest(device)).get();
+    ASSERT_EQ(seeded.outcome, Outcome::Compiled);
+
+    CompileServiceConfig config = serviceConfig(1, /*paused=*/true);
+    config.cache_aware_admission = false;
+    CompileService service(config);
+    service.cache().insert(seeded.fingerprint, seeded.program);
+
+    Rng rng(1);
+    RequestHandle cold = service.submit(
+        {ckt::hiddenShift(6, rng), device, gaussianZzx(), {}});
+    RequestHandle warm = service.submit(qftRequest(device));
+    service.resume();
+
+    ServiceResult cold_result = cold.get();
+    ServiceResult warm_result = warm.get();
+    EXPECT_EQ(warm_result.outcome, Outcome::CacheHit);
+    EXPECT_LT(cold_result.completion_seq, warm_result.completion_seq);
+    EXPECT_EQ(service.metrics().warm_boosted, 0u);
+}
+
 TEST(CompileServiceTest, OutcomeNamesRoundTripForDisplay)
 {
     EXPECT_EQ(outcomeName(Outcome::Compiled), "Compiled");
