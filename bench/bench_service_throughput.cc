@@ -517,6 +517,51 @@ main(int argc, char **argv)
               << " B)\n";
     fs::remove_all(tmp_root);
 
+    // ------------------------------------------------------------------
+    // Live calibration plane: cost of one epoch roll.  Each apply()
+    // validates the snapshot, rebuilds the device tables, swaps the
+    // live generation, sweeps superseded cache epochs, and notifies a
+    // subscriber — the full invalidation fan-out a running daemon
+    // pays per recalibration.  Report-only: rolls are control-plane
+    // rare, so this bounds intrusiveness rather than gating it.
+    // ------------------------------------------------------------------
+    const int roll_count = quick ? 8 : 64;
+    svc::ProgramCacheConfig roll_cache_config;
+    roll_cache_config.capacity = 64;
+    svc::ProgramCache roll_cache(roll_cache_config);
+    svc::CalibrationHubConfig hub_config;
+    hub_config.keep_epochs = 1;
+    svc::CalibrationHub hub(hub_config, &roll_cache, nullptr);
+    uint64_t roll_events = 0;
+    const uint64_t sub_token =
+        hub.subscribe([&](const std::string &) { ++roll_events; });
+    Rng roll_rng(7);
+    dev::Calibration roll_calib = dev::Calibration::sampled(
+        device->topology(), dev::DeviceParams{}, roll_rng);
+    const auto roll_t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < roll_count; ++i) {
+        roll_calib =
+            roll_calib.drifted(dev::CalibrationDrift{}, roll_rng);
+        const svc::CalibrationUpdate update =
+            hub.apply(device->topology(), 7, roll_calib, "bench");
+        if (!update.applied) {
+            std::cerr << "calibration roll rejected: " << update.error
+                      << "\n";
+            return 1;
+        }
+    }
+    const double roll_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - roll_t0)
+            .count();
+    hub.unsubscribe(sub_token);
+    const double roll_mean_ms =
+        roll_count > 0 ? roll_wall_ms / roll_count : 0.0;
+    std::cout << "calibration roll: " << roll_count << " epochs in "
+              << formatF(roll_wall_ms, 1) << " ms ("
+              << formatF(roll_mean_ms, 3) << " ms/roll, "
+              << roll_events << " events delivered)\n";
+
     std::ofstream out(out_path);
     if (!out) {
         std::cerr << "cannot open " << out_path << "\n";
@@ -553,6 +598,11 @@ main(int argc, char **argv)
         << ",\n    \"single_server_rps\": " << single.throughput_rps
         << ",\n    \"dual_server_rps\": " << dual.throughput_rps
         << ",\n    \"scale_out_efficiency\": " << efficiency
+        << "\n  },\n  \"calib_roll\": {"
+        << "\n    \"rolls\": " << roll_count
+        << ",\n    \"wall_ms\": " << roll_wall_ms
+        << ",\n    \"mean_roll_ms\": " << roll_mean_ms
+        << ",\n    \"events_delivered\": " << roll_events
         << "\n  }\n}\n";
     out.close();
     std::cout << "wrote " << out_path << "\n";

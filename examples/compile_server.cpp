@@ -43,7 +43,13 @@ printUsage(std::ostream &os)
           "  --gc-capacity-bytes N artifact-dir byte bound (GC-enforced)\n"
           "  --gc-max-age-ms N     evict artifacts older than this\n"
           "  --gc-keep-epochs N    keep only the newest N calib epochs\n"
+          "                        (disk GC and in-memory cache sweep)\n"
           "  --gc-interval-ms N    background GC pass interval\n"
+          "  --watch-calib DIR     poll DIR for <topology>@<seed>.qzzcalib\n"
+          "                        snapshot files and roll the live\n"
+          "                        calibration epoch on each new file\n"
+          "  --watch-interval-ms N calibration watch poll period\n"
+          "                        (default 250)\n"
           "  --help                this text\n"
           "\n"
           "Request fields:\n"
@@ -70,7 +76,7 @@ printUsage(std::ostream &os)
           "  id          echoed back verbatim (optional)\n"
           "\n"
           "Control records: {\"cmd\":\"hello\"} {\"cmd\":\"metrics\"} "
-          "{\"cmd\":\"gc\"} {\"cmd\":\"quit\"}\n";
+          "{\"cmd\":\"gc\"} {\"cmd\":\"calibrate\"} {\"cmd\":\"quit\"}\n";
 }
 
 } // namespace
@@ -145,6 +151,11 @@ main(int argc, char **argv)
                 [](const std::string &v) { return std::stoi(v); });
         } else if (arg == "--gc-interval-ms") {
             config.gc_interval =
+                std::chrono::milliseconds(numeric("a duration", stoll));
+        } else if (arg == "--watch-calib") {
+            config.watch_calib_dir = next("a directory");
+        } else if (arg == "--watch-interval-ms") {
+            config.watch_calib_interval =
                 std::chrono::milliseconds(numeric("a duration", stoll));
         } else {
             std::cerr << "compile_server: unknown option '" << arg

@@ -535,12 +535,29 @@ calibrationJsonString(const Calibration &calib)
     return os.str();
 }
 
+namespace {
+
+/** Every key of the calibration document, in writer order.  Each is
+ *  mandatory and must appear exactly once: a truncated file (missing
+ *  trailing keys) or a spliced one (duplicate keys) fails the parse
+ *  with a byte offset instead of yielding a partial snapshot. */
+constexpr const char *kCalibKeys[] = {
+    "qzzcalib", "id",     "epoch",         "num_qubits",
+    "coupling_mean",      "coupling_stddev",
+    "t1",       "t2",     "anharmonicity", "edge_u",
+    "edge_v",   "zz",
+};
+constexpr size_t kNumCalibKeys =
+    sizeof(kCalibKeys) / sizeof(kCalibKeys[0]);
+
+} // namespace
+
 std::optional<Calibration>
 readCalibrationJson(std::string_view text, std::string *error)
 {
     CalibParser p(text);
     Calibration c;
-    bool saw_version = false;
+    bool seen[kNumCalibKeys] = {};
     auto fail = [&](const std::string &why) -> std::optional<Calibration> {
         if (error)
             *error = why.empty() ? p.error() : why;
@@ -554,6 +571,20 @@ readCalibrationJson(std::string_view text, std::string *error)
             std::string key;
             if (!p.parseString(key) || !p.consume(':'))
                 return fail("");
+            size_t idx = kNumCalibKeys;
+            for (size_t i = 0; i < kNumCalibKeys; ++i) {
+                if (key == kCalibKeys[i]) {
+                    idx = i;
+                    break;
+                }
+            }
+            if (idx == kNumCalibKeys)
+                return fail("unknown key '" + key + "'");
+            if (seen[idx]) {
+                p.fail("duplicate key '" + key + "'");
+                return fail("");
+            }
+            seen[idx] = true;
             bool ok = true;
             if (key == "qzzcalib") {
                 int64_t version = 0;
@@ -561,7 +592,6 @@ readCalibrationJson(std::string_view text, std::string *error)
                 if (ok && version != kCalibrationVersion)
                     return fail("unsupported calibration version " +
                                 std::to_string(version));
-                saw_version = ok;
             } else if (key == "id") {
                 ok = p.parseString(c.id);
             } else if (key == "epoch") {
@@ -588,8 +618,6 @@ readCalibrationJson(std::string_view text, std::string *error)
                 ok = p.parseIntArray(c.edge_v);
             } else if (key == "zz") {
                 ok = p.parseDoubleArray(c.zz);
-            } else {
-                return fail("unknown key '" + key + "'");
             }
             if (!ok)
                 return fail("");
@@ -603,8 +631,12 @@ readCalibrationJson(std::string_view text, std::string *error)
         return fail("");
     if (!p.atEnd())
         return fail("trailing content after calibration document");
-    if (!saw_version)
-        return fail("missing qzzcalib version field");
+    for (size_t i = 0; i < kNumCalibKeys; ++i) {
+        if (!seen[i]) {
+            p.fail("missing key '" + std::string(kCalibKeys[i]) + "'");
+            return fail("");
+        }
+    }
 
     try {
         c.validate();
@@ -663,6 +695,13 @@ loadCalibrationFile(const std::string &path, std::string *error)
     }
     std::ostringstream ss;
     ss << in.rdbuf();
+    if (in.bad()) {
+        // An IO error mid-read would otherwise look like truncation;
+        // report it as what it is.
+        if (error)
+            *error = "read error on '" + path + "'";
+        return std::nullopt;
+    }
     return readCalibrationJson(ss.str(), error);
 }
 

@@ -88,6 +88,7 @@
 
 #include "service/artifact.h"
 #include "service/artifact_gc.h"
+#include "service/calibration_hub.h"
 #include "service/compile_service.h"
 #include "service/fingerprint.h"
 #include "service/jsonl.h"

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * CalibrationHub: the live calibration plane of the serving fabric.
+ *
+ * dev::Calibration snapshots give every layer calibrated numbers, but
+ * until now a running server was frozen at whatever epoch it booted
+ * with.  The hub closes the loop: a calibration daemon pushes a new
+ * epoch — either as a {"cmd":"calibrate"} record carrying the full
+ * snapshot JSON, or by dropping a file into a watched directory — and
+ * the hub rolls the serving generation while requests are in flight:
+ *
+ *   push / watch file
+ *        |
+ *        v
+ *   validate (topology match, T2 <= 2 T1, monotonic epoch)
+ *        |
+ *        v
+ *   swap the live dev::Device generation for that device key
+ *     -> new submissions fingerprint against the new epoch
+ *        (kFingerprintVersion 2 mixes the full snapshot, so the
+ *        roll is a distinct cache generation automatically)
+ *        |
+ *        +--> sweep superseded epochs out of the in-memory
+ *        |    ProgramCache and kick an ArtifactGc pass so the
+ *        |    disk tier retires stale generations
+ *        |
+ *        +--> push {"event":"calib_epoch",...} to every subscribed
+ *             session (server.h routes the frame through the
+ *             session's in-order writer thread)
+ *
+ * Device keys are "<topology-name>#<device_seed>" (e.g. "grid-3x3#7")
+ * — the same identity the server's device memo uses minus the epoch,
+ * which the hub owns.  Watch-directory files are named
+ * "<topology-name>@<device_seed>.qzzcalib" ('@' instead of '#' so the
+ * names stay shell-friendly); see docs/formats.md.
+ *
+ * Thread safety: every public method is safe to call from any thread.
+ * Subscriber callbacks run under the hub's subscriber mutex, so
+ * unsubscribe() returning guarantees no callback is in flight.
+ */
+
+#ifndef QZZ_SERVICE_CALIBRATION_HUB_H
+#define QZZ_SERVICE_CALIBRATION_HUB_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "device/calibration.h"
+#include "device/device.h"
+#include "graph/topologies.h"
+
+namespace qzz::svc {
+
+class ArtifactGc;
+class ProgramCache;
+
+/** CalibrationHub construction knobs. */
+struct CalibrationHubConfig
+{
+    /** Directory polled for "<topology>@<seed>.qzzcalib" snapshot
+     *  files; empty disables the watcher. */
+    std::string watch_dir;
+    /** Watcher poll period. */
+    std::chrono::milliseconds watch_interval{250};
+    /** Keep only the newest K applied calibration epochs in the
+     *  in-memory program cache when a roll lands (0 = never sweep).
+     *  Mirrors ArtifactGcConfig::keep_epochs for the disk tier. */
+    int keep_epochs = 0;
+};
+
+/** Outcome of one calibration push (applied or rejected). */
+struct CalibrationUpdate
+{
+    bool applied = false;
+    /** Why the update was rejected (empty when applied). */
+    std::string error;
+    /** "<topology-name>#<device_seed>". */
+    std::string device_key;
+    /** The snapshot's epoch (applied or attempted). */
+    uint64_t epoch = 0;
+    /** In-memory cache entries swept as superseded by this roll. */
+    size_t entries_invalidated = 0;
+    /** Disk artifacts evicted by the GC pass this roll kicked. */
+    uint64_t gc_evicted = 0;
+    /** ... of which stale-calibration-epoch evictions. */
+    uint64_t gc_evicted_epoch = 0;
+};
+
+/** Monotonic hub counters plus the current live epoch per device. */
+struct CalibrationHubStats
+{
+    uint64_t epochs_applied = 0;
+    uint64_t updates_rejected = 0;
+    uint64_t entries_invalidated = 0;
+    /** Watch-directory snapshots successfully applied. */
+    uint64_t watch_loads = 0;
+    /** Watch-directory files that failed to load/parse/name-parse. */
+    uint64_t watch_errors = 0;
+    /** File-mtime -> applied delay of the newest watch load (ms). */
+    double last_watch_latency_ms = 0.0;
+    /** Sorted (device key, live epoch) pairs. */
+    std::vector<std::pair<std::string, uint64_t>> current;
+};
+
+/**
+ * The live calibration plane: validates pushed snapshots, owns the
+ * current device generation per device key, and fans invalidation out
+ * to the cache tiers and subscribed sessions.
+ */
+class CalibrationHub
+{
+  public:
+    /** @p cache and @p gc may be null (no sweep / no GC kick); when
+     *  set they must outlive the hub. */
+    CalibrationHub(CalibrationHubConfig config, ProgramCache *cache,
+                   ArtifactGc *gc);
+    ~CalibrationHub();
+
+    CalibrationHub(const CalibrationHub &) = delete;
+    CalibrationHub &operator=(const CalibrationHub &) = delete;
+
+    /**
+     * Apply one calibration push for the device (@p topo, @p
+     * device_seed).  Validates the snapshot against the topology
+     * (including T2 <= 2 T1) and requires a strictly newer epoch than
+     * the live one (the implicit boot generation is epoch 0, so the
+     * first push must carry epoch >= 1).  On success the live device
+     * generation is swapped, superseded epochs are swept from the
+     * in-memory cache (per keep_epochs), a GC pass is kicked, and
+     * subscribers are notified.  Never throws: rejections come back
+     * as {applied=false, error}.  @p source tags the notification
+     * ("calibrate" for the verb, "watch:<file>" for the watcher).
+     */
+    CalibrationUpdate apply(graph::Topology topo, uint64_t device_seed,
+                            dev::Calibration calib,
+                            const std::string &source);
+
+    /** The live (pushed) device generation for a key; null when no
+     *  push has been applied for it. */
+    std::shared_ptr<const dev::Device>
+    liveDevice(const std::string &topology_name,
+               uint64_t device_seed) const;
+
+    /** Live epoch for a device key; 0 when no push applied. */
+    uint64_t currentEpoch(const std::string &device_key) const;
+
+    /** A subscriber receives each calib_epoch event as one complete
+     *  JSON line (newline included).  Callbacks run under the hub's
+     *  subscriber mutex — keep them cheap (enqueue, don't write). */
+    using EventSink = std::function<void(const std::string &)>;
+
+    /** Register @p sink; returns the token unsubscribe() takes. */
+    uint64_t subscribe(EventSink sink);
+    /** After this returns, no callback for the token is in flight. */
+    void unsubscribe(uint64_t token);
+    size_t subscriberCount() const;
+
+    /** Start the watch thread (no-op when watch_dir is empty). */
+    void startWatch();
+    /** Stop and join the watch thread (idempotent). */
+    void stopWatch();
+
+    /**
+     * One watcher pass: apply every new or changed
+     * "<topology>@<seed>.qzzcalib" file under watch_dir.  A file is
+     * only reprocessed when its (mtime, size) changes, so a rejected
+     * or malformed file is not retried every tick.  Returns the
+     * number of snapshots applied.  Public so tests can drive the
+     * watcher deterministically without the polling thread.
+     */
+    size_t pollWatchDir();
+
+    CalibrationHubStats stats() const;
+
+    const CalibrationHubConfig &config() const { return config_; }
+
+    /** "<topology-name>#<device_seed>". */
+    static std::string deviceKey(const std::string &topology_name,
+                                 uint64_t device_seed);
+
+  private:
+    struct Generation
+    {
+        std::shared_ptr<const dev::Device> device;
+        uint64_t epoch = 0;
+    };
+
+    CalibrationUpdate reject(CalibrationUpdate update, std::string why);
+    void notify(const CalibrationUpdate &update, const std::string &id,
+                const std::string &source);
+    void watchLoop();
+
+    CalibrationHubConfig config_;
+    ProgramCache *cache_;
+    ArtifactGc *gc_;
+
+    mutable std::mutex mu_;
+    std::map<std::string, Generation> live_;
+    /** Highest epoch ever applied (the sweep threshold base). */
+    uint64_t max_applied_epoch_ = 0;
+    uint64_t epochs_applied_ = 0;
+    uint64_t updates_rejected_ = 0;
+    uint64_t entries_invalidated_ = 0;
+    uint64_t watch_loads_ = 0;
+    uint64_t watch_errors_ = 0;
+    double last_watch_latency_ms_ = 0.0;
+    /** Per-path (mtime_ms, size) of the last processed version. */
+    std::map<std::string, std::pair<int64_t, uint64_t>> watch_seen_;
+
+    mutable std::mutex subs_mu_;
+    std::map<uint64_t, EventSink> subscribers_;
+    uint64_t next_token_ = 1;
+
+    std::mutex watch_mu_;
+    std::condition_variable watch_cv_;
+    bool watch_stop_ = false;
+    std::thread watcher_;
+};
+
+/**
+ * Rebuild a topology from its canonical name ("grid-3x3", "line-6",
+ * "ring-8", "trigrid-2x4", "heavyhex-1x1") — the inverse of the
+ * graph::*Topology() factories' naming, used to resolve watch-file
+ * names to devices.  nullopt for unknown or malformed names.
+ */
+std::optional<graph::Topology>
+topologyFromName(const std::string &name);
+
+} // namespace qzz::svc
+
+#endif // QZZ_SERVICE_CALIBRATION_HUB_H

@@ -157,6 +157,26 @@ ProgramCache::clear()
 }
 
 size_t
+ProgramCache::sweepEpochsBelow(uint64_t min_epoch)
+{
+    size_t removed = 0;
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+            if (it->program->calib_epoch < min_epoch) {
+                shard->bytes -= it->bytes;
+                shard->map.erase(it->key);
+                it = shard->lru.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return removed;
+}
+
+size_t
 ProgramCache::size() const
 {
     size_t total = 0;

@@ -129,6 +129,15 @@ class ProgramCache
     /** Drop every in-memory entry (artifact tier is untouched). */
     void clear();
 
+    /**
+     * Drop every in-memory entry compiled against a calibration epoch
+     * below @p min_epoch — the invalidation half of a calibration
+     * roll (CalibrationHub).  The artifact tier is untouched: disk
+     * entries are retired by ArtifactGc's keep_epochs bound instead.
+     * Returns the number of entries removed.
+     */
+    size_t sweepEpochsBelow(uint64_t min_epoch);
+
     /** Current in-memory entry count. */
     size_t size() const;
 

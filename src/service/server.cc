@@ -20,6 +20,7 @@
 #include "graph/topologies.h"
 #include "service/artifact.h"
 #include "service/artifact_gc.h"
+#include "service/calibration_hub.h"
 #include "service/jsonl.h"
 
 namespace qzz::svc {
@@ -34,7 +35,11 @@ Session::Session(Server &server, Connection &conn)
     writer_ = std::thread([this] { writerLoop(); });
 }
 
-Session::~Session() { stopWriter(); }
+Session::~Session()
+{
+    unsubscribeHub();
+    stopWriter();
+}
 
 bool
 Session::run()
@@ -62,9 +67,11 @@ Session::run()
             } else if (*cmd == "metrics") {
                 respondMetrics();
             } else if (*cmd == "hello") {
-                respondHello();
+                respondHello(*obj);
             } else if (*cmd == "gc") {
                 respondGc();
+            } else if (*cmd == "calibrate") {
+                respondCalibrate(*obj);
             } else {
                 enqueueError(requestId(*obj, lineno),
                              "unknown cmd '" + *cmd + "'");
@@ -73,6 +80,7 @@ Session::run()
         }
         handleRequest(*obj, lineno);
     }
+    unsubscribeHub();
     stopWriter();
     return quit;
 }
@@ -192,7 +200,9 @@ Session::writerLoop()
             out_.pop_front();
             writer_busy_ = true;
         }
-        if (item.is_error)
+        if (item.is_raw)
+            conn_.write(item.raw);
+        else if (item.is_error)
             printError(item.id, item.message);
         else
             respond(item.pending, item.pending.handle.get());
@@ -223,6 +233,24 @@ Session::enqueueError(const std::string &id, const std::string &message)
     item.id = id;
     item.message = message;
     enqueue(std::move(item));
+}
+
+void
+Session::enqueueRaw(std::string line)
+{
+    OutItem item;
+    item.is_raw = true;
+    item.raw = std::move(line);
+    enqueue(std::move(item));
+}
+
+void
+Session::unsubscribeHub()
+{
+    if (subscribed_) {
+        server_.hub().unsubscribe(hub_token_);
+        subscribed_ = false;
+    }
 }
 
 void
@@ -291,6 +319,7 @@ void
 Session::respondMetrics()
 {
     const MetricsSnapshot m = server_.service().metrics();
+    const CalibrationHubStats h = server_.hub().stats();
     std::ostringstream os;
     os.precision(12);
     os << "{\"metrics\":true,\"submitted\":" << m.submitted
@@ -312,8 +341,21 @@ Session::respondMetrics()
        << ",\"cache_entry_bytes\":" << m.cache_stats.entry_bytes
        << ",\"disk_writes\":" << m.cache_stats.disk_writes
        << ",\"disk_bytes_written\":" << m.cache_stats.disk_bytes_written
-       << "}\n";
-    conn_.write(os.str());
+       << ",\"calib_epochs_applied\":" << h.epochs_applied
+       << ",\"calib_updates_rejected\":" << h.updates_rejected
+       << ",\"calib_entries_invalidated\":" << h.entries_invalidated
+       << ",\"calib_watch_loads\":" << h.watch_loads
+       << ",\"calib_watch_errors\":" << h.watch_errors
+       << ",\"calib_watch_latency_ms\":" << h.last_watch_latency_ms
+       << ",\"calib_current\":{";
+    for (size_t i = 0; i < h.current.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << jsonEscape(h.current[i].first)
+           << "\":" << h.current[i].second;
+    }
+    os << "}}\n";
+    enqueueRaw(os.str());
 }
 
 namespace {
@@ -336,8 +378,21 @@ jsonStringArray(const std::vector<std::string> &names)
 } // namespace
 
 void
-Session::respondHello()
+Session::respondHello(const JsonObject &obj)
 {
+    // The calib_events capability: subscribe this session to
+    // asynchronous {"event":"calib_epoch"} frames (routed through the
+    // writer queue, so they interleave whole-line with responses).
+    // Re-sending hello with calib_events:false unsubscribes.
+    if (const auto want = obj.getBool("calib_events")) {
+        if (*want && !subscribed_) {
+            hub_token_ = server_.hub().subscribe(
+                [this](const std::string &line) { enqueueRaw(line); });
+            subscribed_ = true;
+        } else if (!*want && subscribed_) {
+            unsubscribeHub();
+        }
+    }
     std::ostringstream os;
     os << "{\"hello\":true,\"protocol_version\":" << kProtocolVersion
        << ",\"fingerprint_version\":" << kFingerprintVersion
@@ -351,8 +406,12 @@ Session::respondHello()
        << jsonStringArray(core::schedPolicyNames())
        << ",\"topologies\":[\"grid\",\"line\",\"ring\",\"heavyhex\","
           "\"trigrid\"]"
-       << ",\"commands\":[\"hello\",\"metrics\",\"gc\",\"quit\"]}\n";
-    conn_.write(os.str());
+       << ",\"commands\":[\"hello\",\"metrics\",\"gc\",\"calibrate\","
+          "\"quit\"]"
+       << ",\"events\":[\"calib_epoch\"]"
+       << ",\"calib_events\":" << (subscribed_ ? "true" : "false")
+       << "}\n";
+    enqueueRaw(os.str());
 }
 
 void
@@ -360,7 +419,7 @@ Session::respondGc()
 {
     ArtifactGc *gc = server_.gc();
     if (!gc) {
-        conn_.write("{\"gc\":true,\"enabled\":false}\n");
+        enqueueRaw("{\"gc\":true,\"enabled\":false}\n");
         return;
     }
     const ArtifactGcStats s = gc->run();
@@ -376,7 +435,53 @@ Session::respondGc()
        << ",\"bytes_after\":" << s.bytes_after
        << ",\"capacity_bytes\":" << gc->config().capacity_bytes
        << ",\"passes\":" << gc->passes() << "}\n";
-    conn_.write(os.str());
+    enqueueRaw(os.str());
+}
+
+void
+Session::respondCalibrate(const JsonObject &obj)
+{
+    const auto fail = [this](const std::string &message) {
+        enqueueRaw("{\"calibrate\":true,\"applied\":false,\"error\":\"" +
+                   jsonEscape(message) + "\"}\n");
+    };
+    // The protocol is flat JSON lines, so the snapshot document rides
+    // as an escaped string field rather than a nested object.
+    const auto snapshot = obj.getString("snapshot");
+    if (!snapshot) {
+        fail("missing 'snapshot' (calibration JSON document as a "
+             "string)");
+        return;
+    }
+    std::string parse_error;
+    auto calib = dev::readCalibrationJson(*snapshot, &parse_error);
+    if (!calib) {
+        fail("bad snapshot: " + parse_error);
+        return;
+    }
+    graph::Topology topo;
+    try {
+        topo = server_.topologyFor(obj, calib->num_qubits);
+    } catch (const std::exception &e) {
+        fail(e.what());
+        return;
+    }
+    const uint64_t device_seed =
+        uint64_t(obj.getInt("device_seed").value_or(7));
+
+    const CalibrationUpdate u = server_.hub().apply(
+        std::move(topo), device_seed, std::move(*calib), "calibrate");
+    std::ostringstream os;
+    os << "{\"calibrate\":true,\"applied\":"
+       << (u.applied ? "true" : "false") << ",\"device\":\""
+       << jsonEscape(u.device_key) << "\",\"epoch\":" << u.epoch
+       << ",\"entries_invalidated\":" << u.entries_invalidated
+       << ",\"gc_evicted\":" << u.gc_evicted
+       << ",\"gc_evicted_epoch\":" << u.gc_evicted_epoch;
+    if (!u.applied)
+        os << ",\"error\":\"" << jsonEscape(u.error) << "\"";
+    os << "}\n";
+    enqueueRaw(os.str());
 }
 
 // ---------------------------------------------------------------------------
@@ -401,10 +506,22 @@ Server::Server(ServerConfig config) : config_(std::move(config))
     service_ = std::make_unique<CompileService>(sc);
     if (gc_ && config_.gc_interval.count() > 0)
         gc_->start(config_.gc_interval);
+
+    CalibrationHubConfig hc;
+    hc.watch_dir = config_.watch_calib_dir;
+    hc.watch_interval = config_.watch_calib_interval;
+    // One knob governs both invalidation tiers: keep the newest K
+    // calibration epochs on disk (ArtifactGc) and in memory (the
+    // hub's sweep on each roll).
+    hc.keep_epochs = config_.gc_keep_epochs;
+    hub_ = std::make_unique<CalibrationHub>(hc, &service_->cache(),
+                                            gc_.get());
+    hub_->startWatch();
 }
 
 Server::~Server()
 {
+    hub_->stopWatch();
     if (gc_)
         gc_->stop();
     service_->shutdown(true);
@@ -417,21 +534,13 @@ Server::runSession(Connection &conn)
     return session.run();
 }
 
-std::shared_ptr<const dev::Device>
-Server::deviceFor(const JsonObject &obj, int circuit_qubits)
+graph::Topology
+Server::topologyFor(const JsonObject &obj, int default_qubits)
 {
     const std::string kind = obj.getString("topology").value_or("grid");
-    const uint64_t device_seed =
-        uint64_t(obj.getInt("device_seed").value_or(7));
-    constexpr int64_t kMaxEpoch = 4096;
-    const int64_t calib_epoch = obj.getInt("calib_epoch").value_or(0);
-    if (calib_epoch < 0 || calib_epoch > kMaxEpoch)
-        fatal("bad 'calib_epoch' (integer in [0, " +
-              std::to_string(kMaxEpoch) + "])");
-
     graph::Topology topo;
     if (kind == "grid" || kind == "trigrid") {
-        auto [r, c] = dev::Device::gridDimsForQubits(circuit_qubits);
+        auto [r, c] = dev::Device::gridDimsForQubits(default_qubits);
         const int rows = int(obj.getInt("rows").value_or(r));
         const int cols = int(obj.getInt("cols").value_or(c));
         topo = kind == "grid"
@@ -443,13 +552,38 @@ Server::deviceFor(const JsonObject &obj, int circuit_qubits)
         topo = graph::heavyHexTopology(rows, cols);
     } else if (kind == "line") {
         topo = graph::lineTopology(
-            int(obj.getInt("size").value_or(circuit_qubits)));
+            int(obj.getInt("size").value_or(default_qubits)));
     } else if (kind == "ring") {
         topo = graph::ringTopology(
-            int(obj.getInt("size").value_or(circuit_qubits)));
+            int(obj.getInt("size").value_or(default_qubits)));
     } else {
         fatal("unknown topology '" + kind +
               "' (one of: grid, line, ring, heavyhex, trigrid)");
+    }
+    return topo;
+}
+
+std::shared_ptr<const dev::Device>
+Server::deviceFor(const JsonObject &obj, int circuit_qubits)
+{
+    const uint64_t device_seed =
+        uint64_t(obj.getInt("device_seed").value_or(7));
+    constexpr int64_t kMaxEpoch = 4096;
+    const int64_t calib_epoch = obj.getInt("calib_epoch").value_or(0);
+    if (calib_epoch < 0 || calib_epoch > kMaxEpoch)
+        fatal("bad 'calib_epoch' (integer in [0, " +
+              std::to_string(kMaxEpoch) + "])");
+
+    graph::Topology topo = topologyFor(obj, circuit_qubits);
+
+    // Requests that do not pin an explicit calib_epoch follow the
+    // live calibration plane: a pushed generation (CalibrationHub)
+    // supersedes the implicit boot snapshot.  An explicit calib_epoch
+    // keeps the deterministic sampled-then-drifted chain below, so
+    // pinned replays stay bit-for-bit reproducible across pushes.
+    if (!obj.has("calib_epoch")) {
+        if (auto live = hub_->liveDevice(topo.name, device_seed))
+            return live;
     }
 
     const std::string key = topo.name + "#" +

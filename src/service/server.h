@@ -50,6 +50,7 @@
 namespace qzz::svc {
 
 class ArtifactGc;
+class CalibrationHub;
 class JsonObject;
 
 /** Wire-protocol version reported by {"cmd":"hello"}; bumped when a
@@ -78,6 +79,12 @@ struct ServerConfig
     int gc_keep_epochs = 0;
     /** Background GC pass interval (0 = no background thread). */
     std::chrono::milliseconds gc_interval{0};
+    /** Directory the CalibrationHub polls for
+     *  "<topology>@<seed>.qzzcalib" snapshot files; empty disables
+     *  the watcher (the {"cmd":"calibrate"} verb always works). */
+    std::string watch_calib_dir;
+    /** Calibration watcher poll period. */
+    std::chrono::milliseconds watch_calib_interval{250};
 };
 
 class Server;
@@ -107,14 +114,20 @@ class Session
         RequestHandle handle;
     };
 
-    /** One queued output line: a pending response or an inline
-     *  error. */
+    /** One queued output line: a pending response, an inline error,
+     *  or a fully-rendered raw line (control responses and pushed
+     *  event frames).  Every byte the session emits flows through
+     *  this queue, so the writer thread is the single writer on the
+     *  connection and async calib_epoch events can never interleave
+     *  with a response mid-line. */
     struct OutItem
     {
         bool is_error = false;
-        Pending pending;     ///< valid when !is_error
+        bool is_raw = false;
+        Pending pending;     ///< valid when !is_error && !is_raw
         std::string id;      ///< valid when is_error
         std::string message; ///< valid when is_error
+        std::string raw;     ///< valid when is_raw
     };
 
     static std::string requestId(const JsonObject &obj, uint64_t lineno);
@@ -123,18 +136,30 @@ class Session
     void writerLoop();
     void enqueue(OutItem item);
     void enqueueError(const std::string &id, const std::string &message);
+    /** Queue one complete output line (newline included) verbatim —
+     *  safe from any thread; the CalibrationHub event sink uses it. */
+    void enqueueRaw(std::string line);
     /** Block until every queued response has been written. */
     void waitForWriterIdle();
     void stopWriter();
+    /** Drop the hub subscription; after this no event sink can touch
+     *  this session (must precede stopWriter on every exit path). */
+    void unsubscribeHub();
 
     void respond(const Pending &pending, const ServiceResult &result);
     void printError(const std::string &id, const std::string &message);
     void respondMetrics();
-    void respondHello();
+    void respondHello(const JsonObject &obj);
     void respondGc();
+    void respondCalibrate(const JsonObject &obj);
 
     Server &server_;
     Connection &conn_;
+
+    /** Nonzero once this session subscribed to calib_epoch events
+     *  via {"cmd":"hello","calib_events":true}. */
+    uint64_t hub_token_ = 0;
+    bool subscribed_ = false;
 
     std::mutex out_mu_;
     std::condition_variable out_cv_;
@@ -177,15 +202,30 @@ class Server
     std::shared_ptr<const dev::Device> deviceFor(const JsonObject &obj,
                                                  int circuit_qubits);
 
+    /**
+     * Build the topology a request object names ("topology" plus
+     * rows/cols/size, defaulting dimensions from @p default_qubits).
+     * The topology half of deviceFor(), shared with the calibrate
+     * verb.  Throws UserError on bad parameters.
+     */
+    graph::Topology topologyFor(const JsonObject &obj,
+                                int default_qubits);
+
     CompileService &service() { return *service_; }
     /** Null when no artifact dir is configured. */
     ArtifactGc *gc() { return gc_.get(); }
+    /** The live calibration plane (always constructed). */
+    CalibrationHub &hub() { return *hub_; }
     const ServerConfig &config() const { return config_; }
 
   private:
     ServerConfig config_;
     std::shared_ptr<ArtifactGc> gc_;
     std::unique_ptr<CompileService> service_;
+    /** Declared after service_/gc_: the hub (and its watch thread)
+     *  is destroyed first, while the cache and GC it points at are
+     *  still alive. */
+    std::unique_ptr<CalibrationHub> hub_;
 
     std::mutex devices_mu_;
     std::unordered_map<std::string, std::shared_ptr<const dev::Device>>

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <random>
 
@@ -200,6 +201,84 @@ TEST(CalibrationTest, JsonRejectsMalformedInput)
     ASSERT_NE(pos, std::string::npos);
     broken.insert(pos + 6, "1.0,");
     EXPECT_FALSE(readCalibrationJson(broken, &error).has_value());
+}
+
+TEST(CalibrationTest, JsonRejectsEveryTruncation)
+{
+    // A torn write (e.g. a non-atomic copy into a watch directory)
+    // must never parse as a partial snapshot: every proper prefix of
+    // a valid document fails, and the error carries a byte offset so
+    // the truncation point is diagnosable.
+    Rng rng(3);
+    const Calibration calib =
+        Calibration::sampled(grid23(), DeviceParams{}, rng);
+    std::string text = calibrationJsonString(calib);
+    while (!text.empty() && text.back() == '\n')
+        text.pop_back();
+
+    for (size_t len = 0; len < text.size(); ++len) {
+        std::string error;
+        const auto got =
+            readCalibrationJson(text.substr(0, len), &error);
+        ASSERT_FALSE(got.has_value())
+            << "prefix of length " << len << " parsed";
+        EXPECT_NE(error.find("at byte"), std::string::npos)
+            << "no byte offset in error for prefix " << len << ": "
+            << error;
+    }
+}
+
+TEST(CalibrationTest, JsonRejectsDuplicateAndMissingKeys)
+{
+    Rng rng(5);
+    const Calibration calib =
+        Calibration::sampled(grid23(), DeviceParams{}, rng);
+    std::string text = calibrationJsonString(calib);
+    while (!text.empty() && text.back() == '\n')
+        text.pop_back();
+
+    // Splice a second "epoch" before the closing brace: the last
+    // value must NOT silently win.
+    std::string dup = text;
+    dup.insert(dup.size() - 1, ",\"epoch\":99");
+    std::string error;
+    EXPECT_FALSE(readCalibrationJson(dup, &error).has_value());
+    EXPECT_NE(error.find("duplicate key 'epoch'"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+
+    // Drop the "zz" key entirely (well-formed JSON, incomplete
+    // document) — a structurally valid but partial snapshot.
+    const auto pos = text.find(",\"zz\":");
+    ASSERT_NE(pos, std::string::npos);
+    const std::string missing =
+        text.substr(0, pos) + "}";
+    EXPECT_FALSE(readCalibrationJson(missing, &error).has_value());
+    EXPECT_NE(error.find("missing key 'zz'"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+}
+
+TEST(CalibrationTest, FileLoadRejectsTruncatedFile)
+{
+    Rng rng(29);
+    const Calibration calib =
+        Calibration::sampled(grid23(), DeviceParams{}, rng);
+    const std::string text = calibrationJsonString(calib);
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("qzz_calib_trunc_" +
+                      std::to_string(std::random_device{}()));
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "torn.qzzcalib").string();
+    {
+        std::ofstream out(path);
+        out << text.substr(0, text.size() / 3);
+    }
+    std::string error;
+    EXPECT_FALSE(loadCalibrationFile(path, &error).has_value());
+    EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+    std::filesystem::remove_all(dir);
 }
 
 TEST(CalibrationTest, FileSaveLoadRoundTrip)

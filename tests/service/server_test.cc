@@ -186,8 +186,12 @@ TEST(ServerSessionTest, HelloAnnouncesVersionsAndCapabilities)
                          "\"heavyhex\",\"trigrid\"]"),
               std::string::npos);
     EXPECT_NE(hello.find("\"commands\":[\"hello\",\"metrics\",\"gc\","
-                         "\"quit\"]"),
+                         "\"calibrate\",\"quit\"]"),
               std::string::npos);
+    EXPECT_NE(hello.find("\"events\":[\"calib_epoch\"]"),
+              std::string::npos);
+    // No calib_events field in the request -> not subscribed.
+    EXPECT_NE(hello.find("\"calib_events\":false"), std::string::npos);
 }
 
 TEST(ServerSessionTest, MetricsIncludesCacheAndAdmissionCounters)
@@ -206,6 +210,11 @@ TEST(ServerSessionTest, MetricsIncludesCacheAndAdmissionCounters)
     EXPECT_NE(metrics.find("\"disk_writes\":0"), std::string::npos);
     EXPECT_NE(metrics.find("\"disk_bytes_written\":0"),
               std::string::npos);
+    EXPECT_NE(metrics.find("\"calib_epochs_applied\":0"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("\"calib_updates_rejected\":0"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("\"calib_current\":{}"), std::string::npos);
 }
 
 TEST(ServerSessionTest, GcVerbReportsDisabledWithoutArtifactDir)
