@@ -20,11 +20,17 @@
  * the artifact tier must respect its byte bound both under load and
  * after a final {"cmd":"gc"} pass.
  *
+ * A telemetry-overhead section re-runs the mixed workload with span
+ * tracing off versus on (interleaved, best-of-two per arm) and gates
+ * the tracing tax: the traced arm must keep at least 0.97x of the
+ * untraced throughput.
+ *
  * Emits BENCH_service_throughput.json (path overridable via argv[1])
  * and exits non-zero unless the fully-warm workload sustains at least
  * 5x the cold throughput at the widest worker count — the service
- * acceptance bar, enforced by the CI smoke job.  QZZ_QUICK=1 shrinks
- * the request counts for smoke runs.
+ * acceptance bar, enforced by the CI smoke job — and the telemetry
+ * overhead bar holds.  QZZ_QUICK=1 shrinks the request counts for
+ * smoke runs.
  */
 
 #include <algorithm>
@@ -81,7 +87,8 @@ grc12(uint64_t seed)
 
 RunResult
 runOnce(const std::shared_ptr<const dev::Device> &device, int workers,
-        int clients, int requests, double hit_ratio)
+        int clients, int requests, double hit_ratio,
+        const std::shared_ptr<svc::TraceLog> &trace = nullptr)
 {
     // The repeated-circuit family a warm cache amortizes.
     const int kWarmSet = 8;
@@ -107,6 +114,7 @@ runOnce(const std::shared_ptr<const dev::Device> &device, int workers,
     svc::CompileServiceConfig config;
     config.num_workers = workers;
     config.cache.capacity = size_t(requests) + kWarmSet;
+    config.trace = trace;
     svc::CompileService service(config);
 
     core::CompileOptions options;
@@ -479,6 +487,42 @@ main(int argc, char **argv)
               << " workers: " << formatF(speedup, 1) << "x\n";
 
     // ------------------------------------------------------------------
+    // Telemetry overhead: the same mixed workload (hit_ratio 0.5, the
+    // regime a production daemon actually runs) with span tracing off
+    // versus on.  The arms are interleaved off/on/off/on and each
+    // takes its best of two, so drift in machine load biases neither
+    // arm.  Tracing must cost under 3% throughput — instrumentation
+    // cheap enough to leave on in production is the design point.
+    // ------------------------------------------------------------------
+    const std::string trace_tmp =
+        fs::temp_directory_path().string() + "/qzz_bench_trace";
+    fs::remove_all(trace_tmp);
+    fs::create_directories(trace_tmp);
+    double traced_off_rps = 0.0, traced_on_rps = 0.0;
+    uint64_t overhead_spans = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+        const RunResult off =
+            runOnce(device, widest, clients, requests, 0.5);
+        traced_off_rps = std::max(traced_off_rps, off.throughput_rps);
+        svc::TraceLogConfig trace_config;
+        trace_config.path = trace_tmp + "/bench_trace_" +
+                            std::to_string(rep) + ".jsonl";
+        auto trace = std::make_shared<svc::TraceLog>(trace_config);
+        const RunResult on =
+            runOnce(device, widest, clients, requests, 0.5, trace);
+        traced_on_rps = std::max(traced_on_rps, on.throughput_rps);
+        overhead_spans = trace->spansEmitted();
+    }
+    const double overhead_ratio =
+        traced_off_rps > 0.0 ? traced_on_rps / traced_off_rps : 0.0;
+    std::cout << "telemetry overhead: tracing off "
+              << formatF(traced_off_rps, 1) << " req/s, on "
+              << formatF(traced_on_rps, 1) << " req/s (ratio "
+              << formatF(overhead_ratio, 3) << ", " << overhead_spans
+              << " spans/run)\n";
+    fs::remove_all(trace_tmp);
+
+    // ------------------------------------------------------------------
     // Multi-process fabric: 1 server vs 2 servers over one GC-bounded
     // artifact tier.  All forks happen while this process has no
     // running threads (the sweep above joined every client).
@@ -588,7 +632,14 @@ main(int argc, char **argv)
     }
     out << "  ],\n  \"speedup_workers\": " << widest
         << ",\n  \"warm_vs_cold_speedup\": " << speedup
-        << ",\n  \"multiproc\": {"
+        << ",\n  \"telemetry_overhead\": {"
+        << "\n    \"workers\": " << widest
+        << ",\n    \"hit_ratio\": 0.5"
+        << ",\n    \"tracing_off_rps\": " << traced_off_rps
+        << ",\n    \"tracing_on_rps\": " << traced_on_rps
+        << ",\n    \"ratio\": " << overhead_ratio
+        << ",\n    \"spans_per_run\": " << overhead_spans
+        << "\n  },\n  \"multiproc\": {"
         << "\n    \"workers_per_server\": " << mp_workers
         << ",\n    \"clients_per_server\": " << mp_clients
         << ",\n    \"requests_per_client\": " << mp_requests
@@ -611,6 +662,12 @@ main(int argc, char **argv)
     if (speedup < 5.0) {
         std::cerr << "FAIL: warm cache speedup " << formatF(speedup, 2)
                   << "x below the 5x acceptance bar\n";
+        failed = true;
+    }
+    if (overhead_ratio < 0.97) {
+        std::cerr << "FAIL: tracing-on throughput is "
+                  << formatF(overhead_ratio, 3)
+                  << "x tracing-off, below the 0.97x acceptance bar\n";
         failed = true;
     }
     // The settled bound is exact; under load the write-path hook is

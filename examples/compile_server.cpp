@@ -50,6 +50,15 @@ printUsage(std::ostream &os)
           "                        calibration epoch on each new file\n"
           "  --watch-interval-ms N calibration watch poll period\n"
           "                        (default 250)\n"
+          "  --metrics-listen SPEC serve GET /metrics (Prometheus text\n"
+          "                        format) on tcp:[HOST:]PORT; tcp:0\n"
+          "                        picks a free port (printed to stderr)\n"
+          "  --trace-log FILE      append one JSON span per line per\n"
+          "                        request stage (docs/observability.md)\n"
+          "  --trace-max-bytes N   rotate the trace log to FILE.1 before\n"
+          "                        exceeding N bytes (default 64MiB)\n"
+          "  --slow-ms N           log a one-line summary of requests\n"
+          "                        slower than N ms to stderr\n"
           "  --help                this text\n"
           "\n"
           "Request fields:\n"
@@ -157,6 +166,19 @@ main(int argc, char **argv)
         } else if (arg == "--watch-interval-ms") {
             config.watch_calib_interval =
                 std::chrono::milliseconds(numeric("a duration", stoll));
+        } else if (arg == "--metrics-listen") {
+            config.metrics_listen = next("tcp:[HOST:]PORT");
+        } else if (arg == "--trace-log") {
+            config.trace_log = next("a file path");
+        } else if (arg == "--trace-max-bytes") {
+            config.trace_max_bytes =
+                numeric("a byte count", [](const std::string &v) {
+                    return uint64_t(std::stoull(v));
+                });
+        } else if (arg == "--slow-ms") {
+            config.slow_ms = numeric(
+                "a duration in ms",
+                [](const std::string &v) { return std::stod(v); });
         } else {
             std::cerr << "compile_server: unknown option '" << arg
                       << "' (see --help)\n";
@@ -165,6 +187,9 @@ main(int argc, char **argv)
     }
     try {
         svc::Server server(config);
+        if (!config.metrics_listen.empty())
+            std::cerr << "compile_server: metrics on tcp:"
+                      << server.metricsPort() << "\n";
         std::unique_ptr<svc::Transport> transport;
         if (socket_config.listen.empty()) {
             transport = std::make_unique<svc::StdioTransport>();

@@ -280,6 +280,7 @@ Compiler::compileSegments(
         const auto layers_before = ctx.program.schedule.layers.size();
         const auto gates_before = ctx.program.native.size();
         const auto stage_start = Clock::now();
+        stage.start_ms = millisecondsSince(compile_start);
         try {
             pass->run(ctx);
         } catch (const UserError &e) {

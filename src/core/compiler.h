@@ -52,6 +52,10 @@ struct StageDiagnostics
     std::string stage;
     /** Wall-clock time spent in the pass (ms). */
     double wall_ms = 0.0;
+    /** Offset of the pass start from the start of the pass pipeline
+     *  (ms) — wall_ms laid out on a common timeline, so callers (the
+     *  service's trace spans) can reconstruct per-pass intervals. */
+    double start_ms = 0.0;
     /** Schedule layers appended by the pass (schedule stage). */
     int layers_added = 0;
     /** Native gates appended by the pass (lower stage). */

@@ -183,9 +183,28 @@ readManifest(const std::string &dir)
 // ArtifactGc
 // ---------------------------------------------------------------------------
 
-ArtifactGc::ArtifactGc(std::string dir, ArtifactGcConfig config)
-    : dir_(std::move(dir)), config_(config)
+ArtifactGc::ArtifactGc(std::string dir, ArtifactGcConfig config,
+                       std::shared_ptr<tel::MetricsRegistry> metrics)
+    : dir_(std::move(dir)), config_(config),
+      registry_(metrics ? std::move(metrics)
+                        : std::make_shared<tel::MetricsRegistry>())
 {
+    tel::MetricsRegistry &reg = *registry_;
+    passes_counter_ =
+        &reg.counter("qzz_gc_passes_total", "Artifact GC passes run.");
+    evicted_counter_ = &reg.counter("qzz_gc_evicted_total",
+                                    "Artifacts deleted by GC.");
+    evicted_age_counter_ = &reg.counter(
+        "qzz_gc_evicted_age_total", "Artifacts evicted for max_age.");
+    evicted_epoch_counter_ =
+        &reg.counter("qzz_gc_evicted_epoch_total",
+                     "Artifacts evicted for a stale calib_epoch.");
+    evicted_capacity_counter_ =
+        &reg.counter("qzz_gc_evicted_capacity_total",
+                     "Artifacts evicted under the byte bound (LRU).");
+    tier_bytes_gauge_ =
+        &reg.gauge("qzz_gc_tier_bytes",
+                   "Artifact-tier bytes after the last GC pass.");
 }
 
 ArtifactGc::~ArtifactGc() { stop(); }
@@ -348,6 +367,12 @@ ArtifactGc::run()
         fs::remove(tmp, rename_ec);
 
     passes_.fetch_add(1, std::memory_order_relaxed);
+    passes_counter_->inc();
+    evicted_counter_->inc(stats.evicted);
+    evicted_age_counter_->inc(stats.evicted_age);
+    evicted_epoch_counter_->inc(stats.evicted_epoch);
+    evicted_capacity_counter_->inc(stats.evicted_capacity);
+    tier_bytes_gauge_->set(double(stats.bytes_after));
     {
         std::lock_guard<std::mutex> guard(stats_mu_);
         last_stats_ = stats;

@@ -40,12 +40,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "service/fingerprint.h"
 
 namespace qzz::svc {
@@ -138,7 +140,10 @@ struct ArtifactGcStats
 class ArtifactGc
 {
   public:
-    ArtifactGc(std::string dir, ArtifactGcConfig config);
+    /** @p metrics: registry the GC reports into (qzz_gc_*); null
+     *  gives it a private registry. */
+    ArtifactGc(std::string dir, ArtifactGcConfig config,
+               std::shared_ptr<tel::MetricsRegistry> metrics = nullptr);
     ~ArtifactGc();
 
     ArtifactGc(const ArtifactGc &) = delete;
@@ -172,6 +177,14 @@ class ArtifactGc
   private:
     std::string dir_;
     ArtifactGcConfig config_;
+
+    std::shared_ptr<tel::MetricsRegistry> registry_;
+    tel::Counter *passes_counter_ = nullptr;
+    tel::Counter *evicted_counter_ = nullptr;
+    tel::Counter *evicted_age_counter_ = nullptr;
+    tel::Counter *evicted_epoch_counter_ = nullptr;
+    tel::Counter *evicted_capacity_counter_ = nullptr;
+    tel::Gauge *tier_bytes_gauge_ = nullptr;
 
     std::atomic<bool> collecting_{false};
     std::atomic<uint64_t> passes_{0};

@@ -109,8 +109,27 @@ topologyFromName(const std::string &name)
 
 CalibrationHub::CalibrationHub(CalibrationHubConfig config,
                                ProgramCache *cache, ArtifactGc *gc)
-    : config_(std::move(config)), cache_(cache), gc_(gc)
+    : config_(std::move(config)), cache_(cache), gc_(gc),
+      registry_(config_.metrics
+                    ? config_.metrics
+                    : std::make_shared<tel::MetricsRegistry>())
 {
+    tel::MetricsRegistry &reg = *registry_;
+    epochs_applied_ = &reg.counter("qzz_calib_epochs_applied_total",
+                                   "Calibration pushes applied.");
+    updates_rejected_ =
+        &reg.counter("qzz_calib_updates_rejected_total",
+                     "Calibration pushes rejected (validation or "
+                     "stale epoch).");
+    entries_invalidated_ =
+        &reg.counter("qzz_calib_entries_invalidated_total",
+                     "In-memory cache entries swept by rolls.");
+    watch_loads_ = &reg.counter(
+        "qzz_calib_watch_loads_total",
+        "Watch-directory snapshots successfully applied.");
+    watch_errors_ =
+        &reg.counter("qzz_calib_watch_errors_total",
+                     "Watch-directory files that failed to load.");
 }
 
 CalibrationHub::~CalibrationHub() { stopWatch(); }
@@ -127,8 +146,7 @@ CalibrationHub::reject(CalibrationUpdate update, std::string why)
 {
     update.applied = false;
     update.error = std::move(why);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++updates_rejected_;
+    updates_rejected_->inc();
     return update;
 }
 
@@ -154,7 +172,7 @@ CalibrationHub::apply(graph::Topology topo, uint64_t device_seed,
         const uint64_t current =
             it == live_.end() ? 0 : it->second.epoch;
         if (calib.epoch <= current) {
-            ++updates_rejected_;
+            updates_rejected_->inc();
             update.error = "stale epoch " +
                            std::to_string(calib.epoch) + " (live is " +
                            std::to_string(current) + ")";
@@ -179,7 +197,7 @@ CalibrationHub::apply(graph::Topology topo, uint64_t device_seed,
         std::lock_guard<std::mutex> lock(mu_);
         Generation &gen = live_[update.device_key];
         if (update.epoch <= gen.epoch) {
-            ++updates_rejected_;
+            updates_rejected_->inc();
             update.error = "stale epoch " +
                            std::to_string(update.epoch) + " (live is " +
                            std::to_string(gen.epoch) + ")";
@@ -188,7 +206,7 @@ CalibrationHub::apply(graph::Topology topo, uint64_t device_seed,
         gen.device = std::move(device);
         gen.epoch = update.epoch;
         max_applied_epoch_ = std::max(max_applied_epoch_, update.epoch);
-        ++epochs_applied_;
+        epochs_applied_->inc();
         if (config_.keep_epochs > 0 &&
             max_applied_epoch_ >= uint64_t(config_.keep_epochs))
             sweep_below =
@@ -201,8 +219,7 @@ CalibrationHub::apply(graph::Topology topo, uint64_t device_seed,
     if (cache_ && sweep_below > 0) {
         update.entries_invalidated =
             cache_->sweepEpochsBelow(sweep_below);
-        std::lock_guard<std::mutex> lock(mu_);
-        entries_invalidated_ += update.entries_invalidated;
+        entries_invalidated_->inc(update.entries_invalidated);
     }
     if (gc_) {
         const ArtifactGcStats s = gc_->run();
@@ -276,12 +293,12 @@ CalibrationHubStats
 CalibrationHub::stats() const
 {
     CalibrationHubStats s;
+    s.epochs_applied = epochs_applied_->value();
+    s.updates_rejected = updates_rejected_->value();
+    s.entries_invalidated = entries_invalidated_->value();
+    s.watch_loads = watch_loads_->value();
+    s.watch_errors = watch_errors_->value();
     std::lock_guard<std::mutex> lock(mu_);
-    s.epochs_applied = epochs_applied_;
-    s.updates_rejected = updates_rejected_;
-    s.entries_invalidated = entries_invalidated_;
-    s.watch_loads = watch_loads_;
-    s.watch_errors = watch_errors_;
     s.last_watch_latency_ms = last_watch_latency_ms_;
     s.current.reserve(live_.size());
     for (const auto &[key, gen] : live_)
@@ -379,16 +396,14 @@ CalibrationHub::pollWatchDir()
                 topo = topologyFromName(stem.substr(0, at));
         }
         if (!topo) {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++watch_errors_;
+            watch_errors_->inc();
             continue;
         }
 
         std::string error;
         auto calib = dev::loadCalibrationFile(path.string(), &error);
         if (!calib) {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++watch_errors_;
+            watch_errors_->inc();
             continue;
         }
 
@@ -397,8 +412,8 @@ CalibrationHub::pollWatchDir()
                   "watch:" + path.filename().string());
         if (update.applied) {
             ++applied;
+            watch_loads_->inc();
             std::lock_guard<std::mutex> lock(mu_);
-            ++watch_loads_;
             last_watch_latency_ms_ =
                 double(std::max<int64_t>(0, nowMs() - mtime_ms));
         }

@@ -55,6 +55,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "device/calibration.h"
 #include "device/device.h"
 #include "graph/topologies.h"
@@ -76,6 +77,9 @@ struct CalibrationHubConfig
      *  in-memory program cache when a roll lands (0 = never sweep).
      *  Mirrors ArtifactGcConfig::keep_epochs for the disk tier. */
     int keep_epochs = 0;
+    /** Instrument registry the hub reports into (qzz_calib_*); null
+     *  gives it a private registry. */
+    std::shared_ptr<tel::MetricsRegistry> metrics;
 };
 
 /** Outcome of one calibration push (applied or rejected). */
@@ -204,15 +208,17 @@ class CalibrationHub
     ProgramCache *cache_;
     ArtifactGc *gc_;
 
+    std::shared_ptr<tel::MetricsRegistry> registry_;
+    tel::Counter *epochs_applied_ = nullptr;
+    tel::Counter *updates_rejected_ = nullptr;
+    tel::Counter *entries_invalidated_ = nullptr;
+    tel::Counter *watch_loads_ = nullptr;
+    tel::Counter *watch_errors_ = nullptr;
+
     mutable std::mutex mu_;
     std::map<std::string, Generation> live_;
     /** Highest epoch ever applied (the sweep threshold base). */
     uint64_t max_applied_epoch_ = 0;
-    uint64_t epochs_applied_ = 0;
-    uint64_t updates_rejected_ = 0;
-    uint64_t entries_invalidated_ = 0;
-    uint64_t watch_loads_ = 0;
-    uint64_t watch_errors_ = 0;
     double last_watch_latency_ms_ = 0.0;
     /** Per-path (mtime_ms, size) of the last processed version. */
     std::map<std::string, std::pair<int64_t, uint64_t>> watch_seen_;

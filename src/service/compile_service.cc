@@ -43,6 +43,11 @@ struct RequestHandle::Task
     bool warm = false;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     std::chrono::steady_clock::time_point enqueued;
+    /** Wall-clock enqueue time (ms since the unix epoch): the base
+     *  every span start in this request's trace is laid out from. */
+    double enqueued_unix_ms = 0.0;
+    /** Root span id, minted at submit() when tracing is on (0 off). */
+    uint64_t root_span_id = 0;
     std::promise<ServiceResult> promise;
     std::atomic<int> state{kQueued};
 };
@@ -210,8 +215,43 @@ outcomeName(Outcome outcome)
 // CompileService
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/** The service's cache always reports into the service's registry
+ *  unless the caller wired its own. */
+ProgramCacheConfig
+cacheConfigWithRegistry(ProgramCacheConfig config,
+                        std::shared_ptr<tel::MetricsRegistry> registry)
+{
+    if (!config.metrics)
+        config.metrics = std::move(registry);
+    return config;
+}
+
+/** Latency-style buckets: 10us first bound, doubling, top finite
+ *  bound ~5.6 minutes — wide enough for any sane compile. */
+tel::HistogramBuckets
+latencyBuckets()
+{
+    return tel::HistogramBuckets::logarithmic(0.01, 2.0, 26);
+}
+
+double
+unixNowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
 CompileService::CompileService(CompileServiceConfig config)
-    : config_(std::move(config)), cache_(config_.cache),
+    : config_(std::move(config)),
+      registry_(config_.metrics
+                    ? config_.metrics
+                    : std::make_shared<tel::MetricsRegistry>()),
+      cache_(cacheConfigWithRegistry(config_.cache, registry_)),
       start_(Clock::now()),
       queue_(std::make_unique<Admission>(config_.cache_aware_admission,
                                          config_.cold_batch_limit)),
@@ -221,12 +261,61 @@ CompileService::CompileService(CompileServiceConfig config)
             "CompileService: latency_window must be >= 1");
     require(config_.cold_batch_limit >= 1,
             "CompileService: cold_batch_limit must be >= 1");
+    tel::MetricsRegistry &reg = *registry_;
+    submitted_ = &reg.counter("qzz_service_requests_submitted_total",
+                              "Requests accepted by submit().");
+    completed_ = &reg.counter(
+        "qzz_service_requests_completed_total",
+        "Requests resolved with a program (Compiled, CacheHit or "
+        "Coalesced).");
+    failed_ = &reg.counter("qzz_service_requests_failed_total",
+                           "Requests whose compile reported an error.");
+    cancelled_ = &reg.counter("qzz_service_requests_cancelled_total",
+                              "Requests cancelled while queued.");
+    expired_ = &reg.counter(
+        "qzz_service_requests_expired_total",
+        "Requests whose deadline passed before a worker got to them.");
+    rejected_ = &reg.counter(
+        "qzz_service_requests_rejected_total",
+        "Submissions refused (queue full or shutting down).");
+    cache_hits_ = &reg.counter(
+        "qzz_service_cache_probe_hits_total",
+        "Request-path cache probes answered by either cache tier.");
+    cache_misses_ = &reg.counter(
+        "qzz_service_cache_probe_misses_total",
+        "Request-path cache probes that led to a cold compile.");
+    coalesced_ = &reg.counter(
+        "qzz_service_requests_coalesced_total",
+        "Requests that rode an identical in-flight compilation.");
+    warm_boosted_ = &reg.counter(
+        "qzz_service_requests_warm_boosted_total",
+        "Requests admitted to the warm lane (cache-resident at "
+        "submit).");
+    latency_hist_ = &reg.histogram(
+        "qzz_service_request_latency_ms",
+        "End-to-end request latency (submit to resolve), ms.",
+        latencyBuckets());
+    queue_hist_ = &reg.histogram(
+        "qzz_service_queue_wait_ms",
+        "Time a request waited in the admission queue, ms.",
+        latencyBuckets());
+    compile_hist_ = &reg.histogram(
+        "qzz_service_compile_ms",
+        "Wall time of cold compiles actually run, ms.",
+        latencyBuckets());
+    queue_depth_gauge_ = &reg.gauge("qzz_service_queue_depth",
+                                    "Requests currently queued.");
+    workers_gauge_ =
+        &reg.gauge("qzz_service_workers", "Worker thread count.");
+    uptime_gauge_ = &reg.gauge("qzz_service_uptime_ms",
+                               "Service uptime, ms.");
     int n = config_.num_workers;
     if (n <= 0)
         n = std::max(1u, std::thread::hardware_concurrency());
     workers_.reserve(size_t(n));
     for (int i = 0; i < n; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    workers_gauge_->set(double(n));
 }
 
 CompileService::~CompileService() { shutdown(true); }
@@ -256,6 +345,12 @@ CompileService::submit(CompileRequest request)
     task->compiler_key = key.finish();
     task->request = std::move(request);
     task->enqueued = Clock::now();
+    task->enqueued_unix_ms = unixNowMs();
+    if (config_.trace) {
+        if (task->request.request.trace_id.empty())
+            task->request.request.trace_id = TraceLog::mintTraceId();
+        task->root_span_id = TraceLog::mintSpanId();
+    }
     if (task->request.request.deadline)
         task->deadline = task->enqueued + *task->request.request.deadline;
     handle.task_ = task;
@@ -281,16 +376,17 @@ CompileService::submit(CompileRequest request)
         }
     }
     if (accepted) {
-        submitted_.fetch_add(1, std::memory_order_relaxed);
+        submitted_->inc();
         if (task->warm)
-            warm_boosted_.fetch_add(1, std::memory_order_relaxed);
+            warm_boosted_->inc();
         work_cv_.notify_one();
     } else {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
+        rejected_->inc();
         ServiceResult result;
         result.outcome = Outcome::Rejected;
         result.fingerprint = task->fingerprint;
         result.seed = task->request.request.seed;
+        result.trace_id = task->request.request.trace_id;
         task->state.store(kFinished);
         task->promise.set_value(std::move(result));
     }
@@ -339,11 +435,12 @@ CompileService::shutdown(bool drain_pending)
     }
     work_cv_.notify_all();
     for (const TaskPtr &task : dropped) {
-        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        cancelled_->inc();
         ServiceResult result;
         result.outcome = Outcome::Cancelled;
         result.fingerprint = task->fingerprint;
         result.seed = task->request.request.seed;
+        result.trace_id = task->request.request.trace_id;
         task->state.store(kFinished);
         task->promise.set_value(std::move(result));
     }
@@ -396,24 +493,35 @@ CompileService::serve(const TaskPtr &task)
     int expected = kQueued;
     if (!task->state.compare_exchange_strong(expected, kClaimed)) {
         // The only competing transition is a queued-side cancel().
-        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        cancelled_->inc();
         result.outcome = Outcome::Cancelled;
         finish(task, std::move(result));
         return;
     }
     if (task->deadline && picked_up > *task->deadline) {
-        expired_.fetch_add(1, std::memory_order_relaxed);
+        expired_->inc();
         result.outcome = Outcome::DeadlineExceeded;
         finish(task, std::move(result));
         return;
     }
 
     const CompileRequest &request = task->request;
+    // Probe time accumulates across both lookups (the plain one and
+    // the re-check under the coalesce lock) into one span.
+    const auto timedLookup = [this, &task, &result] {
+        const auto probe_start = Clock::now();
+        auto program = cache_.lookup(task->fingerprint);
+        result.cache_probe_ms +=
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      probe_start)
+                .count();
+        return program;
+    };
     std::shared_ptr<Inflight> inflight;
     if (request.request.use_cache) {
-        if (auto program = cache_.lookup(task->fingerprint)) {
-            cache_hits_.fetch_add(1, std::memory_order_relaxed);
-            completed_.fetch_add(1, std::memory_order_relaxed);
+        if (auto program = timedLookup()) {
+            cache_hits_->inc();
+            completed_->inc();
             result.outcome = Outcome::CacheHit;
             result.program = std::move(program);
             finish(task, std::move(result));
@@ -438,9 +546,9 @@ CompileService::serve(const TaskPtr &task)
             // "no entry and still a miss" proves no successful
             // duplicate compile finished in between — concurrent
             // identical submissions cold-compile at most once.
-            if (auto program = cache_.lookup(task->fingerprint)) {
-                cache_hits_.fetch_add(1, std::memory_order_relaxed);
-                completed_.fetch_add(1, std::memory_order_relaxed);
+            if (auto program = timedLookup()) {
+                cache_hits_->inc();
+                completed_->inc();
                 result.outcome = Outcome::CacheHit;
                 result.program = std::move(program);
                 finish(task, std::move(result));
@@ -451,7 +559,7 @@ CompileService::serve(const TaskPtr &task)
         }
         // Only an elected primary (or a cold compile with coalescing
         // off) is a real miss: it runs the compiler.
-        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        cache_misses_->inc();
     }
 
     // request.circuit is already in canonical gate order (submit()
@@ -488,13 +596,19 @@ CompileService::serve(const TaskPtr &task)
     if (result.status.ok()) {
         auto program = std::make_shared<const core::CompiledProgram>(
             std::move(compiled.program));
-        if (request.request.use_cache)
+        if (request.request.use_cache) {
+            const auto write_start = Clock::now();
             cache_.insert(task->fingerprint, program);
-        completed_.fetch_add(1, std::memory_order_relaxed);
+            result.artifact_write_ms =
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          write_start)
+                    .count();
+        }
+        completed_->inc();
         result.outcome = Outcome::Compiled;
         result.program = std::move(program);
     } else {
-        failed_.fetch_add(1, std::memory_order_relaxed);
+        failed_->inc();
         result.outcome = Outcome::Failed;
     }
     if (inflight)
@@ -528,12 +642,12 @@ CompileService::resolveFollowers(
                               .count();
         result.status = primary.status;
         if (primary.program) {
-            coalesced_.fetch_add(1, std::memory_order_relaxed);
-            completed_.fetch_add(1, std::memory_order_relaxed);
+            coalesced_->inc();
+            completed_->inc();
             result.outcome = Outcome::Coalesced;
             result.program = primary.program;
         } else {
-            failed_.fetch_add(1, std::memory_order_relaxed);
+            failed_->inc();
             result.outcome = Outcome::Failed;
         }
         finish(follower, std::move(result));
@@ -569,64 +683,112 @@ CompileService::compilerFor(const TaskPtr &task)
 void
 CompileService::finish(const TaskPtr &task, ServiceResult result)
 {
+    const double latency = std::chrono::duration<double, std::milli>(
+                               Clock::now() - task->enqueued)
+                               .count();
     if (result.outcome == Outcome::Compiled ||
         result.outcome == Outcome::CacheHit ||
         result.outcome == Outcome::Coalesced ||
         result.outcome == Outcome::Failed) {
-        const double latency =
-            std::chrono::duration<double, std::milli>(
-                Clock::now() - task->enqueued)
-                .count();
-        recordLatency(latency);
+        latency_hist_->observe(latency);
+        queue_hist_->observe(result.queue_ms);
+        if (result.outcome == Outcome::Compiled ||
+            result.outcome == Outcome::Failed)
+            compile_hist_->observe(result.compile_ms);
     }
     result.completion_seq =
         completion_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    result.trace_id = task->request.request.trace_id;
+    result.root_span_id = task->root_span_id;
+    emitTrace(task, result, latency);
     task->state.store(kFinished);
     task->promise.set_value(std::move(result));
 }
 
 void
-CompileService::recordLatency(double ms)
+CompileService::emitTrace(const TaskPtr &task,
+                          const ServiceResult &result, double latency_ms)
 {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    if (latency_window_.size() < config_.latency_window) {
-        latency_window_.push_back(ms);
-    } else {
-        latency_window_[latency_next_] = ms;
-        latency_next_ = (latency_next_ + 1) % config_.latency_window;
+    TraceLog *trace = config_.trace.get();
+    if (!trace || task->root_span_id == 0)
+        return;
+    // Span starts are laid out sequentially from the wall-clock
+    // enqueue time: queue wait, then the cache probe, then the
+    // compile (whose pass children carry their measured offsets),
+    // then the artifact write.  Every duration is measured; only the
+    // start offsets are reconstructed.
+    const double base = task->enqueued_unix_ms;
+    const std::string &tid = task->request.request.trace_id;
+    std::vector<TraceSpan> spans;
+
+    TraceSpan root;
+    root.trace_id = tid;
+    root.span_id = task->root_span_id;
+    root.name = "request";
+    root.start_unix_ms = base;
+    root.duration_ms = latency_ms;
+    root.attrs.emplace_back("outcome", outcomeName(result.outcome));
+    root.attrs.emplace_back("fingerprint", result.fingerprint.hex());
+    spans.push_back(std::move(root));
+
+    const auto child = [&](const std::string &name, double start_off,
+                           double dur) {
+        TraceSpan span;
+        span.trace_id = tid;
+        span.span_id = TraceLog::mintSpanId();
+        span.parent_id = task->root_span_id;
+        span.name = name;
+        span.start_unix_ms = base + start_off;
+        span.duration_ms = dur;
+        return span;
+    };
+
+    spans.push_back(child("queue_wait", 0.0, result.queue_ms));
+    double offset = result.queue_ms;
+    if (result.cache_probe_ms > 0.0) {
+        spans.push_back(
+            child("cache_probe", offset, result.cache_probe_ms));
+        offset += result.cache_probe_ms;
     }
+    if (result.outcome == Outcome::Compiled ||
+        result.outcome == Outcome::Failed) {
+        TraceSpan compile = child("compile", offset, result.compile_ms);
+        const uint64_t compile_id = compile.span_id;
+        const double compile_start = compile.start_unix_ms;
+        spans.push_back(std::move(compile));
+        for (const core::StageDiagnostics &stage :
+             result.diagnostics.stages) {
+            TraceSpan pass;
+            pass.trace_id = tid;
+            pass.span_id = TraceLog::mintSpanId();
+            pass.parent_id = compile_id;
+            pass.name = stage.stage;
+            pass.start_unix_ms = compile_start + stage.start_ms;
+            pass.duration_ms = stage.wall_ms;
+            spans.push_back(std::move(pass));
+        }
+        offset += result.compile_ms;
+    }
+    if (result.artifact_write_ms > 0.0)
+        spans.push_back(
+            child("artifact_write", offset, result.artifact_write_ms));
+    trace->emitTree(spans);
 }
-
-namespace {
-
-double
-percentile(const std::vector<double> &sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const double rank = p * double(sorted.size() - 1);
-    const size_t lo = size_t(rank);
-    const size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = rank - double(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
-
-} // namespace
 
 MetricsSnapshot
 CompileService::metrics() const
 {
     MetricsSnapshot m;
-    m.submitted = submitted_.load(std::memory_order_relaxed);
-    m.completed = completed_.load(std::memory_order_relaxed);
-    m.failed = failed_.load(std::memory_order_relaxed);
-    m.cancelled = cancelled_.load(std::memory_order_relaxed);
-    m.expired = expired_.load(std::memory_order_relaxed);
-    m.rejected = rejected_.load(std::memory_order_relaxed);
-    m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-    m.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-    m.coalesced = coalesced_.load(std::memory_order_relaxed);
-    m.warm_boosted = warm_boosted_.load(std::memory_order_relaxed);
+    m.submitted = submitted_->value();
+    m.completed = completed_->value();
+    m.failed = failed_->value();
+    m.cancelled = cancelled_->value();
+    m.expired = expired_->value();
+    m.rejected = rejected_->value();
+    m.cache_hits = cache_hits_->value();
+    m.cache_misses = cache_misses_->value();
+    m.coalesced = coalesced_->value();
+    m.warm_boosted = warm_boosted_->value();
     {
         std::lock_guard<std::mutex> lock(mu_);
         m.queue_depth = queue_->size();
@@ -638,18 +800,23 @@ CompileService::metrics() const
     m.throughput_per_s = m.uptime_ms > 0.0
                              ? double(m.completed) * 1e3 / m.uptime_ms
                              : 0.0;
-    {
-        std::lock_guard<std::mutex> lock(latency_mu_);
-        std::vector<double> sorted = latency_window_;
-        std::sort(sorted.begin(), sorted.end());
-        m.latency_p50_ms = percentile(sorted, 0.50);
-        m.latency_p95_ms = percentile(sorted, 0.95);
-        m.latency_p99_ms = percentile(sorted, 0.99);
-    }
+    // One histogram snapshot feeds all three percentiles, so they are
+    // mutually consistent (p50 <= p95 <= p99 by construction) and
+    // weight the full completion history instead of a lossy
+    // recent-sample ring.
+    const tel::HistogramSnapshot latency = latency_hist_->snapshot();
+    m.latency_p50_ms = latency.quantile(0.50);
+    m.latency_p95_ms = latency.quantile(0.95);
+    m.latency_p99_ms = latency.quantile(0.99);
     const uint64_t looked_up = m.cache_hits + m.cache_misses;
     m.cache_hit_rate =
         looked_up == 0 ? 0.0 : double(m.cache_hits) / double(looked_up);
     m.cache_stats = cache_.stats();
+    // Refresh the scrape-side gauges on the same read path, so a
+    // GET /metrics render (which calls this first) exports current
+    // values without its own locking discipline.
+    queue_depth_gauge_->set(double(m.queue_depth));
+    uptime_gauge_->set(m.uptime_ms);
     return m;
 }
 

@@ -39,9 +39,14 @@
  * unfairness.  Both lanes stay FIFO internally, and turning
  * cache_aware_admission off restores strict FIFO within a priority.
  *
- * Every completed request updates a MetricsSnapshot (throughput,
- * latency percentiles, queue depth, cache hit rate) suitable for
- * export to a monitoring system.
+ * Every completed request updates instruments in a
+ * tel::MetricsRegistry (counters, queue/latency/compile histograms);
+ * MetricsSnapshot is a point-in-time render of those instruments,
+ * with p50/p95/p99 derived from the log-bucket latency histogram
+ * (the full completion history, not a lossy recent-sample window).
+ * When a TraceLog is configured, every request additionally leaves a
+ * span tree behind (service/trace.h): queue-wait, cache probe, the
+ * compile with its per-pass children, and the artifact write.
  *
  * The JSON-lines wire protocol examples/compile_server speaks on top
  * of this service is specified in docs/protocol.md.
@@ -61,8 +66,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/compiler.h"
 #include "service/program_cache.h"
+#include "service/trace.h"
 
 namespace qzz::svc {
 
@@ -81,6 +88,11 @@ struct RequestOptions
     uint64_t seed = 0;
     /** Bypass the program cache (forces a cold compile). */
     bool use_cache = true;
+    /** Trace correlation id, echoed into the result.  When tracing is
+     *  enabled and this is empty, submit() mints one
+     *  (TraceLog::mintTraceId); clients may supply their own to
+     *  stitch qzz spans into a wider trace. */
+    std::string trace_id;
 };
 
 /** One compilation job. */
@@ -133,6 +145,16 @@ struct ServiceResult
     double compile_ms = 0.0;
     /** Completion order stamp (1-based; 0 if never processed). */
     uint64_t completion_seq = 0;
+    /** Echo of RequestOptions::trace_id (empty when the client sent
+     *  none and tracing is off). */
+    std::string trace_id;
+    /** Root span id of this request's trace (0 when tracing is off);
+     *  the Session parents its respond span on it. */
+    uint64_t root_span_id = 0;
+    /** Program-cache probe / artifact-write time (ms); 0 when the
+     *  step did not run.  Surfaced as trace spans. */
+    double cache_probe_ms = 0.0;
+    double artifact_write_ms = 0.0;
 
     bool ok() const { return program != nullptr; }
 };
@@ -173,7 +195,9 @@ struct CompileServiceConfig
     /** Start with workers paused (tests / queue preloading); call
      *  resume() to begin serving. */
     bool start_paused = false;
-    /** Latency samples kept for the percentile estimates. */
+    /** Retained for configuration compatibility; latency percentiles
+     *  now derive from the log-bucket latency histogram (the full
+     *  history), not a bounded sample window. */
     size_t latency_window = 8192;
     /**
      * Collapse concurrent duplicate requests onto one compilation:
@@ -198,6 +222,11 @@ struct CompileServiceConfig
      *  before rotating to the group with the oldest waiter (>= 1). */
     int cold_batch_limit = 8;
     ProgramCacheConfig cache;
+    /** Instrument registry shared with the rest of the process; null
+     *  gives the service (and its cache) a private registry. */
+    std::shared_ptr<tel::MetricsRegistry> metrics;
+    /** Span sink; null disables tracing entirely. */
+    std::shared_ptr<TraceLog> trace;
 };
 
 /** Point-in-time service health: counters, latency, cache state. */
@@ -222,7 +251,8 @@ struct MetricsSnapshot
     double uptime_ms = 0.0;
     /** Completed requests per second of uptime. */
     double throughput_per_s = 0.0;
-    /** End-to-end latency percentiles over the recent window (ms). */
+    /** End-to-end latency percentiles derived from the log-bucket
+     *  latency histogram over the full completion history (ms). */
     double latency_p50_ms = 0.0;
     double latency_p95_ms = 0.0;
     double latency_p99_ms = 0.0;
@@ -266,6 +296,12 @@ class CompileService
     ProgramCache &cache() { return cache_; }
     int numWorkers() const { return int(workers_.size()); }
 
+    /** The instrument registry this service reports into (the
+     *  configured one, or the private fallback). */
+    tel::MetricsRegistry &metricsRegistry() { return *registry_; }
+    /** Null when tracing is off. */
+    TraceLog *traceLog() { return config_.trace.get(); }
+
   private:
     using Clock = std::chrono::steady_clock;
     using TaskPtr = std::shared_ptr<RequestHandle::Task>;
@@ -280,13 +316,18 @@ class CompileService
     std::shared_ptr<const core::Compiler>
     compilerFor(const TaskPtr &task);
     void finish(const TaskPtr &task, ServiceResult result);
-    void recordLatency(double ms);
+    /** Build and emit the request's span tree (no-op when tracing is
+     *  off or the task never got a root span). */
+    void emitTrace(const TaskPtr &task, const ServiceResult &result,
+                   double latency_ms);
     /** Resolve every follower parked on @p inflight with the primary
      *  compile's outcome (shared program, or the failure status). */
     void resolveFollowers(const std::shared_ptr<Inflight> &inflight,
                           const ServiceResult &primary);
 
     CompileServiceConfig config_;
+    /** Declared before cache_: the cache reports into it. */
+    std::shared_ptr<tel::MetricsRegistry> registry_;
     ProgramCache cache_;
     Clock::time_point start_;
 
@@ -313,20 +354,26 @@ class CompileService
                        FingerprintHash>
         inflight_;
 
-    mutable std::mutex latency_mu_;
-    std::vector<double> latency_window_;
-    size_t latency_next_ = 0;
+    /** Registry-owned instruments (qzz_service_*; see
+     *  docs/observability.md for the catalog).  Plain pointers: the
+     *  registry outlives the service. */
+    tel::Counter *submitted_ = nullptr;
+    tel::Counter *completed_ = nullptr;
+    tel::Counter *failed_ = nullptr;
+    tel::Counter *cancelled_ = nullptr;
+    tel::Counter *expired_ = nullptr;
+    tel::Counter *rejected_ = nullptr;
+    tel::Counter *cache_hits_ = nullptr;
+    tel::Counter *cache_misses_ = nullptr;
+    tel::Counter *coalesced_ = nullptr;
+    tel::Counter *warm_boosted_ = nullptr;
+    tel::Histogram *latency_hist_ = nullptr;
+    tel::Histogram *queue_hist_ = nullptr;
+    tel::Histogram *compile_hist_ = nullptr;
+    tel::Gauge *queue_depth_gauge_ = nullptr;
+    tel::Gauge *workers_gauge_ = nullptr;
+    tel::Gauge *uptime_gauge_ = nullptr;
 
-    std::atomic<uint64_t> submitted_{0};
-    std::atomic<uint64_t> completed_{0};
-    std::atomic<uint64_t> failed_{0};
-    std::atomic<uint64_t> cancelled_{0};
-    std::atomic<uint64_t> expired_{0};
-    std::atomic<uint64_t> rejected_{0};
-    std::atomic<uint64_t> cache_hits_{0};
-    std::atomic<uint64_t> cache_misses_{0};
-    std::atomic<uint64_t> coalesced_{0};
-    std::atomic<uint64_t> warm_boosted_{0};
     std::atomic<uint64_t> completion_seq_{0};
 
     std::vector<std::thread> workers_;

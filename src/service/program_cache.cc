@@ -53,6 +53,32 @@ ProgramCache::ProgramCache(ProgramCacheConfig config)
     shards_.reserve(n);
     for (size_t i = 0; i < n; ++i)
         shards_.push_back(std::make_unique<Shard>());
+    registry_ = config_.metrics
+                    ? config_.metrics
+                    : std::make_shared<tel::MetricsRegistry>();
+    tel::MetricsRegistry &reg = *registry_;
+    hits_ = &reg.counter("qzz_cache_hits_total",
+                         "In-memory program-cache lookup hits.");
+    misses_ = &reg.counter(
+        "qzz_cache_misses_total",
+        "Program-cache lookups answered by neither tier.");
+    evictions_ = &reg.counter("qzz_cache_evictions_total",
+                              "LRU entries dropped for capacity.");
+    insertions_ = &reg.counter("qzz_cache_insertions_total",
+                               "Successful insert() calls.");
+    disk_hits_ = &reg.counter(
+        "qzz_cache_disk_hits_total",
+        "In-memory misses rescued by the artifact tier.");
+    disk_writes_ = &reg.counter("qzz_cache_disk_writes_total",
+                                "Artifacts persisted to the disk tier.");
+    disk_bytes_written_ =
+        &reg.counter("qzz_cache_disk_bytes_written_total",
+                     "Cumulative artifact bytes persisted.");
+    entries_gauge_ = &reg.gauge("qzz_cache_entries",
+                                "Current in-memory entry count.");
+    entry_bytes_gauge_ =
+        &reg.gauge("qzz_cache_entry_bytes",
+                   "Serialized bytes of the in-memory entries.");
 }
 
 ProgramCache::Shard &
@@ -86,18 +112,18 @@ ProgramCache::lookup(const Fingerprint &key)
         auto it = shard.map.find(key);
         if (it != shard.map.end()) {
             shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-            hits_.fetch_add(1, std::memory_order_relaxed);
+            hits_->inc();
             return it->second->program;
         }
     }
     uint64_t bytes = 0;
     if (auto program = loadArtifact(key, bytes)) {
-        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        disk_hits_->inc();
         std::lock_guard<std::mutex> lock(shard.mu);
         insertLocked(shard, key, program, bytes);
         return program;
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->inc();
     return nullptr;
 }
 
@@ -118,7 +144,7 @@ ProgramCache::insert(const Fingerprint &key,
         std::lock_guard<std::mutex> lock(shard.mu);
         insertLocked(shard, key, std::move(program), bytes);
     }
-    insertions_.fetch_add(1, std::memory_order_relaxed);
+    insertions_->inc();
 }
 
 void
@@ -141,7 +167,7 @@ ProgramCache::insertLocked(
         shard.bytes -= shard.lru.back().bytes;
         shard.map.erase(shard.lru.back().key);
         shard.lru.pop_back();
-        evictions_.fetch_add(1, std::memory_order_relaxed);
+        evictions_->inc();
     }
 }
 
@@ -191,19 +217,22 @@ ProgramCacheStats
 ProgramCache::stats() const
 {
     ProgramCacheStats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
-    s.insertions = insertions_.load(std::memory_order_relaxed);
-    s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
-    s.disk_writes = disk_writes_.load(std::memory_order_relaxed);
-    s.disk_bytes_written =
-        disk_bytes_written_.load(std::memory_order_relaxed);
+    s.hits = hits_->value();
+    s.misses = misses_->value();
+    s.evictions = evictions_->value();
+    s.insertions = insertions_->value();
+    s.disk_hits = disk_hits_->value();
+    s.disk_writes = disk_writes_->value();
+    s.disk_bytes_written = disk_bytes_written_->value();
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mu);
         s.entries += shard->lru.size();
         s.entry_bytes += shard->bytes;
     }
+    // Occupancy gauges refresh on this read path (stats() sits on
+    // both the metrics verb and the scrape render).
+    entries_gauge_->set(double(s.entries));
+    entry_bytes_gauge_->set(double(s.entry_bytes));
     return s;
 }
 
@@ -272,9 +301,8 @@ ProgramCache::storeArtifact(const Fingerprint &key,
     if (ok) {
         std::filesystem::rename(tmp, final_path, ec);
         if (!ec) {
-            disk_writes_.fetch_add(1, std::memory_order_relaxed);
-            disk_bytes_written_.fetch_add(serialized.size(),
-                                          std::memory_order_relaxed);
+            disk_writes_->inc();
+            disk_bytes_written_->inc(serialized.size());
             // Record the artifact in the shared manifest (under the
             // directory's advisory lock), then let the GC enforce
             // the byte bound while the write is still hot.

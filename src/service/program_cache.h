@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/framework.h"
 #include "service/fingerprint.h"
 
@@ -64,6 +65,9 @@ struct ProgramCacheConfig
      *  so the directory's byte bound holds under load instead of
      *  waiting for the next periodic pass. */
     std::shared_ptr<ArtifactGc> gc;
+    /** Instrument registry the cache reports into (qzz_cache_*);
+     *  null gives the cache a private registry. */
+    std::shared_ptr<tel::MetricsRegistry> metrics;
 };
 
 /** Monotonic counters + current occupancy of a ProgramCache. */
@@ -180,13 +184,18 @@ class ProgramCache
     size_t shard_capacity_ = 1;
     std::vector<std::unique_ptr<Shard>> shards_;
 
-    std::atomic<uint64_t> hits_{0};
-    std::atomic<uint64_t> misses_{0};
-    std::atomic<uint64_t> evictions_{0};
-    std::atomic<uint64_t> insertions_{0};
-    std::atomic<uint64_t> disk_hits_{0};
-    std::atomic<uint64_t> disk_writes_{0};
-    std::atomic<uint64_t> disk_bytes_written_{0};
+    /** Keeps the fallback registry alive when none was configured;
+     *  the instruments below live in it (or the shared one). */
+    std::shared_ptr<tel::MetricsRegistry> registry_;
+    tel::Counter *hits_ = nullptr;
+    tel::Counter *misses_ = nullptr;
+    tel::Counter *evictions_ = nullptr;
+    tel::Counter *insertions_ = nullptr;
+    tel::Counter *disk_hits_ = nullptr;
+    tel::Counter *disk_writes_ = nullptr;
+    tel::Counter *disk_bytes_written_ = nullptr;
+    tel::Gauge *entries_gauge_ = nullptr;
+    tel::Gauge *entry_bytes_gauge_ = nullptr;
 };
 
 } // namespace qzz::svc

@@ -65,7 +65,7 @@ Session::run()
             if (*cmd == "quit") {
                 quit = true;
             } else if (*cmd == "metrics") {
-                respondMetrics();
+                respondMetrics(*obj);
             } else if (*cmd == "hello") {
                 respondHello(*obj);
             } else if (*cmd == "gc") {
@@ -163,6 +163,13 @@ Session::handleRequest(const JsonObject &obj, uint64_t lineno)
     request.request.priority = int(obj.getInt("priority").value_or(0));
     request.request.seed = seed;
     request.request.use_cache = obj.getBool("use_cache").value_or(true);
+    // Every request carries a trace id — client-supplied for
+    // cross-system correlation, minted here otherwise — and the
+    // response echoes it whether or not span logging is on.
+    request.request.trace_id =
+        obj.getString("trace_id").value_or(std::string());
+    if (request.request.trace_id.empty())
+        request.request.trace_id = TraceLog::mintTraceId();
     if (const auto deadline = obj.getNumber("deadline_ms"))
         request.request.deadline = std::chrono::milliseconds(
             int64_t(std::max(0.0, *deadline)));
@@ -275,9 +282,25 @@ Session::stopWriter()
         writer_.join();
 }
 
+namespace {
+
+double
+unixNowMs()
+{
+    return double(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::system_clock::now()
+                          .time_since_epoch())
+                      .count()) /
+           1000.0;
+}
+
+} // namespace
+
 void
 Session::respond(const Pending &pending, const ServiceResult &result)
 {
+    const double respond_start = unixNowMs();
+    const auto t0 = std::chrono::steady_clock::now();
     std::ostringstream os;
     os.precision(12);
     os << "{\"id\":\"" << jsonEscape(pending.id)
@@ -289,6 +312,9 @@ Session::respond(const Pending &pending, const ServiceResult &result)
        << (result.outcome == Outcome::CacheHit ? "true" : "false")
        << ",\"queue_ms\":" << result.queue_ms
        << ",\"compile_ms\":" << result.compile_ms;
+    if (!result.trace_id.empty())
+        os << ",\"trace_id\":\"" << jsonEscape(result.trace_id)
+           << "\"";
     if (result.ok()) {
         std::ostringstream program;
         core::ScheduleIoOptions io;
@@ -304,7 +330,27 @@ Session::respond(const Pending &pending, const ServiceResult &result)
            << "\"";
     }
     os << "}\n";
-    conn_.write(os.str());
+    const std::string payload = os.str();
+    conn_.write(payload);
+    // The final leaf of the request's span tree: serialization plus
+    // the write back to the client, parented on the service's root
+    // span (nonzero only when tracing is on).
+    TraceLog *trace = server_.traceLog();
+    if (trace && result.root_span_id != 0) {
+        TraceSpan span;
+        span.trace_id = result.trace_id;
+        span.span_id = TraceLog::mintSpanId();
+        span.parent_id = result.root_span_id;
+        span.name = "respond";
+        span.start_unix_ms = respond_start;
+        span.duration_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        span.attrs.emplace_back("bytes",
+                                std::to_string(payload.size()));
+        trace->emit(span);
+    }
 }
 
 void
@@ -316,8 +362,17 @@ Session::printError(const std::string &id, const std::string &message)
 }
 
 void
-Session::respondMetrics()
+Session::respondMetrics(const JsonObject &obj)
 {
+    // {"format":"prometheus"} returns the same exposition body the
+    // scrape endpoint serves, as one escaped JSON string field (the
+    // protocol stays strictly line-oriented).
+    if (obj.getString("format").value_or("json") == "prometheus") {
+        enqueueRaw("{\"metrics\":true,\"format\":\"prometheus\","
+                   "\"exposition\":\"" +
+                   jsonEscape(server_.renderPrometheus()) + "\"}\n");
+        return;
+    }
     const MetricsSnapshot m = server_.service().metrics();
     const CalibrationHubStats h = server_.hub().stats();
     std::ostringstream os;
@@ -488,21 +543,32 @@ Session::respondCalibrate(const JsonObject &obj)
 // Server
 // ---------------------------------------------------------------------------
 
-Server::Server(ServerConfig config) : config_(std::move(config))
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      registry_(std::make_shared<tel::MetricsRegistry>())
 {
+    if (!config_.trace_log.empty()) {
+        TraceLogConfig tc;
+        tc.path = config_.trace_log;
+        tc.max_bytes = config_.trace_max_bytes;
+        tc.slow_ms = config_.slow_ms;
+        trace_ = std::make_shared<TraceLog>(tc);
+    }
     if (!config_.artifact_dir.empty()) {
         ArtifactGcConfig gc_config;
         gc_config.capacity_bytes = config_.gc_capacity_bytes;
         gc_config.max_age = config_.gc_max_age;
         gc_config.keep_epochs = config_.gc_keep_epochs;
         gc_ = std::make_shared<ArtifactGc>(config_.artifact_dir,
-                                           gc_config);
+                                           gc_config, registry_);
     }
     CompileServiceConfig sc;
     sc.num_workers = config_.workers;
     sc.cache.capacity = config_.cache_capacity;
     sc.cache.artifact_dir = config_.artifact_dir;
     sc.cache.gc = gc_;
+    sc.metrics = registry_;
+    sc.trace = trace_;
     service_ = std::make_unique<CompileService>(sc);
     if (gc_ && config_.gc_interval.count() > 0)
         gc_->start(config_.gc_interval);
@@ -514,17 +580,97 @@ Server::Server(ServerConfig config) : config_(std::move(config))
     // calibration epochs on disk (ArtifactGc) and in memory (the
     // hub's sweep on each roll).
     hc.keep_epochs = config_.gc_keep_epochs;
+    hc.metrics = registry_;
     hub_ = std::make_unique<CalibrationHub>(hc, &service_->cache(),
                                             gc_.get());
     hub_->startWatch();
+
+    if (!config_.metrics_listen.empty()) {
+        SocketTransportConfig mc;
+        mc.listen = config_.metrics_listen;
+        // A scraper that stalls mid-request must not pin the accept
+        // loop forever.
+        mc.idle_timeout = std::chrono::milliseconds(5000);
+        metrics_transport_ = std::make_unique<SocketTransport>(mc);
+        metrics_thread_ = std::thread([this] { metricsLoop(); });
+    }
 }
 
 Server::~Server()
 {
+    if (metrics_transport_)
+        metrics_transport_->shutdown();
+    if (metrics_thread_.joinable())
+        metrics_thread_.join();
     hub_->stopWatch();
     if (gc_)
         gc_->stop();
     service_->shutdown(true);
+}
+
+int
+Server::metricsPort() const
+{
+    return metrics_transport_ ? metrics_transport_->port() : 0;
+}
+
+std::string
+Server::renderPrometheus()
+{
+    // Gauges are computed on read: metrics() refreshes queue depth,
+    // uptime and worker count in the registry, and cache().stats()
+    // (called inside metrics()) refreshes the occupancy gauges.  The
+    // hub's counters are live in the registry already.
+    (void)service_->metrics();
+    return registry_->renderPrometheus();
+}
+
+void
+Server::metricsLoop()
+{
+    // Scrapes are short one-shot exchanges; serving them serially on
+    // the accept thread keeps the endpoint to one thread total.
+    while (auto conn = metrics_transport_->accept())
+        serveMetricsConnection(*conn);
+}
+
+void
+Server::serveMetricsConnection(Connection &conn)
+{
+    const auto sendResponse = [&conn](const std::string &status,
+                                      const std::string &content_type,
+                                      const std::string &body) {
+        std::ostringstream os;
+        os << "HTTP/1.1 " << status << "\r\n"
+           << "Content-Type: " << content_type << "\r\n"
+           << "Content-Length: " << body.size() << "\r\n"
+           << "Connection: close\r\n\r\n"
+           << body;
+        conn.write(os.str());
+    };
+    // Request line: "GET <path> HTTP/1.x".  readLine strips the
+    // trailing CR on socket connections.
+    std::string line;
+    if (!conn.readLine(line))
+        return;
+    std::istringstream request(line);
+    std::string method, path, version;
+    request >> method >> path >> version;
+    // Drain the headers so the response is not racing unread input.
+    while (conn.readLine(line) && !line.empty()) {
+    }
+    if (method != "GET") {
+        sendResponse("405 Method Not Allowed", "text/plain",
+                     "method not allowed\n");
+        return;
+    }
+    if (path != "/metrics" && path != "/metrics/") {
+        sendResponse("404 Not Found", "text/plain", "not found\n");
+        return;
+    }
+    sendResponse("200 OK",
+                 "text/plain; version=0.0.4; charset=utf-8",
+                 renderPrometheus());
 }
 
 bool

@@ -28,6 +28,13 @@
  * byte-identical responses for identical stdio input — plus two
  * additive verbs: {"cmd":"hello"} (capability handshake) and
  * {"cmd":"gc"} (run an artifact-tier GC pass).
+ *
+ * Observability (docs/observability.md): the server owns one shared
+ * tel::MetricsRegistry that the service, cache, GC and hub all report
+ * into, an optional TraceLog every request's span tree is written to,
+ * and an optional second listener serving GET /metrics in Prometheus
+ * text exposition format ({"cmd":"metrics"} keeps its JSON shape and
+ * gains a {"format":"prometheus"} variant).
  */
 
 #ifndef QZZ_SERVICE_SERVER_H
@@ -43,8 +50,10 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/telemetry.h"
 #include "device/device.h"
 #include "service/compile_service.h"
+#include "service/trace.h"
 #include "service/transport.h"
 
 namespace qzz::svc {
@@ -85,6 +94,20 @@ struct ServerConfig
     std::string watch_calib_dir;
     /** Calibration watcher poll period. */
     std::chrono::milliseconds watch_calib_interval{250};
+    /** Prometheus scrape listener spec ("tcp:PORT" or
+     *  "tcp:HOST:PORT"; "tcp:0" lets the kernel pick — see
+     *  metricsPort()).  Empty disables the endpoint.  The listener
+     *  serves GET /metrics in text exposition format 0.0.4 and
+     *  should stay on a trusted interface (docs/observability.md). */
+    std::string metrics_listen;
+    /** Trace-span JSONL log path; empty disables tracing. */
+    std::string trace_log;
+    /** Trace log size bound: the file rotates to "<path>.1" before
+     *  exceeding this many bytes (0 = never rotate). */
+    uint64_t trace_max_bytes = 64ull << 20;
+    /** Log a one-line summary of any request whose root span is
+     *  slower than this many milliseconds; 0 disables. */
+    double slow_ms = 0.0;
 };
 
 class Server;
@@ -148,7 +171,7 @@ class Session
 
     void respond(const Pending &pending, const ServiceResult &result);
     void printError(const std::string &id, const std::string &message);
-    void respondMetrics();
+    void respondMetrics(const JsonObject &obj);
     void respondHello(const JsonObject &obj);
     void respondGc();
     void respondCalibrate(const JsonObject &obj);
@@ -218,14 +241,42 @@ class Server
     CalibrationHub &hub() { return *hub_; }
     const ServerConfig &config() const { return config_; }
 
+    /** The process-wide instrument registry every subsystem of this
+     *  server reports into. */
+    tel::MetricsRegistry &metricsRegistry() { return *registry_; }
+    /** Null when trace_log is empty. */
+    TraceLog *traceLog() { return trace_.get(); }
+    /** Bound port of the metrics listener (resolves "tcp:0"); 0 when
+     *  the endpoint is disabled. */
+    int metricsPort() const;
+
+    /**
+     * Refresh every gauge that is computed on read (service uptime
+     * and queue depth, cache occupancy) and render the full registry
+     * in Prometheus text exposition format 0.0.4.  This is the body
+     * both GET /metrics and {"cmd":"metrics","format":"prometheus"}
+     * serve.  Thread-safe.
+     */
+    std::string renderPrometheus();
+
   private:
+    void metricsLoop();
+    /** Serve one HTTP/1.1 exchange on an accepted scrape connection. */
+    void serveMetricsConnection(Connection &conn);
+
     ServerConfig config_;
+    std::shared_ptr<tel::MetricsRegistry> registry_;
+    std::shared_ptr<TraceLog> trace_;
     std::shared_ptr<ArtifactGc> gc_;
     std::unique_ptr<CompileService> service_;
     /** Declared after service_/gc_: the hub (and its watch thread)
      *  is destroyed first, while the cache and GC it points at are
      *  still alive. */
     std::unique_ptr<CalibrationHub> hub_;
+
+    /** The scrape listener and its accept thread (metrics_listen). */
+    std::unique_ptr<SocketTransport> metrics_transport_;
+    std::thread metrics_thread_;
 
     std::mutex devices_mu_;
     std::unordered_map<std::string, std::shared_ptr<const dev::Device>>

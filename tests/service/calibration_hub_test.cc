@@ -283,17 +283,24 @@ TEST(CalibrationHubTest, ServerEpochRollDrill)
     const dev::Calibration push =
         snapshotFor(graph::lineTopology(4), 99, 1);
 
+    // The metrics records after "a" and "c" are deterministic
+    // barriers: control records wait for the writer to drain, so the
+    // preceding compile is fully cached before the follow-up submits
+    // (otherwise it may coalesce onto the in-flight compile instead
+    // of hitting the cache).
     const auto [out, quit] = runTranscript(
-        req("a") + req("b") +
+        req("a") + "{\"cmd\":\"metrics\"}\n" + req("b") +
             "{\"cmd\":\"hello\",\"calib_events\":true}\n" +
             calibrateLine(push, ",\"topology\":\"line\",\"size\":4,"
                                 "\"device_seed\":7") +
-            req("c") + req("d") + "{\"cmd\":\"metrics\"}\n" +
+            req("c") + "{\"cmd\":\"metrics\"}\n" + req("d") +
+            "{\"cmd\":\"metrics\"}\n"
             "{\"cmd\":\"gc\"}\n{\"cmd\":\"quit\"}\n",
         config);
     EXPECT_TRUE(quit);
-    // a, b, hello, event, calibrate, c, d, metrics, gc.
-    ASSERT_EQ(out.size(), 9u);
+    // a, metrics, b, hello, event, calibrate, c, metrics, d,
+    // metrics, gc.
+    ASSERT_EQ(out.size(), 11u);
 
     const auto fpOf = [](const std::string &line) {
         const auto pos = line.find("\"fingerprint\":\"");
@@ -306,54 +313,55 @@ TEST(CalibrationHubTest, ServerEpochRollDrill)
               std::string::npos)
         << out[0];
     EXPECT_NE(out[0].find("\"calib_epoch\":0"), std::string::npos);
-    EXPECT_NE(out[1].find("\"outcome\":\"CacheHit\""),
+    EXPECT_TRUE(startsWith(out[1], "{\"metrics\":true,")) << out[1];
+    EXPECT_NE(out[2].find("\"outcome\":\"CacheHit\""),
               std::string::npos)
-        << out[1];
+        << out[2];
 
     // The capability handshake confirms the subscription.
-    EXPECT_NE(out[2].find("\"calib_events\":true"), std::string::npos)
-        << out[2];
+    EXPECT_NE(out[3].find("\"calib_events\":true"), std::string::npos)
+        << out[3];
 
     // The roll: event frame first (pushed to this subscribed
     // session), then the calibrate response.  The epoch-0 in-memory
     // entry is swept (gc_keep_epochs = 1).
-    EXPECT_EQ(out[3],
+    EXPECT_EQ(out[4],
               "{\"event\":\"calib_epoch\",\"device\":\"line-4#7\","
               "\"epoch\":1,\"calib_id\":\"push-1\","
               "\"entries_invalidated\":1,\"source\":\"calibrate\"}");
-    EXPECT_TRUE(startsWith(out[4],
+    EXPECT_TRUE(startsWith(out[5],
                            "{\"calibrate\":true,\"applied\":true,"
                            "\"device\":\"line-4#7\",\"epoch\":1,"
                            "\"entries_invalidated\":1,"))
-        << out[4];
+        << out[5];
 
     // Post-roll: identical submissions fingerprint differently,
     // recompile exactly once, and carry the new epoch.
-    EXPECT_NE(out[5].find("\"outcome\":\"Compiled\""),
-              std::string::npos)
-        << out[5];
-    EXPECT_NE(out[5].find("\"calib_epoch\":1"), std::string::npos);
-    EXPECT_NE(out[6].find("\"outcome\":\"CacheHit\""),
+    EXPECT_NE(out[6].find("\"outcome\":\"Compiled\""),
               std::string::npos)
         << out[6];
-    EXPECT_EQ(fpOf(out[0]), fpOf(out[1]));
-    EXPECT_EQ(fpOf(out[5]), fpOf(out[6]));
-    EXPECT_NE(fpOf(out[0]), fpOf(out[5]));
+    EXPECT_NE(out[6].find("\"calib_epoch\":1"), std::string::npos);
+    EXPECT_NE(out[8].find("\"outcome\":\"CacheHit\""),
+              std::string::npos)
+        << out[8];
+    EXPECT_EQ(fpOf(out[0]), fpOf(out[2]));
+    EXPECT_EQ(fpOf(out[6]), fpOf(out[8]));
+    EXPECT_NE(fpOf(out[0]), fpOf(out[6]));
 
     // Metrics expose the hub counters and the live epoch per device.
-    EXPECT_NE(out[7].find("\"calib_epochs_applied\":1"),
+    EXPECT_NE(out[9].find("\"calib_epochs_applied\":1"),
               std::string::npos)
-        << out[7];
-    EXPECT_NE(out[7].find("\"calib_entries_invalidated\":1"),
+        << out[9];
+    EXPECT_NE(out[9].find("\"calib_entries_invalidated\":1"),
               std::string::npos);
-    EXPECT_NE(out[7].find("\"calib_current\":{\"line-4#7\":1}"),
+    EXPECT_NE(out[9].find("\"calib_current\":{\"line-4#7\":1}"),
               std::string::npos)
-        << out[7];
+        << out[9];
 
     // The explicit GC pass retires the stale epoch-0 artifact now
     // that an epoch-1 artifact exists on disk.
-    EXPECT_NE(out[8].find("\"evicted_epoch\":1"), std::string::npos)
-        << out[8];
+    EXPECT_NE(out[10].find("\"evicted_epoch\":1"), std::string::npos)
+        << out[10];
 
     fs::remove_all(dir);
 }

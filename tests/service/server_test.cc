@@ -130,14 +130,19 @@ TEST(ServerSessionTest, ParseErrorsUseLineNumberIds)
 
 TEST(ServerSessionTest, CompileThenCacheHitInRequestOrder)
 {
+    // The metrics record between a and b is a synchronization point
+    // (control records settle every earlier response first), so a is
+    // compiled and cached before b is even submitted — b is a
+    // deterministic CacheHit, never racing into Coalesced.
     const auto [out, quit] = runTranscript(
         "{\"id\":\"a\",\"benchmark\":\"QFT\",\"qubits\":3}\n"
+        "{\"cmd\":\"metrics\"}\n"
         "{\"id\":\"b\",\"benchmark\":\"QFT\",\"qubits\":3}\n"
         "{\"id\":\"c\",\"benchmark\":\"HS\",\"qubits\":4}\n"
         "{\"cmd\":\"quit\"}\n"
         "{\"id\":\"never\",\"benchmark\":\"QFT\",\"qubits\":3}\n");
     EXPECT_TRUE(quit);
-    ASSERT_EQ(out.size(), 3u); // nothing after quit is served
+    ASSERT_EQ(out.size(), 4u); // nothing after quit is served
     EXPECT_TRUE(startsWith(out[0],
                            "{\"id\":\"a\",\"ok\":true,\"outcome\":"
                            "\"Compiled\",\"benchmark\":\"QFT-3\","
@@ -145,24 +150,25 @@ TEST(ServerSessionTest, CompileThenCacheHitInRequestOrder)
         << out[0];
     EXPECT_NE(out[0].find("\"cache_hit\":false"), std::string::npos);
     EXPECT_NE(out[0].find("\"program\":{"), std::string::npos);
-    EXPECT_TRUE(startsWith(out[1],
+    EXPECT_TRUE(startsWith(out[1], "{\"metrics\":true,")) << out[1];
+    EXPECT_TRUE(startsWith(out[2],
                            "{\"id\":\"b\",\"ok\":true,\"outcome\":"
                            "\"CacheHit\",\"benchmark\":\"QFT-3\","
                            "\"fingerprint\":\""))
-        << out[1];
-    EXPECT_NE(out[1].find("\"cache_hit\":true"), std::string::npos);
-    EXPECT_TRUE(startsWith(out[2],
+        << out[2];
+    EXPECT_NE(out[2].find("\"cache_hit\":true"), std::string::npos);
+    EXPECT_TRUE(startsWith(out[3],
                            "{\"id\":\"c\",\"ok\":true,\"outcome\":"
                            "\"Compiled\",\"benchmark\":\"HS-4\","))
-        << out[2];
+        << out[3];
 
     // Identical requests produce identical fingerprints.
     const auto fpOf = [](const std::string &line) {
         const auto pos = line.find("\"fingerprint\":\"");
         return line.substr(pos + 15, 32);
     };
-    EXPECT_EQ(fpOf(out[0]), fpOf(out[1]));
-    EXPECT_NE(fpOf(out[0]), fpOf(out[2]));
+    EXPECT_EQ(fpOf(out[0]), fpOf(out[2]));
+    EXPECT_NE(fpOf(out[0]), fpOf(out[3]));
 }
 
 TEST(ServerSessionTest, HelloAnnouncesVersionsAndCapabilities)

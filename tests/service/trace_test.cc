@@ -1,0 +1,257 @@
+/**
+ * @file
+ * TraceLog tests: the JSONL span record format, id minting,
+ * size-bounded rotation, and the slow-request summary sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "service/trace.h"
+
+namespace qzz::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceLogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("qzz_trace_test_" +
+                 std::to_string(
+                     ::testing::UnitTest::GetInstance()->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name()))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        path_ = (fs::path(dir_) / "trace.jsonl").string();
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::vector<std::string>
+    fileLines(const std::string &path) const
+    {
+        std::ifstream in(path);
+        std::vector<std::string> out;
+        std::string line;
+        while (std::getline(in, line))
+            out.push_back(line);
+        return out;
+    }
+
+    std::string dir_;
+    std::string path_;
+};
+
+TEST_F(TraceLogTest, RenderSpanGolden)
+{
+    TraceSpan span;
+    span.trace_id = "00112233445566778899aabbccddeeff";
+    span.span_id = 7;
+    span.parent_id = 3;
+    span.name = "cache_probe";
+    span.start_unix_ms = 1500.5;
+    span.duration_ms = 0.25;
+    EXPECT_EQ(renderTraceSpan(span),
+              "{\"trace_id\":\"00112233445566778899aabbccddeeff\","
+              "\"span_id\":7,\"parent_id\":3,\"name\":\"cache_probe\","
+              "\"start_ms\":1500.500,\"dur_ms\":0.250}");
+    span.attrs = {{"outcome", "Compiled"}, {"note", "a\"b"}};
+    EXPECT_EQ(renderTraceSpan(span),
+              "{\"trace_id\":\"00112233445566778899aabbccddeeff\","
+              "\"span_id\":7,\"parent_id\":3,\"name\":\"cache_probe\","
+              "\"start_ms\":1500.500,\"dur_ms\":0.250,"
+              "\"attrs\":{\"outcome\":\"Compiled\","
+              "\"note\":\"a\\\"b\"}}");
+}
+
+TEST_F(TraceLogTest, MintedIdsAreWellFormedAndUnique)
+{
+    std::set<std::string> traces;
+    for (int i = 0; i < 256; ++i) {
+        const std::string id = TraceLog::mintTraceId();
+        ASSERT_EQ(id.size(), 32u);
+        for (char c : id)
+            ASSERT_TRUE((c >= '0' && c <= '9') ||
+                        (c >= 'a' && c <= 'f'))
+                << id;
+        traces.insert(id);
+    }
+    EXPECT_EQ(traces.size(), 256u);
+
+    std::set<uint64_t> spans;
+    for (int i = 0; i < 256; ++i) {
+        const uint64_t id = TraceLog::mintSpanId();
+        ASSERT_NE(id, 0u);
+        spans.insert(id);
+    }
+    EXPECT_EQ(spans.size(), 256u);
+}
+
+TEST_F(TraceLogTest, EmitAppendsOneLinePerSpan)
+{
+    TraceLogConfig config;
+    config.path = path_;
+    TraceLog log(config);
+    TraceSpan span;
+    span.trace_id = TraceLog::mintTraceId();
+    span.span_id = TraceLog::mintSpanId();
+    span.name = "request";
+    log.emit(span);
+    span.span_id = TraceLog::mintSpanId();
+    span.parent_id = 1;
+    span.name = "queue_wait";
+    log.emit(span);
+    EXPECT_EQ(log.spansEmitted(), 2u);
+    const auto lines = fileLines(path_);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"name\":\"request\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"name\":\"queue_wait\""),
+              std::string::npos);
+    // Reopening the same path appends, never truncates.
+    TraceLog again(config);
+    span.span_id = TraceLog::mintSpanId();
+    span.name = "respond";
+    again.emit(span);
+    EXPECT_EQ(fileLines(path_).size(), 3u);
+}
+
+TEST_F(TraceLogTest, EmitTreeWritesSpansContiguously)
+{
+    TraceLogConfig config;
+    config.path = path_;
+    TraceLog log(config);
+    std::vector<TraceSpan> tree(3);
+    tree[0].trace_id = tree[1].trace_id = tree[2].trace_id =
+        TraceLog::mintTraceId();
+    tree[0].span_id = 10;
+    tree[0].name = "request";
+    tree[1].span_id = 11;
+    tree[1].parent_id = 10;
+    tree[1].name = "queue_wait";
+    tree[2].span_id = 12;
+    tree[2].parent_id = 10;
+    tree[2].name = "compile";
+    log.emitTree(tree);
+    EXPECT_EQ(log.spansEmitted(), 3u);
+    const auto lines = fileLines(path_);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("\"name\":\"request\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"name\":\"queue_wait\""),
+              std::string::npos);
+    EXPECT_NE(lines[2].find("\"name\":\"compile\""), std::string::npos);
+}
+
+TEST_F(TraceLogTest, RotatesBeforeExceedingMaxBytes)
+{
+    TraceLogConfig config;
+    config.path = path_;
+    config.max_bytes = 512;
+    TraceLog log(config);
+    TraceSpan span;
+    span.trace_id = TraceLog::mintTraceId();
+    span.name = "request";
+    for (int i = 0; i < 64; ++i) {
+        span.span_id = uint64_t(i) + 1;
+        log.emit(span);
+    }
+    EXPECT_GE(log.rotations(), 1u);
+    EXPECT_EQ(log.spansEmitted(), 64u);
+    // The live file stays under the bound; the previous generation is
+    // at "<path>.1", so the sink holds at most ~2x max_bytes.
+    EXPECT_LE(fs::file_size(path_), config.max_bytes);
+    EXPECT_TRUE(fs::exists(path_ + ".1"));
+    EXPECT_LE(fs::file_size(path_ + ".1"), config.max_bytes);
+    // No span line was lost across the rotations that kept both
+    // generations: the two files together hold the newest records.
+    const auto live = fileLines(path_);
+    const auto prev = fileLines(path_ + ".1");
+    EXPECT_GE(live.size() + prev.size(), 2u);
+}
+
+TEST_F(TraceLogTest, SlowRootsGoToTheSlowSink)
+{
+    TraceLogConfig config;
+    config.path = path_;
+    config.slow_ms = 100.0;
+    TraceLog log(config);
+    std::ostringstream slow;
+    log.setSlowSink(&slow);
+
+    std::vector<TraceSpan> tree(2);
+    tree[0].trace_id = "aa112233445566778899aabbccddeeff";
+    tree[0].span_id = 1;
+    tree[0].name = "request";
+    tree[0].duration_ms = 250.0;
+    tree[0].attrs = {{"outcome", "Compiled"}};
+    tree[1].span_id = 2;
+    tree[1].parent_id = 1; // child spans never hit the slow sink
+    tree[1].name = "compile";
+    tree[1].duration_ms = 240.0;
+    log.emitTree(tree);
+    EXPECT_EQ(log.slowLogged(), 1u);
+    const std::string line = slow.str();
+    EXPECT_NE(
+        line.find("qzz-slow trace_id=aa112233445566778899aabbccddeeff"),
+        std::string::npos)
+        << line;
+    EXPECT_NE(line.find("name=request"), std::string::npos);
+    EXPECT_NE(line.find("outcome=Compiled"), std::string::npos);
+
+    // A fast root stays quiet.
+    tree[0].duration_ms = 5.0;
+    tree[0].span_id = 3;
+    log.emitTree({tree[0]});
+    EXPECT_EQ(log.slowLogged(), 1u);
+}
+
+TEST_F(TraceLogTest, EmptyPathThrows)
+{
+    EXPECT_THROW(TraceLog(TraceLogConfig{}), UserError);
+}
+
+TEST_F(TraceLogTest, ConcurrentEmittersNeverTearLines)
+{
+    TraceLogConfig config;
+    config.path = path_;
+    TraceLog log(config);
+    constexpr int kThreads = 4;
+    constexpr int kSpans = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&log, t] {
+            TraceSpan span;
+            span.trace_id = TraceLog::mintTraceId();
+            span.name = "worker" + std::to_string(t);
+            for (int i = 0; i < kSpans; ++i) {
+                span.span_id = TraceLog::mintSpanId();
+                log.emit(span);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    const auto lines = fileLines(path_);
+    ASSERT_EQ(lines.size(), size_t(kThreads) * kSpans);
+    for (const std::string &line : lines) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+    }
+}
+
+} // namespace
+} // namespace qzz::svc
