@@ -65,6 +65,29 @@ ensure(bool cond, const std::string &msg)
         panic(msg);
 }
 
+/** @name Literal-message overloads
+ *  Checks called with string literals must not pay a std::string
+ *  construction (a heap allocation for any message past the SSO
+ *  limit) on the success path — the simulation kernels run a
+ *  require() per call, millions of times per schedule.  These
+ *  overloads defer the conversion to the failure branch.
+ *  @{
+ */
+inline void
+require(bool cond, const char *msg)
+{
+    if (!cond)
+        fatal(std::string(msg));
+}
+
+inline void
+ensure(bool cond, const char *msg)
+{
+    if (!cond)
+        panic(std::string(msg));
+}
+/** @} */
+
 } // namespace qzz
 
 #endif // QZZ_COMMON_ERROR_H

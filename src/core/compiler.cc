@@ -8,6 +8,7 @@
 
 #include "circuit/decompose.h"
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace qzz::core {
 
@@ -347,21 +348,16 @@ Compiler::compileBatch(const std::vector<ckt::QuantumCircuit> &circuits,
     } catch (const std::exception &) {
     }
 
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-        for (size_t i; (i = next.fetch_add(1)) < circuits.size();)
-            out.results[i] = compile(circuits[i]);
-    };
-    if (threads == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(size_t(threads));
-        for (int t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &th : pool)
-            th.join();
-    }
+    // Fan out over the shared work pool (one circuit per block) —
+    // repeated batches reuse the process-wide workers instead of
+    // spawning a fresh std::thread set per call.
+    common::parallelFor(
+        0, circuits.size(), 1,
+        [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i)
+                out.results[i] = compile(circuits[i]);
+        },
+        threads);
 
     out.wall_ms = millisecondsSince(start);
     out.threads_used = threads;

@@ -429,7 +429,8 @@ struct BatchResult
     std::vector<CompileResult> results;
     /** End-to-end batch wall time (ms). */
     double wall_ms = 0.0;
-    /** Worker threads actually used. */
+    /** Resolved thread cap applied to the batch (the shared pool may
+     *  hold fewer workers on small machines). */
     int threads_used = 0;
 
     /** True when every circuit compiled successfully. */

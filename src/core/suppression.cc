@@ -196,13 +196,22 @@ SuppressionSolver::solve(const std::vector<int> &q,
         double objective = 0.0;
         double tie = 0.0;
     };
+    // The candidate loop below calls evaluate() once per (pair, path)
+    // advance per sweep; the contraction mask is hoisted and reused so
+    // the loop allocates nothing per candidate.
+    std::vector<char> contract_buf(size_t(m), 0);
     auto evaluate = [&](const std::vector<size_t> &choice) {
         Evaluated ev;
-        std::vector<char> pairing(size_t(m), 0);
+        std::fill(contract_buf.begin(), contract_buf.end(), 0);
         for (size_t p = 0; p < path_lists.size(); ++p)
             for (int e : path_lists[p][choice[p]].edges)
-                pairing[e] ^= 1; // symmetric difference
-        auto colors = induceCut(pairing, eq);
+                contract_buf[size_t(e)] ^= 1; // symmetric difference
+        // Add Edges + Cut Inducing (see induceCut()): contract the
+        // pairing plus E_Q in the primal.
+        for (size_t e = 0; e < size_t(m); ++e)
+            if (eq[e])
+                contract_buf[e] = 1;
+        auto colors = emb_.graph().twoColorAfterContraction(contract_buf);
         if (!colors)
             return ev;
         if (!q.empty() && !sameSide(*colors, q))
@@ -250,9 +259,10 @@ SuppressionSolver::solve(const std::vector<int> &q,
             for (size_t p = 0; p < path_lists.size(); ++p) {
                 if (choice[p] + 1 >= path_lists[p].size())
                     continue;
-                std::vector<size_t> cand = choice;
-                ++cand[p];
-                Evaluated ev = evaluate(cand);
+                // Probe the one-step advance in place (no copy).
+                ++choice[p];
+                Evaluated ev = evaluate(choice);
+                --choice[p];
                 if (!ev.valid)
                     continue;
                 if (scoreLess(ev.objective, ev.tie, best_cand_obj,

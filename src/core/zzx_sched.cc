@@ -205,6 +205,14 @@ zzxSchedule(const QuantumCircuit &native, const dev::Device &dev,
     sched.num_qubits = native.numQubits();
     ckt::DagFrontier frontier(native);
 
+    // The Case-1 cut constrains no qubits, so it is the same for every
+    // 1Q-only frontier: solve it once per schedule on first need.
+    // Deep circuits alternate 1Q layers with 2Q layers, and the solve
+    // (matching plus greedy path relaxation, fully deterministic — so
+    // reuse is bit-identical) dominated their compile time.
+    SuppressionResult case1_cut;
+    bool have_case1 = false;
+
     while (!frontier.done()) {
         const std::vector<int> ready = frontier.schedulable();
         ensure(!ready.empty(), "zzxSchedule: stalled frontier");
@@ -240,7 +248,11 @@ zzxSchedule(const QuantumCircuit &native, const dev::Device &dev,
         std::vector<char> s_mask;
         if (sg2.empty()) {
             // Case 1: unconstrained cut; S = side with more gates.
-            cut = solver.solve({}, opt.suppression);
+            if (!have_case1) {
+                case1_cut = solver.solve({}, opt.suppression);
+                have_case1 = true;
+            }
+            cut = case1_cut;
             int count[2] = {0, 0};
             for (int gi : phys)
                 ++count[cut.side[native.gates()[gi].qubits[0]]];

@@ -153,6 +153,190 @@ expPauli(double ax, double ay, double az)
     return u;
 }
 
+void
+expPauli(double ax, double ay, double az, Mat2 &out)
+{
+    const double r = std::sqrt(ax * ax + ay * ay + az * az);
+    if (r < 1e-300) {
+        out = {cplx{1.0, 0.0}, cplx{0.0, 0.0}, cplx{0.0, 0.0},
+               cplx{1.0, 0.0}};
+        return;
+    }
+    const double c = std::cos(r);
+    const double s = std::sin(r) / r;
+    out[0] = cplx{c, -s * az};
+    out[1] = cplx{-s * ay, -s * ax};
+    out[2] = cplx{s * ay, -s * ax};
+    out[3] = cplx{c, s * az};
+}
+
+namespace {
+
+// Fixed-size 4x4 helpers mirroring the CMatrix operators exactly
+// (same accumulation order, same zero-entry skip), so that
+// expmPropagator4() reproduces expm() bit for bit.
+
+void
+mul4(const Mat4 &lhs, const Mat4 &rhs, Mat4 &out)
+{
+    out.fill(cplx{0.0, 0.0});
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t x = 0; x < 4; ++x) {
+            const cplx a = lhs[r * 4 + x];
+            if (a == cplx{0.0, 0.0})
+                continue;
+            for (size_t c = 0; c < 4; ++c)
+                out[r * 4 + c] += a * rhs[x * 4 + c];
+        }
+}
+
+/** out = s * m, matching operator*(cplx, CMatrix)'s v *= s. */
+Mat4
+scaled4(double s, const Mat4 &m)
+{
+    Mat4 out = m;
+    for (cplx &v : out)
+        v *= cplx{s, 0.0};
+    return out;
+}
+
+void
+add4(Mat4 &lhs, const Mat4 &rhs)
+{
+    for (size_t i = 0; i < 16; ++i)
+        lhs[i] += rhs[i];
+}
+
+double
+oneNorm4(const Mat4 &a)
+{
+    double best = 0.0;
+    for (size_t c = 0; c < 4; ++c) {
+        double s = 0.0;
+        for (size_t r = 0; r < 4; ++r)
+            s += std::abs(a[r * 4 + c]);
+        best = std::max(best, s);
+    }
+    return best;
+}
+
+/** Solve A X = B in place on the stack; transcribes luSolve(). */
+Mat4
+luSolve4(Mat4 lu, Mat4 x)
+{
+    for (size_t col = 0; col < 4; ++col) {
+        size_t pivot = col;
+        double best = std::abs(lu[col * 4 + col]);
+        for (size_t r = col + 1; r < 4; ++r) {
+            double v = std::abs(lu[r * 4 + col]);
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        require(best > 0.0, "luSolve4: singular matrix");
+        if (pivot != col) {
+            for (size_t c = 0; c < 4; ++c)
+                std::swap(lu[col * 4 + c], lu[pivot * 4 + c]);
+            for (size_t c = 0; c < 4; ++c)
+                std::swap(x[col * 4 + c], x[pivot * 4 + c]);
+        }
+        const cplx d = lu[col * 4 + col];
+        for (size_t r = col + 1; r < 4; ++r) {
+            const cplx f = lu[r * 4 + col] / d;
+            if (f == cplx{0.0, 0.0})
+                continue;
+            lu[r * 4 + col] = f;
+            for (size_t c = col + 1; c < 4; ++c)
+                lu[r * 4 + c] -= f * lu[col * 4 + c];
+            for (size_t c = 0; c < 4; ++c)
+                x[r * 4 + c] -= f * x[col * 4 + c];
+        }
+    }
+    for (size_t ri = 4; ri-- > 0;) {
+        const cplx d = lu[ri * 4 + ri];
+        for (size_t c = 0; c < 4; ++c) {
+            cplx acc = x[ri * 4 + c];
+            for (size_t k = ri + 1; k < 4; ++k)
+                acc -= lu[ri * 4 + k] * x[k * 4 + c];
+            x[ri * 4 + c] = acc / d;
+        }
+    }
+    return x;
+}
+
+} // namespace
+
+void
+expmPropagator4(const Mat4 &h, double t, Mat4 &out)
+{
+    Mat4 as = h;
+    for (cplx &v : as)
+        v *= cplx{0.0, -t};
+
+    const double theta13 = 5.371920351148152;
+    const double nrm = oneNorm4(as);
+    int s = 0;
+    if (nrm > theta13)
+        s = int(std::ceil(std::log2(nrm / theta13)));
+    if (s > 0)
+        for (cplx &v : as)
+            v *= cplx{std::ldexp(1.0, -s), 0.0};
+
+    static const double b[] = {
+        64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+        1187353796428800.0,  129060195264000.0,   10559470521600.0,
+        670442572800.0,      33522128640.0,       1323241920.0,
+        40840800.0,          960960.0,            16380.0,
+        182.0,               1.0};
+
+    Mat4 id{};
+    for (size_t i = 0; i < 4; ++i)
+        id[i * 4 + i] = cplx{1.0, 0.0};
+    Mat4 a2, a4, a6;
+    mul4(as, as, a2);
+    mul4(a2, a2, a4);
+    mul4(a2, a4, a6);
+
+    // u = as * (a6 * (b13 a6 + b11 a4 + b9 a2)
+    //           + b7 a6 + b5 a4 + b3 a2 + b1 I)
+    Mat4 p = scaled4(b[13], a6);
+    add4(p, scaled4(b[11], a4));
+    add4(p, scaled4(b[9], a2));
+    Mat4 u_inner;
+    mul4(a6, p, u_inner);
+    add4(u_inner, scaled4(b[7], a6));
+    add4(u_inner, scaled4(b[5], a4));
+    add4(u_inner, scaled4(b[3], a2));
+    add4(u_inner, scaled4(b[1], id));
+    Mat4 u;
+    mul4(as, u_inner, u);
+
+    // v = a6 * (b12 a6 + b10 a4 + b8 a2) + b6 a6 + b4 a4 + b2 a2 + b0 I
+    Mat4 q = scaled4(b[12], a6);
+    add4(q, scaled4(b[10], a4));
+    add4(q, scaled4(b[8], a2));
+    Mat4 v;
+    mul4(a6, q, v);
+    add4(v, scaled4(b[6], a6));
+    add4(v, scaled4(b[4], a4));
+    add4(v, scaled4(b[2], a2));
+    add4(v, scaled4(b[0], id));
+
+    Mat4 vmu = v, vpu = v;
+    for (size_t i = 0; i < 16; ++i) {
+        vmu[i] -= u[i];
+        vpu[i] += u[i];
+    }
+    Mat4 r = luSolve4(vmu, vpu);
+    for (int i = 0; i < s; ++i) {
+        Mat4 rr;
+        mul4(r, r, rr);
+        r = rr;
+    }
+    out = r;
+}
+
 CMatrix
 expInvolutory(const CMatrix &p, double theta)
 {

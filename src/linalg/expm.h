@@ -42,6 +42,19 @@ CMatrix expmPropagator(const CMatrix &h, double t);
  */
 CMatrix expPauli(double ax, double ay, double az);
 
+/** Allocation-free expPauli variant writing into a fixed 2x2.  The
+ *  entries are bit-identical to the CMatrix overload's. */
+void expPauli(double ax, double ay, double az, Mat2 &out);
+
+/**
+ * Allocation-free 4x4 propagator exp(-i H t): a faithful fixed-size
+ * transcription of expmPropagator()/expm() (same scaling choice, same
+ * Pade-13 evaluation order, same LU pivoting), so the result is
+ * bit-identical to the heap CMatrix path on finite inputs.  This is
+ * the kernel behind the memoized two-qubit step propagators.
+ */
+void expmPropagator4(const Mat4 &h, double t, Mat4 &out);
+
 /**
  * Closed-form exp(-i theta P) for an involutory operator (P^2 = I):
  * cos(theta) I - i sin(theta) P.

@@ -1,5 +1,6 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -21,6 +22,24 @@ CMatrix::CMatrix(std::initializer_list<std::initializer_list<cplx>> init)
         for (const auto &v : row)
             data_.push_back(v);
     }
+}
+
+Mat2
+toMat2(const CMatrix &m)
+{
+    require(m.rows() == 2 && m.cols() == 2, "toMat2: need a 2x2");
+    Mat2 out;
+    std::copy(m.data(), m.data() + 4, out.begin());
+    return out;
+}
+
+Mat4
+toMat4(const CMatrix &m)
+{
+    require(m.rows() == 4 && m.cols() == 4, "toMat4: need a 4x4");
+    Mat4 out;
+    std::copy(m.data(), m.data() + 16, out.begin());
+    return out;
 }
 
 CMatrix

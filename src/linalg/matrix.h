@@ -12,6 +12,7 @@
 #ifndef QZZ_LINALG_MATRIX_H
 #define QZZ_LINALG_MATRIX_H
 
+#include <array>
 #include <complex>
 #include <initializer_list>
 #include <vector>
@@ -26,6 +27,19 @@ inline constexpr cplx kI{0.0, 1.0};
 
 /** A dense complex column vector. */
 using CVector = std::vector<cplx>;
+
+/**
+ * Fixed-size row-major 2x2 / 4x4 complex matrices (element (r, c) at
+ * index r * n + c).  These are the currency of the simulator hot
+ * path: step propagators live in them so the memoized-propagator
+ * loop never allocates (see sim/drive_step.h).
+ */
+using Mat2 = std::array<cplx, 4>;
+using Mat4 = std::array<cplx, 16>;
+
+/** Copy a CMatrix of matching shape into a fixed-size matrix. */
+Mat2 toMat2(const class CMatrix &m);
+Mat4 toMat4(const class CMatrix &m);
 
 /** A dense, row-major complex matrix. */
 class CMatrix

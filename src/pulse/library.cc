@@ -32,9 +32,12 @@ const PulseProgram &
 PulseLibrary::get(PulseGate g) const
 {
     auto it = programs_.find(g);
-    require(it != programs_.end(),
-            "PulseLibrary '" + name_ + "': no program for " +
-                pulseGateName(g));
+    // Message built only on failure: get() sits on simulator hot
+    // paths, and eager concatenation allocated several strings per
+    // successful lookup.
+    if (it == programs_.end())
+        fatal("PulseLibrary '" + name_ + "': no program for " +
+              pulseGateName(g));
     return it->second;
 }
 

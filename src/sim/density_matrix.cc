@@ -1,3 +1,9 @@
+// The fused hot-path kernels (apply1Q/apply2Q/applyPhaseVector/
+// applyDecoherence) live in density_matrix_kernels.cc, the only
+// translation unit the build compiles with the vector ISA; this file
+// keeps the constructors, the retained scalar reference paths, and
+// the observables at baseline codegen.
+
 #include "sim/density_matrix.h"
 
 #include <cmath>
@@ -31,6 +37,20 @@ void
 DensityMatrix::apply1Q(const CMatrix &u, int q)
 {
     require(u.rows() == 2 && u.cols() == 2, "apply1Q: need 2x2");
+    apply1Q(la::toMat2(u), q);
+}
+
+void
+DensityMatrix::apply2Q(const CMatrix &u, int q_hi, int q_lo)
+{
+    require(u.rows() == 4 && u.cols() == 4, "apply2Q: need 4x4");
+    apply2Q(la::toMat4(u), q_hi, q_lo);
+}
+
+void
+DensityMatrix::apply1QScalar(const CMatrix &u, int q)
+{
+    require(u.rows() == 2 && u.cols() == 2, "apply1Q: need 2x2");
     const size_t stride = size_t(1) << bitPos(q);
     const size_t d = dim();
     // Left multiply: rows mix within each column.
@@ -60,7 +80,7 @@ DensityMatrix::apply1Q(const CMatrix &u, int q)
 }
 
 void
-DensityMatrix::apply2Q(const CMatrix &u, int q_hi, int q_lo)
+DensityMatrix::apply2QScalar(const CMatrix &u, int q_hi, int q_lo)
 {
     require(u.rows() == 4 && u.cols() == 4, "apply2Q: need 4x4");
     const size_t s_hi = size_t(1) << bitPos(q_hi);
@@ -176,8 +196,8 @@ DensityMatrix::applyDephasing(int q, double keep)
 }
 
 void
-DensityMatrix::applyDecoherence(const std::vector<double> &gamma,
-                                const std::vector<double> &keep)
+DensityMatrix::applyDecoherenceScalar(const std::vector<double> &gamma,
+                                      const std::vector<double> &keep)
 {
     require(int(gamma.size()) == n_ && int(keep.size()) == n_,
             "applyDecoherence: per-qubit rate vectors must have one "

@@ -6,6 +6,20 @@
  * matrices).  Unitaries are applied locally from the left and right;
  * relaxation (T1) and dephasing (T2) enter as exact per-step Kraus
  * channels on each qubit.
+ *
+ * Hot-path kernels (apply1Q / apply2Q / applyPhaseVector /
+ * applyDecoherence) are fused: conjugation U rho U^dag decomposes
+ * into independent 2x2 (4x4) blocks mixing row pair (r0, r1) with
+ * column pair (c0, c1), so one cache-blocked sweep applies the left
+ * and the right factor together, in registers, with zero heap
+ * allocation — instead of two full passes over the matrix.  For
+ * n >= 8 qubits the row-block loops split across the shared
+ * common::parallelFor() pool (block-disjoint writes, so results are
+ * independent of thread count).  The pre-fusion implementations are
+ * retained as *Scalar reference paths; the kernel-equivalence suite
+ * (tests/sim/kernel_equivalence_test.cc) pins optimized == scalar to
+ * <= 1e-14 elementwise, and bench/bench_sim_speed.cc measures the
+ * ratio.  See docs/performance.md.
  */
 
 #ifndef QZZ_SIM_DENSITY_MATRIX_H
@@ -32,18 +46,30 @@ class DensityMatrix
     la::CMatrix &matrix() { return rho_; }
     const la::CMatrix &matrix() const { return rho_; }
 
-    /** rho -> U_q rho U_q^dag for a 2x2 U. */
+    /** rho -> U_q rho U_q^dag for a 2x2 U (fused kernel). */
+    void apply1Q(const la::Mat2 &u, int q);
     void apply1Q(const la::CMatrix &u, int q);
 
-    /** rho -> U rho U^dag for a 4x4 U on (q_hi, q_lo). */
+    /** rho -> U rho U^dag for a 4x4 U on (q_hi, q_lo) (fused). */
+    void apply2Q(const la::Mat4 &u, int q_hi, int q_lo);
     void apply2Q(const la::CMatrix &u, int q_hi, int q_lo);
 
     /** Virtual RZ. */
     void applyRz(int q, double theta);
 
-    /** rho[r,c] *= exp(-i (E[r] - E[c]) dt). */
+    /** rho[r,c] *= exp(-i (E[r] - E[c]) dt).
+     *
+     *  Scalar reference: one cos/sin pair per element per call.  The
+     *  optimized twin is applyPhaseVector() — the schedule
+     *  simulators precompute p once per layer and pay only complex
+     *  multiplies per step. */
     void applyDiagonalPhase(const std::vector<double> &energies,
                             double dt);
+
+    /** rho[r,c] *= p[r] * conj(p[c]) for a unit-modulus phase vector
+     *  (p[i] = exp(-i E[i] dt), precomputed by the caller).  Agrees
+     *  with applyDiagonalPhase() to 1 ulp per element. */
+    void applyPhaseVector(const la::CVector &p);
 
     /** Amplitude damping with excited-state decay probability
      *  @p gamma on qubit @p q. */
@@ -58,9 +84,25 @@ class DensityMatrix
      * @p keep[q] on every qubit.  Qubits with gamma 0 / keep 1 are
      * skipped, so a heterogeneous device pays only for its lossy
      * qubits.  Both vectors must have numQubits() entries.
+     *
+     * Fused: both channels for one qubit land in a single sweep over
+     * the matrix (the scalar path makes three).
      */
     void applyDecoherence(const std::vector<double> &gamma,
                           const std::vector<double> &keep);
+
+    /** @name Scalar reference kernels
+     *  The pre-vectorization implementations, element-by-element and
+     *  unfused.  Retained verbatim so the optimized kernels can be
+     *  regression-tested and benchmarked against them; used by the
+     *  simulators' scalar_reference mode.
+     *  @{
+     */
+    void apply1QScalar(const la::CMatrix &u, int q);
+    void apply2QScalar(const la::CMatrix &u, int q_hi, int q_lo);
+    void applyDecoherenceScalar(const std::vector<double> &gamma,
+                                const std::vector<double> &keep);
+    /** @} */
 
     /** <psi| rho |psi>. */
     double expectationPure(const StateVector &psi) const;

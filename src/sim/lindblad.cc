@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
-#include "linalg/expm.h"
+#include "sim/drive_step.h"
 
 namespace qzz::sim {
 
@@ -30,57 +30,43 @@ DensityMatrixScheduleSimulator::DensityMatrixScheduleSimulator(
         if (std::isfinite(device_.t1(q)) ||
             std::isfinite(device_.t2(q)))
             any_decoherence_ = true;
+    if (options_.telemetry)
+        metrics_ = simMetrics("density");
 }
 
 namespace {
 
-PulseGate
-pulseGateOf(const ckt::Gate &g)
+struct Job
 {
-    switch (g.kind) {
-    case ckt::GateKind::SX:
-        return PulseGate::SX;
-    case ckt::GateKind::I:
-        return PulseGate::Identity;
-    case ckt::GateKind::RZX:
-        return PulseGate::RZX;
-    default:
-        fatal("lindblad simulator: gate has no pulses: " + g.toString());
+    const PulseProgram *program;
+    PulseGate kind;
+    int q0, q1; // q1 = -1 for single-qubit jobs
+};
+
+std::vector<Job>
+collectJobs(const core::Layer &layer, const pulse::PulseLibrary &library)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(layer.gates.size());
+    for (const core::ScheduledGate &sg : layer.gates) {
+        const PulseGate kind = pulseGateOf(sg.gate);
+        Job j;
+        j.program = &library.get(kind);
+        j.kind = kind;
+        j.q0 = sg.gate.qubits[0];
+        j.q1 = sg.gate.isTwoQubit() ? sg.gate.qubits[1] : -1;
+        jobs.push_back(j);
     }
+    return jobs;
 }
 
-CMatrix
-drive1QStep(const PulseProgram &p, double t_mid, double dt)
+size_t
+layerSteps(const core::Layer &layer, double dt_opt, double &dt)
 {
-    const double ox = PulseProgram::eval(p.x_a, t_mid);
-    const double oy = PulseProgram::eval(p.y_a, t_mid);
-    return la::expPauli(ox * dt, oy * dt, 0.0);
-}
-
-CMatrix
-drive2QStep(const PulseProgram &p, double t_mid, double dt)
-{
-    const double oxa = PulseProgram::eval(p.x_a, t_mid);
-    const double oya = PulseProgram::eval(p.y_a, t_mid);
-    const double oxb = PulseProgram::eval(p.x_b, t_mid);
-    const double oyb = PulseProgram::eval(p.y_b, t_mid);
-    const double oc = PulseProgram::eval(p.coupling, t_mid);
-    CMatrix h(4, 4);
-    const cplx da{oxa, -oya};
-    h(0, 2) += da;
-    h(1, 3) += da;
-    h(2, 0) += std::conj(da);
-    h(3, 1) += std::conj(da);
-    const cplx db{oxb, -oyb};
-    h(0, 1) += db;
-    h(2, 3) += db;
-    h(1, 0) += std::conj(db);
-    h(3, 2) += std::conj(db);
-    h(0, 1) += oc;
-    h(1, 0) += oc;
-    h(2, 3) += -oc;
-    h(3, 2) += -oc;
-    return la::expmPropagator(h, dt);
+    const size_t steps = std::max<size_t>(
+        1, size_t(std::ceil(layer.duration / dt_opt)));
+    dt = layer.duration / double(steps);
+    return steps;
 }
 
 } // namespace
@@ -113,6 +99,15 @@ void
 DensityMatrixScheduleSimulator::runLayer(const core::Layer &layer,
                                          DensityMatrix &rho) const
 {
+    StepPropagatorMemo memo;
+    runLayerImpl(layer, rho, memo);
+}
+
+void
+DensityMatrixScheduleSimulator::runLayerImpl(const core::Layer &layer,
+                                             DensityMatrix &rho,
+                                             StepPropagatorMemo &memo) const
+{
     if (layer.is_virtual) {
         for (const core::ScheduledGate &sg : layer.gates)
             rho.applyRz(sg.gate.qubits[0], sg.gate.params[0]);
@@ -120,15 +115,92 @@ DensityMatrixScheduleSimulator::runLayer(const core::Layer &layer,
     }
     if (layer.duration <= 0.0)
         return;
+    if (options_.scalar_reference) {
+        runLayerScalar(layer, rho);
+        return;
+    }
 
-    const size_t steps = std::max<size_t>(
-        1, size_t(std::ceil(layer.duration / options_.dt)));
-    const double dt = layer.duration / double(steps);
+    double dt = 0.0;
+    const size_t steps = layerSteps(layer, options_.dt, dt);
+    const std::vector<Job> jobs = collectJobs(layer, library_);
 
     std::vector<double> gamma, keep;
     if (any_decoherence_)
         decoherenceFactors(dt, gamma, keep);
 
+    // On a fully coherent device the trailing ZZ half-step of step s
+    // and the leading one of step s+1 merge into one full-step sweep;
+    // with decoherence the Kraus channel sits between them, so the
+    // half-steps stay separate.
+    const bool merge_halves = !any_decoherence_;
+    const la::CVector p_half = phaseVector(zz_energies_, dt / 2.0);
+    const la::CVector p_full = (merge_halves && steps > 1)
+                                   ? phaseVector(zz_energies_, dt)
+                                   : la::CVector{};
+
+    const bool tm = metrics_.enabled();
+    KernelTimer phase_t(tm), gate_t(tm), decoh_t(tm);
+
+    if (merge_halves) {
+        phase_t.start();
+        rho.applyPhaseVector(p_half);
+        phase_t.stop();
+    }
+    for (size_t s = 0; s < steps; ++s) {
+        const double t_mid = (double(s) + 0.5) * dt;
+        if (!merge_halves) {
+            phase_t.start();
+            rho.applyPhaseVector(p_half);
+            phase_t.stop();
+        }
+        gate_t.start();
+        for (const Job &j : jobs) {
+            if (t_mid >= j.program->duration)
+                continue; // this gate's pulses already ended
+            if (j.q1 < 0)
+                rho.apply1Q(memo.get1Q(*j.program, j.kind, s, dt), j.q0);
+            else
+                rho.apply2Q(memo.get2Q(*j.program, j.kind, s, dt), j.q0,
+                            j.q1);
+        }
+        gate_t.stop();
+        phase_t.start();
+        if (merge_halves)
+            rho.applyPhaseVector(s + 1 < steps ? p_full : p_half);
+        else
+            rho.applyPhaseVector(p_half);
+        phase_t.stop();
+        if (any_decoherence_) {
+            decoh_t.start();
+            rho.applyDecoherence(gamma, keep);
+            decoh_t.stop();
+        }
+    }
+
+    if (tm) {
+        metrics_.layers->inc();
+        metrics_.steps->inc(steps);
+        metrics_.phase_ns->observe(phase_t.ns());
+        metrics_.gate_ns->observe(gate_t.ns());
+        metrics_.decoh_ns->observe(decoh_t.ns());
+    }
+}
+
+void
+DensityMatrixScheduleSimulator::runLayerScalar(const core::Layer &layer,
+                                               DensityMatrix &rho) const
+{
+    double dt = 0.0;
+    const size_t steps = layerSteps(layer, options_.dt, dt);
+
+    std::vector<double> gamma, keep;
+    if (any_decoherence_)
+        decoherenceFactors(dt, gamma, keep);
+
+    // The pre-optimization loop, kept byte-for-byte in behavior:
+    // per-step cos/sin phase sweeps, a library lookup and a fresh
+    // propagator per gate per step, unfused kernels, sequential
+    // Kraus channels.
     for (size_t s = 0; s < steps; ++s) {
         const double t_mid = (double(s) + 0.5) * dt;
         rho.applyDiagonalPhase(zz_energies_, dt / 2.0);
@@ -138,16 +210,20 @@ DensityMatrixScheduleSimulator::runLayer(const core::Layer &layer,
             if (t_mid >= prog.duration)
                 continue;
             if (sg.gate.isTwoQubit()) {
-                rho.apply2Q(drive2QStep(prog, t_mid, dt),
-                            sg.gate.qubits[0], sg.gate.qubits[1]);
+                rho.apply2QScalar(drive2QStepScalar(prog, t_mid, dt),
+                                  sg.gate.qubits[0], sg.gate.qubits[1]);
             } else {
-                rho.apply1Q(drive1QStep(prog, t_mid, dt),
-                            sg.gate.qubits[0]);
+                rho.apply1QScalar(drive1QStepScalar(prog, t_mid, dt),
+                                  sg.gate.qubits[0]);
             }
         }
         rho.applyDiagonalPhase(zz_energies_, dt / 2.0);
         if (any_decoherence_)
-            rho.applyDecoherence(gamma, keep);
+            rho.applyDecoherenceScalar(gamma, keep);
+    }
+    if (metrics_.enabled()) {
+        metrics_.layers->inc();
+        metrics_.steps->inc(steps);
     }
 }
 
@@ -157,8 +233,9 @@ DensityMatrixScheduleSimulator::run(const core::Schedule &schedule,
 {
     require(schedule.num_qubits == device_.numQubits(),
             "DensityMatrixScheduleSimulator: schedule/device mismatch");
+    StepPropagatorMemo memo;
     for (const core::Layer &layer : schedule.layers)
-        runLayer(layer, rho);
+        runLayerImpl(layer, rho, memo);
 }
 
 DensityMatrix

@@ -45,9 +45,18 @@ class DensityMatrixScheduleSimulator
     pulse::PulseLibrary library_;
     PulseSimOptions options_;
     std::vector<double> zz_energies_;
+    SimMetrics metrics_;
     /** True when any qubit has a finite T1 or T2 (skip the Kraus
      *  sweep entirely on fully coherent devices). */
     bool any_decoherence_ = false;
+
+    /** One layer against a caller-owned propagator memo (run() keeps
+     *  one across layers so equal-dt layers share entries). */
+    void runLayerImpl(const core::Layer &layer, DensityMatrix &rho,
+                      StepPropagatorMemo &memo) const;
+    /** The retained seed integrator (scalar_reference option). */
+    void runLayerScalar(const core::Layer &layer,
+                        DensityMatrix &rho) const;
 
     /** Per-qubit decay probability / dephasing retention for one
      *  integrator step of @p dt, from the calibrated T1(q)/T2(q).

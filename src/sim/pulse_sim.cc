@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
-#include "linalg/expm.h"
+#include "sim/drive_step.h"
 
 namespace qzz::sim {
 
@@ -27,62 +27,56 @@ PulseScheduleSimulator::PulseScheduleSimulator(
     }
     zz_energies_ =
         zzEnergyTable(device_.numQubits(), edges, lambdas);
+    if (options_.telemetry)
+        metrics_ = simMetrics("statevector");
+}
+
+la::CVector
+phaseVector(const std::vector<double> &energies, double dt)
+{
+    la::CVector p(energies.size());
+    for (size_t k = 0; k < energies.size(); ++k) {
+        const double phi = energies[k] * dt;
+        p[k] = cplx{std::cos(phi), -std::sin(phi)};
+    }
+    return p;
 }
 
 namespace {
 
-/** Map a native gate kind onto its pulse program key. */
-PulseGate
-pulseGateOf(const ckt::Gate &g)
+/** One pulse job of a layer, with the library lookup done once. */
+struct Job
 {
-    switch (g.kind) {
-    case ckt::GateKind::SX:
-        return PulseGate::SX;
-    case ckt::GateKind::I:
-        return PulseGate::Identity;
-    case ckt::GateKind::RZX:
-        return PulseGate::RZX;
-    default:
-        fatal("pulse simulator: gate has no pulses: " + g.toString());
+    const PulseProgram *program;
+    PulseGate kind;
+    int q0, q1; // q1 = -1 for single-qubit jobs
+};
+
+std::vector<Job>
+collectJobs(const core::Layer &layer, const pulse::PulseLibrary &library)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(layer.gates.size());
+    for (const core::ScheduledGate &sg : layer.gates) {
+        const PulseGate kind = pulseGateOf(sg.gate);
+        Job j;
+        j.program = &library.get(kind);
+        j.kind = kind;
+        j.q0 = sg.gate.qubits[0];
+        j.q1 = sg.gate.isTwoQubit() ? sg.gate.qubits[1] : -1;
+        jobs.push_back(j);
     }
+    return jobs;
 }
 
-/** Instantaneous 2x2 drive propagator over dt. */
-CMatrix
-drive1QStep(const PulseProgram &p, double t_mid, double dt)
+/** Step count and width for one physical layer. */
+size_t
+layerSteps(const core::Layer &layer, double dt_opt, double &dt)
 {
-    const double ox = PulseProgram::eval(p.x_a, t_mid);
-    const double oy = PulseProgram::eval(p.y_a, t_mid);
-    return la::expPauli(ox * dt, oy * dt, 0.0);
-}
-
-/** Instantaneous 4x4 drive propagator over dt (drives + coupling
- *  channel; the intra-pair ZZ lives in the diagonal bath). */
-CMatrix
-drive2QStep(const PulseProgram &p, double t_mid, double dt)
-{
-    const double oxa = PulseProgram::eval(p.x_a, t_mid);
-    const double oya = PulseProgram::eval(p.y_a, t_mid);
-    const double oxb = PulseProgram::eval(p.x_b, t_mid);
-    const double oyb = PulseProgram::eval(p.y_b, t_mid);
-    const double oc = PulseProgram::eval(p.coupling, t_mid);
-
-    CMatrix h(4, 4);
-    const cplx da{oxa, -oya};
-    h(0, 2) += da;
-    h(1, 3) += da;
-    h(2, 0) += std::conj(da);
-    h(3, 1) += std::conj(da);
-    const cplx db{oxb, -oyb};
-    h(0, 1) += db;
-    h(2, 3) += db;
-    h(1, 0) += std::conj(db);
-    h(3, 2) += std::conj(db);
-    h(0, 1) += oc;
-    h(1, 0) += oc;
-    h(2, 3) += -oc;
-    h(3, 2) += -oc;
-    return la::expmPropagator(h, dt);
+    const size_t steps = std::max<size_t>(
+        1, size_t(std::ceil(layer.duration / dt_opt)));
+    dt = layer.duration / double(steps);
+    return steps;
 }
 
 } // namespace
@@ -90,6 +84,15 @@ drive2QStep(const PulseProgram &p, double t_mid, double dt)
 void
 PulseScheduleSimulator::runLayer(const core::Layer &layer,
                                  StateVector &psi) const
+{
+    StepPropagatorMemo memo;
+    runLayerImpl(layer, psi, memo);
+}
+
+void
+PulseScheduleSimulator::runLayerImpl(const core::Layer &layer,
+                                     StateVector &psi,
+                                     StepPropagatorMemo &memo) const
 {
     if (layer.is_virtual) {
         for (const core::ScheduledGate &sg : layer.gates) {
@@ -101,29 +104,62 @@ PulseScheduleSimulator::runLayer(const core::Layer &layer,
     }
     if (layer.duration <= 0.0)
         return;
-
-    const size_t steps = std::max<size_t>(
-        1, size_t(std::ceil(layer.duration / options_.dt)));
-    const double dt = layer.duration / double(steps);
-
-    // Collect the layer's pulse jobs.
-    struct Job
-    {
-        const PulseProgram *program;
-        PulseGate kind;
-        int q0, q1; // q1 = -1 for single-qubit jobs
-    };
-    std::vector<Job> jobs;
-    for (const core::ScheduledGate &sg : layer.gates) {
-        const PulseGate kind = pulseGateOf(sg.gate);
-        const PulseProgram &prog = library_.get(kind);
-        Job j;
-        j.program = &prog;
-        j.kind = kind;
-        j.q0 = sg.gate.qubits[0];
-        j.q1 = sg.gate.isTwoQubit() ? sg.gate.qubits[1] : -1;
-        jobs.push_back(j);
+    if (options_.scalar_reference) {
+        runLayerScalar(layer, psi);
+        return;
     }
+
+    double dt = 0.0;
+    const size_t steps = layerSteps(layer, options_.dt, dt);
+    const std::vector<Job> jobs = collectJobs(layer, library_);
+
+    // Phases are diagonal and the evolution has no mid-step Kraus
+    // channel, so the trailing ZZ half-step of step s and the leading
+    // one of step s+1 merge into one full-step sweep: steps+1 phase
+    // applications instead of 2*steps.
+    const la::CVector p_half = phaseVector(zz_energies_, dt / 2.0);
+    const la::CVector p_full =
+        steps > 1 ? phaseVector(zz_energies_, dt) : la::CVector{};
+
+    const bool tm = metrics_.enabled();
+    KernelTimer phase_t(tm), gate_t(tm);
+
+    phase_t.start();
+    psi.applyPhaseVector(p_half);
+    phase_t.stop();
+    for (size_t s = 0; s < steps; ++s) {
+        const double t_mid = (double(s) + 0.5) * dt;
+        gate_t.start();
+        for (const Job &j : jobs) {
+            if (t_mid >= j.program->duration)
+                continue; // this gate's pulses already ended
+            if (j.q1 < 0)
+                psi.apply1Q(memo.get1Q(*j.program, j.kind, s, dt), j.q0);
+            else
+                psi.apply2Q(memo.get2Q(*j.program, j.kind, s, dt), j.q0,
+                            j.q1);
+        }
+        gate_t.stop();
+        phase_t.start();
+        psi.applyPhaseVector(s + 1 < steps ? p_full : p_half);
+        phase_t.stop();
+    }
+
+    if (tm) {
+        metrics_.layers->inc();
+        metrics_.steps->inc(steps);
+        metrics_.phase_ns->observe(phase_t.ns());
+        metrics_.gate_ns->observe(gate_t.ns());
+    }
+}
+
+void
+PulseScheduleSimulator::runLayerScalar(const core::Layer &layer,
+                                       StateVector &psi) const
+{
+    double dt = 0.0;
+    const size_t steps = layerSteps(layer, options_.dt, dt);
+    const std::vector<Job> jobs = collectJobs(layer, library_);
 
     for (size_t s = 0; s < steps; ++s) {
         const double t_mid = (double(s) + 0.5) * dt;
@@ -133,18 +169,15 @@ PulseScheduleSimulator::runLayer(const core::Layer &layer,
         // share the same waveforms.
         CMatrix cached[3];
         bool have[3] = {false, false, false};
-        auto kind_index = [](PulseGate k) {
-            return k == PulseGate::SX ? 0
-                                      : (k == PulseGate::Identity ? 1 : 2);
-        };
         for (const Job &j : jobs) {
             if (t_mid >= j.program->duration)
-                continue; // this gate's pulses already ended
-            const int ki = kind_index(j.kind);
+                continue;
+            const int ki = pulseKindIndex(j.kind);
             if (!have[ki]) {
-                cached[ki] = j.q1 < 0
-                                 ? drive1QStep(*j.program, t_mid, dt)
-                                 : drive2QStep(*j.program, t_mid, dt);
+                cached[ki] =
+                    j.q1 < 0
+                        ? drive1QStepScalar(*j.program, t_mid, dt)
+                        : drive2QStepScalar(*j.program, t_mid, dt);
                 have[ki] = true;
             }
             if (j.q1 < 0)
@@ -155,6 +188,10 @@ PulseScheduleSimulator::runLayer(const core::Layer &layer,
 
         psi.applyDiagonalPhase(zz_energies_, dt / 2.0);
     }
+    if (metrics_.enabled()) {
+        metrics_.layers->inc();
+        metrics_.steps->inc(steps);
+    }
 }
 
 void
@@ -163,8 +200,9 @@ PulseScheduleSimulator::run(const core::Schedule &schedule,
 {
     require(schedule.num_qubits == device_.numQubits(),
             "PulseScheduleSimulator::run: schedule/device mismatch");
+    StepPropagatorMemo memo;
     for (const core::Layer &layer : schedule.layers)
-        runLayer(layer, psi);
+        runLayerImpl(layer, psi, memo);
 }
 
 StateVector

@@ -22,11 +22,14 @@
 #include "core/schedule.h"
 #include "device/device.h"
 #include "pulse/library.h"
+#include "sim/sim_metrics.h"
 #include "sim/state_vector.h"
 
 namespace qzz::sim {
 
-/** Integration controls for the schedule simulator. */
+class StepPropagatorMemo;
+
+/** Integration controls for the schedule simulators. */
 struct PulseSimOptions
 {
     /** Strang step (ns).  0.05 keeps splitting error ~1e-5. */
@@ -34,6 +37,14 @@ struct PulseSimOptions
     /** Global scale on all coupling strengths (0 disables ZZ —
      *  used by calibration tests). */
     double crosstalk_scale = 1.0;
+    /** Integrate with the retained pre-optimization path (per-step
+     *  cos/sin phase sweeps, per-gate propagator recomputes, unfused
+     *  kernels).  The optimized path matches it to integrator
+     *  accuracy; this switch exists for the kernel-equivalence tests
+     *  and the bench_sim_speed baseline. */
+    bool scalar_reference = false;
+    /** Publish qzz_sim_* metrics to the global MetricsRegistry. */
+    bool telemetry = true;
 };
 
 /** Simulates schedules against one device + pulse library. */
@@ -60,7 +71,19 @@ class PulseScheduleSimulator
     pulse::PulseLibrary library_;
     PulseSimOptions options_;
     std::vector<double> zz_energies_;
+    SimMetrics metrics_;
+
+    /** One layer against a caller-owned propagator memo (run() keeps
+     *  one across layers so equal-dt layers share entries). */
+    void runLayerImpl(const core::Layer &layer, StateVector &psi,
+                      StepPropagatorMemo &memo) const;
+    /** The retained seed integrator (scalar_reference option). */
+    void runLayerScalar(const core::Layer &layer, StateVector &psi) const;
 };
+
+/** Unit phase table p[k] = exp(-i energies[k] dt), precomputed once
+ *  per layer by the simulators and applied per step. */
+la::CVector phaseVector(const std::vector<double> &energies, double dt);
 
 } // namespace qzz::sim
 

@@ -1,3 +1,9 @@
+// The optimized kernels (apply1Q(Mat2)/apply2Q(Mat4)/
+// applyPhaseVector) live in state_vector_kernels.cc, the only
+// translation unit the build compiles with the vector ISA; this
+// file keeps the constructor, the retained scalar reference paths,
+// and the observables at baseline codegen.
+
 #include "sim/state_vector.h"
 
 #include <cmath>

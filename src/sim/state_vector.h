@@ -33,17 +33,28 @@ class StateVector
 
     /** Apply a 2x2 unitary to qubit @p q. */
     void apply1Q(const la::CMatrix &u, int q);
+    /** Allocation-free overload for memoized step propagators; same
+     *  arithmetic (and bits) as the CMatrix path. */
+    void apply1Q(const la::Mat2 &u, int q);
 
     /** Apply a 4x4 unitary to qubits (@p q_hi, @p q_lo), with q_hi
      *  the most significant factor of the 4x4 matrix. */
     void apply2Q(const la::CMatrix &u, int q_hi, int q_lo);
+    /** Allocation-free overload for memoized step propagators. */
+    void apply2Q(const la::Mat4 &u, int q_hi, int q_lo);
 
     /** Apply exp(-i theta/2 Z) on qubit @p q (virtual RZ). */
     void applyRz(int q, double theta);
 
-    /** Multiply amplitude k by exp(-i energies[k] * dt). */
+    /** Multiply amplitude k by exp(-i energies[k] * dt).
+     *  Scalar reference: one cos/sin pair per amplitude per call; the
+     *  schedule simulators precompute the phases once per layer and
+     *  use applyPhaseVector() instead. */
     void applyDiagonalPhase(const std::vector<double> &energies,
                             double dt);
+
+    /** Multiply amplitude k by the precomputed unit phase p[k]. */
+    void applyPhaseVector(const la::CVector &p);
 
     /** Probability that qubit @p q reads 1. */
     double probabilityOne(int q) const;
