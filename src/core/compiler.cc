@@ -31,6 +31,13 @@ struct ZzxTablesState final : SchedulerState
     ZzxDeviceTables tables;
 };
 
+/** Per-device tables shared by every ExactScheduler::schedule() call. */
+struct ExactTablesState final : SchedulerState
+{
+    explicit ExactTablesState(const dev::Device &dev) : tables(dev) {}
+    ExactDeviceTables tables;
+};
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -70,13 +77,60 @@ ZzxScheduler::schedule(const ckt::QuantumCircuit &native,
                : zzxSchedule(native, dev, durations, opt_);
 }
 
+std::shared_ptr<const SchedulerState>
+ExactScheduler::prepare(const dev::Device &dev) const
+{
+    return std::make_shared<ExactTablesState>(dev);
+}
+
+Schedule
+ExactScheduler::schedule(const ckt::QuantumCircuit &native,
+                         const dev::Device &dev,
+                         const GateDurations &durations,
+                         const SchedulerState *state) const
+{
+    if (const auto *tables =
+            dynamic_cast<const ExactTablesState *>(state))
+        return exactSchedule(native, dev, durations, opt_,
+                             ExactLimits{}, tables->tables);
+    return exactSchedule(native, dev, durations, opt_);
+}
+
+std::shared_ptr<const SchedulerState>
+CycleScheduler::prepare(const dev::Device &dev) const
+{
+    return std::make_shared<ZzxTablesState>(dev);
+}
+
+Schedule
+CycleScheduler::schedule(const ckt::QuantumCircuit &native,
+                         const dev::Device &dev,
+                         const GateDurations &durations,
+                         const SchedulerState *state) const
+{
+    if (const auto *tables =
+            dynamic_cast<const ZzxTablesState *>(state))
+        return cycleAwareSchedule(native, dev, durations, opt_,
+                                  tables->tables);
+    return cycleAwareSchedule(native, dev, durations, opt_);
+}
+
 std::shared_ptr<const Scheduler>
 makeScheduler(SchedPolicy policy, const ZzxOptions &zzx)
 {
-    if (policy == SchedPolicy::Par)
+    switch (policy) {
+    case SchedPolicy::Par:
         return std::make_shared<ParScheduler>();
-    return std::make_shared<ZzxScheduler>(
-        zzx, policy == SchedPolicy::ZzxWeighted);
+    case SchedPolicy::Zzx:
+    case SchedPolicy::ZzxWeighted:
+        return std::make_shared<ZzxScheduler>(
+            zzx, policy == SchedPolicy::ZzxWeighted);
+    case SchedPolicy::Exact:
+        return std::make_shared<ExactScheduler>(zzx);
+    case SchedPolicy::CycleAware:
+        return std::make_shared<CycleScheduler>(zzx);
+    }
+    panic("makeScheduler: unknown policy");
 }
 
 // ---------------------------------------------------------------------------

@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "core/cycle_sched.h"
+#include "core/exact_sched.h"
 #include "core/framework.h"
 
 namespace qzz::core {
@@ -204,6 +206,58 @@ class ZzxScheduler final : public Scheduler
   private:
     ZzxOptions opt_;
     bool weighted_ = false;
+};
+
+/**
+ * Solver-optimal baseline (SchedPolicy::Exact, wraps exactSchedule()):
+ * every layer cut comes from the branch-and-bound ExactCutSolver.
+ * Exponential worst case — meant for the small devices where the
+ * heuristics are benchmarked against it.
+ */
+class ExactScheduler final : public Scheduler
+{
+  public:
+    explicit ExactScheduler(ZzxOptions opt = {}) : opt_(opt) {}
+
+    std::string name() const override { return "ExactSched"; }
+    /** Builds the shared ExactDeviceTables (distances + solver + ZZ). */
+    std::shared_ptr<const SchedulerState>
+    prepare(const dev::Device &dev) const override;
+    Schedule schedule(const ckt::QuantumCircuit &native,
+                      const dev::Device &dev,
+                      const GateDurations &durations,
+                      const SchedulerState *state) const override;
+
+    const ZzxOptions &options() const { return opt_; }
+
+  private:
+    ZzxOptions opt_;
+};
+
+/**
+ * Cycle-aware policy (SchedPolicy::CycleAware, wraps
+ * cycleAwareSchedule()): the calibration-weighted search with per-edge
+ * accumulated-ZZ state carried across layer boundaries.
+ */
+class CycleScheduler final : public Scheduler
+{
+  public:
+    explicit CycleScheduler(ZzxOptions opt = {}) { opt_.zzx = opt; }
+    explicit CycleScheduler(CycleOptions opt) : opt_(opt) {}
+
+    std::string name() const override { return "CycleAware"; }
+    /** Builds the shared ZzxDeviceTables (distances + solver + ZZ). */
+    std::shared_ptr<const SchedulerState>
+    prepare(const dev::Device &dev) const override;
+    Schedule schedule(const ckt::QuantumCircuit &native,
+                      const dev::Device &dev,
+                      const GateDurations &durations,
+                      const SchedulerState *state) const override;
+
+    const CycleOptions &options() const { return opt_; }
+
+  private:
+    CycleOptions opt_;
 };
 
 /** Scheduler implementing a SchedPolicy enum value. */

@@ -1,0 +1,119 @@
+#include "core/cycle_sched.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/sched_walk.h"
+
+namespace qzz::core {
+
+std::vector<double>
+accumulatedZz(const Schedule &schedule, const std::vector<double> &zz)
+{
+    std::vector<double> acc(zz.size(), 0.0);
+    for (const Layer &layer : schedule.layers) {
+        if (layer.is_virtual)
+            continue;
+        require(layer.metrics.unsuppressed_edge.size() == zz.size(),
+                "accumulatedZz: schedule/device edge count mismatch");
+        for (size_t e = 0; e < zz.size(); ++e)
+            if (layer.metrics.unsuppressed_edge[e])
+                acc[e] += std::abs(zz[e]) * layer.duration;
+    }
+    return acc;
+}
+
+namespace {
+
+/**
+ * Weighted-cut oracle with per-edge accumulated-ZZ state.  Within a
+ * layer the weights are frozen (every TwoQSchedule probe of that layer
+ * sees the same objective); they are recomputed lazily after each
+ * committed physical layer.  Nothing is memoized across layers — the
+ * objective itself moves.
+ */
+class CycleCutOracle final : public LayerCutOracle
+{
+  public:
+    CycleCutOracle(const SuppressionSolver &solver,
+                   const SuppressionOptions &sopt,
+                   const std::vector<double> &zz, double history_weight)
+        : solver_(solver), sopt_(sopt), zz_(zz),
+          acc_(zz.size(), 0.0), weights_(zz.size(), 0.0),
+          history_weight_(history_weight)
+    {
+        sopt_.edge_zz = &weights_;
+    }
+
+    SuppressionResult
+    cutFor(const std::vector<int> &q) override
+    {
+        if (dirty_)
+            refresh();
+        return solver_.solve(q, sopt_);
+    }
+
+    void
+    onLayerCommitted(const Layer &layer) override
+    {
+        if (layer.is_virtual)
+            return;
+        require(layer.metrics.unsuppressed_edge.size() == zz_.size(),
+                "CycleCutOracle: layer/device edge count mismatch");
+        for (size_t e = 0; e < zz_.size(); ++e)
+            if (layer.metrics.unsuppressed_edge[e])
+                acc_[e] += std::abs(zz_[e]) * layer.duration;
+        dirty_ = true;
+    }
+
+  private:
+    void
+    refresh()
+    {
+        double max_acc = 0.0;
+        for (double a : acc_)
+            max_acc = std::max(max_acc, a);
+        for (size_t e = 0; e < zz_.size(); ++e) {
+            const double boost =
+                max_acc > 0.0
+                    ? 1.0 + history_weight_ * acc_[e] / max_acc
+                    : 1.0;
+            weights_[e] = std::abs(zz_[e]) * boost;
+        }
+        dirty_ = false;
+    }
+
+    const SuppressionSolver &solver_;
+    SuppressionOptions sopt_;
+    const std::vector<double> &zz_;
+    std::vector<double> acc_;
+    std::vector<double> weights_;
+    double history_weight_;
+    bool dirty_ = true; ///< weights need (re)computation before use
+};
+
+} // namespace
+
+Schedule
+cycleAwareSchedule(const ckt::QuantumCircuit &native,
+                   const dev::Device &dev, const GateDurations &durations,
+                   const CycleOptions &opt)
+{
+    return cycleAwareSchedule(native, dev, durations, opt,
+                              ZzxDeviceTables(dev));
+}
+
+Schedule
+cycleAwareSchedule(const ckt::QuantumCircuit &native,
+                   const dev::Device &dev, const GateDurations &durations,
+                   const CycleOptions &opt_in, const ZzxDeviceTables &tables)
+{
+    const ZzxOptions opt = resolveZzxOptions(opt_in.zzx, dev);
+    CycleCutOracle oracle(tables.solver, opt.suppression, tables.zz,
+                          opt_in.history_weight);
+    return scheduleByCuts(native, dev, durations, opt, tables.dist,
+                          oracle);
+}
+
+} // namespace qzz::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cycle-aware ZZ scheduling (ROADMAP item 2b; arXiv 2503.13204).
+ *
+ * The per-cut policies (ZZXSched, ZzxWeighted, Exact) score every
+ * layer independently, so on a topology where some residual crosstalk
+ * is unavoidable (any non-bipartite device) they keep choosing the
+ * *same* optimal cut — and the same unlucky couplings accumulate ZZ
+ * phase layer after layer while the rest stay clean.  Coherent errors
+ * compound quadratically, so concentrating the residual on a few
+ * edges is the worst possible distribution of a fixed per-layer
+ * budget.
+ *
+ * The cycle-aware policy carries per-edge *accumulated* ZZ phase
+ * (sum over committed layers of |zz[e]| x layer duration on the
+ * layers that left e unsuppressed) across layer boundaries.  Each new
+ * layer is cut with the weighted suppression search, but an edge's
+ * weight is its calibrated rate boosted by its accumulated debt:
+ *
+ *     w[e] = |zz[e]| * (1 + history_weight * acc[e] / max_a acc[a])
+ *
+ * Edges that have already absorbed the most phase become the most
+ * expensive to leave on, so the cut rotates the residual across the
+ * device instead of revisiting the same couplings.  With
+ * history_weight = 0 (or while nothing has accumulated — e.g. every
+ * layer of a bipartite 1Q-only schedule) the weights reduce to
+ * |zz[e]| and the policy reproduces zzxWeightedSchedule()
+ * bit-identically.
+ */
+
+#ifndef QZZ_CORE_CYCLE_SCHED_H
+#define QZZ_CORE_CYCLE_SCHED_H
+
+#include "core/zzx_sched.h"
+
+namespace qzz::core {
+
+/** Options of the cycle-aware policy. */
+struct CycleOptions
+{
+    /** The underlying walk and requirement-R knobs.  The suppression
+     *  edge_zz pointer is ignored: the policy derives its own per-edge
+     *  weights from the device snapshot and the accumulated state. */
+    ZzxOptions zzx;
+    /**
+     * Strength of the cross-layer term: how much an edge's weight
+     * grows when it holds the largest accumulated phase (its boost
+     * factor is 1 + history_weight at the maximum, 1 at zero).  0
+     * disables history and reproduces ZzxWeighted.
+     */
+    double history_weight = 1.0;
+};
+
+/**
+ * Schedule a native circuit with cycle-aware layering: the ZZX
+ * frontier walk with per-edge accumulated-ZZ state carried across
+ * layer boundaries.  The suppression requirement R is enforced
+ * exactly as in zzxSchedule().
+ */
+Schedule cycleAwareSchedule(const ckt::QuantumCircuit &native,
+                            const dev::Device &dev,
+                            const GateDurations &durations,
+                            const CycleOptions &opt = {});
+
+/** Same, reusing precomputed per-device tables (the per-edge ZZ rates
+ *  are taken from @p tables). */
+Schedule cycleAwareSchedule(const ckt::QuantumCircuit &native,
+                            const dev::Device &dev,
+                            const GateDurations &durations,
+                            const CycleOptions &opt,
+                            const ZzxDeviceTables &tables);
+
+/**
+ * Per-edge accumulated ZZ phase of a finished schedule (rad): for
+ * each edge, the sum over physical layers that left it unsuppressed
+ * of |zz[e]| x layer duration.  The quantity the cycle-aware policy
+ * balances — its maximum over edges is the figure of merit.
+ */
+std::vector<double> accumulatedZz(const Schedule &schedule,
+                                  const std::vector<double> &zz);
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_CYCLE_SCHED_H

@@ -16,6 +16,10 @@ schedPolicyName(SchedPolicy p)
         return "ZZXSched";
     case SchedPolicy::ZzxWeighted:
         return "ZzxWeighted";
+    case SchedPolicy::Exact:
+        return "ExactSched";
+    case SchedPolicy::CycleAware:
+        return "CycleAware";
     }
     panic("schedPolicyName: unknown policy");
 }
@@ -30,6 +34,10 @@ schedPolicyFromName(std::string_view name)
     if (iequalsAscii(name, "ZzxWeighted") ||
         iequalsAscii(name, "Weighted"))
         return SchedPolicy::ZzxWeighted;
+    if (iequalsAscii(name, "ExactSched") || iequalsAscii(name, "Exact"))
+        return SchedPolicy::Exact;
+    if (iequalsAscii(name, "CycleAware") || iequalsAscii(name, "Cycle"))
+        return SchedPolicy::CycleAware;
     return std::nullopt;
 }
 
@@ -39,7 +47,9 @@ schedPolicyNames()
     static const std::vector<std::string> names = {
         schedPolicyName(SchedPolicy::Par),
         schedPolicyName(SchedPolicy::Zzx),
-        schedPolicyName(SchedPolicy::ZzxWeighted)};
+        schedPolicyName(SchedPolicy::ZzxWeighted),
+        schedPolicyName(SchedPolicy::Exact),
+        schedPolicyName(SchedPolicy::CycleAware)};
     return names;
 }
 

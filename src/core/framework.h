@@ -44,6 +44,16 @@ enum class SchedPolicy
      *  (core::zzxWeightedSchedule()); reproduces Zzx bit-identically
      *  on uniform snapshots. */
     ZzxWeighted,
+    /** Solver-optimal per-layer cuts by branch-and-bound
+     *  (core::exactSchedule()) — the optimality oracle the heuristics
+     *  are measured against.  Exponential worst case; intended for
+     *  small devices. */
+    Exact,
+    /** ZzxWeighted with per-edge accumulated-ZZ state carried across
+     *  layer boundaries (core::cycleAwareSchedule()): rotates the
+     *  unavoidable residual across couplings instead of revisiting
+     *  the same ones. */
+    CycleAware,
 };
 
 /** Display name of a policy. */

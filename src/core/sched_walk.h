@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The ZZX frontier walk, parameterized over the source of cuts.
+ *
+ * Algorithm 2's outer loop — flush virtual RZ layers, Case 1 (only
+ * single-qubit gates schedulable) vs Case 2 (TwoQSchedule seeding and
+ * growth), placement in S with identity supplementation — is policy
+ * independent: ZZXSched, its calibration-weighted variant, the exact
+ * branch-and-bound scheduler and the cycle-aware policy all share it
+ * and differ only in how a layer's cut is chosen.  scheduleByCuts()
+ * is that shared loop; a LayerCutOracle supplies the cuts.
+ *
+ * Oracles own their caching policy: the heuristic oracle memoizes the
+ * unconstrained Case-1 cut (it never changes within a schedule), the
+ * exact oracle memoizes per constrained-qubit set, and the
+ * cycle-aware oracle cannot cache across layers at all because its
+ * edge weights evolve with the accumulated crosstalk.
+ */
+
+#ifndef QZZ_CORE_SCHED_WALK_H
+#define QZZ_CORE_SCHED_WALK_H
+
+#include "core/zzx_sched.h"
+
+namespace qzz::core {
+
+/**
+ * Supplies the cut for each layer the walk builds.  cutFor() may be
+ * called several times per layer (TwoQSchedule probes candidate gate
+ * groups); onLayerCommitted() is called once per appended *physical*
+ * layer, after its metrics and side are final, so stateful policies
+ * can carry information across layer boundaries.
+ */
+class LayerCutOracle
+{
+  public:
+    virtual ~LayerCutOracle() = default;
+
+    /**
+     * A cut with all of @p q inside one partition (empty @p q means
+     * unconstrained).  Implementations must be deterministic and must
+     * guarantee the constraint (via a trivial fallback if needed), as
+     * SuppressionSolver::solve() does.
+     */
+    virtual SuppressionResult cutFor(const std::vector<int> &q) = 0;
+
+    /** Hook run after each physical layer is appended. */
+    virtual void
+    onLayerCommitted(const Layer &layer)
+    {
+        (void)layer;
+    }
+};
+
+/**
+ * Run the frontier walk over @p native, drawing every cut from
+ * @p oracle.
+ *
+ * @param native    native-gate circuit over the device's qubits.
+ * @param dev       target device.
+ * @param durations per-gate durations.
+ * @param opt       *resolved* options (see resolveZzxOptions()) — the
+ *                  requirement R drives TwoQSchedule's splitting.
+ * @param dist      all-pairs qubit distances (gate distances).
+ * @param oracle    the cut source.
+ */
+Schedule scheduleByCuts(const ckt::QuantumCircuit &native,
+                        const dev::Device &dev,
+                        const GateDurations &durations,
+                        const ZzxOptions &opt,
+                        const std::vector<std::vector<int>> &dist,
+                        LayerCutOracle &oracle);
+
+} // namespace qzz::core
+
+#endif // QZZ_CORE_SCHED_WALK_H

@@ -1,15 +1,12 @@
 #include "core/zzx_sched.h"
 
 #include <algorithm>
-#include <limits>
 
-#include "circuit/dag.h"
-#include "common/error.h"
+#include "core/sched_walk.h"
 
 namespace qzz::core {
 
 using ckt::Gate;
-using ckt::GateKind;
 using ckt::QuantumCircuit;
 
 ZzxOptions
@@ -40,116 +37,43 @@ gateDistance(const Gate &a, const Gate &b,
 
 namespace {
 
-/** All qubits touched by the given gates (by frontier index list). */
-std::vector<int>
-gateQubits(const QuantumCircuit &c, const std::vector<int> &gate_ids)
-{
-    std::vector<int> q;
-    for (int gi : gate_ids)
-        for (int v : c.gates()[gi].qubits)
-            q.push_back(v);
-    std::sort(q.begin(), q.end());
-    q.erase(std::unique(q.begin(), q.end()), q.end());
-    return q;
-}
-
-/** Does a cut satisfy the suppression requirement R? */
-bool
-satisfiesR(const SuppressionResult &res, const ZzxOptions &opt)
-{
-    return res.constraint_ok && res.metrics.nq <= opt.nq_max &&
-           res.metrics.nc <= opt.nc_max;
-}
-
-/** Min distance between a gate and a group (Definition 6.2). */
-int
-gateGroupDistance(const QuantumCircuit &c, int gate,
-                  const std::vector<int> &group,
-                  const std::vector<std::vector<int>> &dist)
-{
-    int best = std::numeric_limits<int>::max();
-    for (int member : group)
-        best = std::min(best, gateDistance(c.gates()[gate],
-                                           c.gates()[member], dist));
-    return best;
-}
-
-/** TwoQSchedule outcome: the cut plus the qubits it constrains. */
-struct TwoQResult
-{
-    SuppressionResult cut;
-    std::vector<int> q; ///< qubits of the chosen gates (inside S)
-};
-
 /**
- * Procedure TwoQSchedule (Algorithm 2, lines 15-28): returns the S
- * partition to drive this layer.
+ * Cut source of the heuristic policies: every cut comes from one
+ * alpha-optimal SuppressionSolver run.  The Case-1 cut constrains no
+ * qubits, so it is the same for every 1Q-only frontier: solve it once
+ * per schedule on first need.  Deep circuits alternate 1Q layers with
+ * 2Q layers, and the solve (matching plus greedy path relaxation,
+ * fully deterministic — so reuse is bit-identical) dominated their
+ * compile time.
  */
-TwoQResult
-twoQSchedule(const QuantumCircuit &c, const std::vector<int> &sg2,
-             const SuppressionSolver &solver,
-             const std::vector<std::vector<int>> &dist,
-             const ZzxOptions &opt)
+class HeuristicCutOracle final : public LayerCutOracle
 {
-    // Try all two-qubit gates at once.
-    std::vector<int> all_q = gateQubits(c, sg2);
-    SuppressionResult all = solver.solve(all_q, opt.suppression);
-    if (satisfiesR(all, opt) || sg2.size() == 1)
-        return {std::move(all), std::move(all_q)};
-
-    // Heuristic: separate the two closest gates, then grow the groups
-    // farthest-gate-first while R holds.
-    int seed_a = -1, seed_b = -1;
-    int best_d = std::numeric_limits<int>::max();
-    for (size_t i = 0; i < sg2.size(); ++i)
-        for (size_t j = i + 1; j < sg2.size(); ++j) {
-            const int d = gateDistance(c.gates()[sg2[i]],
-                                       c.gates()[sg2[j]], dist);
-            if (d < best_d) {
-                best_d = d;
-                seed_a = sg2[i];
-                seed_b = sg2[j];
-            }
-        }
-
-    std::vector<int> group_a{seed_a}, group_b{seed_b};
-    std::vector<int> rest;
-    for (int gi : sg2)
-        if (gi != seed_a && gi != seed_b)
-            rest.push_back(gi);
-
-    while (!rest.empty()) {
-        // The (gate, group) pair with maximum distance.
-        int pick = -1;
-        int pick_group = 0; // 0 = A, 1 = B
-        int pick_d = -1;
-        for (int gi : rest) {
-            const int da = gateGroupDistance(c, gi, group_a, dist);
-            const int db = gateGroupDistance(c, gi, group_b, dist);
-            const int d = std::max(da, db);
-            if (d > pick_d) {
-                pick_d = d;
-                pick = gi;
-                pick_group = da >= db ? 0 : 1;
-            }
-        }
-        std::vector<int> &group = pick_group == 0 ? group_a : group_b;
-        std::vector<int> trial = group;
-        trial.push_back(pick);
-        SuppressionResult res =
-            solver.solve(gateQubits(c, trial), opt.suppression);
-        if (!satisfiesR(res, opt))
-            break;
-        group.push_back(pick);
-        rest.erase(std::find(rest.begin(), rest.end(), pick));
+  public:
+    HeuristicCutOracle(const SuppressionSolver &solver,
+                       const SuppressionOptions &sopt)
+        : solver_(solver), sopt_(sopt)
+    {
     }
 
-    const std::vector<int> &chosen =
-        group_a.size() >= group_b.size() ? group_a : group_b;
-    std::vector<int> chosen_q = gateQubits(c, chosen);
-    SuppressionResult res = solver.solve(chosen_q, opt.suppression);
-    return {std::move(res), std::move(chosen_q)};
-}
+    SuppressionResult
+    cutFor(const std::vector<int> &q) override
+    {
+        if (q.empty()) {
+            if (!have_case1_) {
+                case1_ = solver_.solve({}, sopt_);
+                have_case1_ = true;
+            }
+            return case1_;
+        }
+        return solver_.solve(q, sopt_);
+    }
+
+  private:
+    const SuppressionSolver &solver_;
+    SuppressionOptions sopt_;
+    SuppressionResult case1_;
+    bool have_case1_ = false;
+};
 
 } // namespace
 
@@ -193,124 +117,10 @@ zzxSchedule(const QuantumCircuit &native, const dev::Device &dev,
             const GateDurations &durations, const ZzxOptions &opt_in,
             const ZzxDeviceTables &tables)
 {
-    require(native.isNative(), "zzxSchedule: circuit must be native");
-    require(native.numQubits() == dev.numQubits(),
-            "zzxSchedule: circuit/device size mismatch");
-
     const ZzxOptions opt = resolveZzxOptions(opt_in, dev);
-    const SuppressionSolver &solver = tables.solver;
-    const auto &dist = tables.dist;
-
-    Schedule sched;
-    sched.num_qubits = native.numQubits();
-    ckt::DagFrontier frontier(native);
-
-    // The Case-1 cut constrains no qubits, so it is the same for every
-    // 1Q-only frontier: solve it once per schedule on first need.
-    // Deep circuits alternate 1Q layers with 2Q layers, and the solve
-    // (matching plus greedy path relaxation, fully deterministic — so
-    // reuse is bit-identical) dominated their compile time.
-    SuppressionResult case1_cut;
-    bool have_case1 = false;
-
-    while (!frontier.done()) {
-        const std::vector<int> ready = frontier.schedulable();
-        ensure(!ready.empty(), "zzxSchedule: stalled frontier");
-
-        // Flush virtual RZ gates into a zero-duration layer.
-        std::vector<int> virt, phys;
-        for (int gi : ready) {
-            if (native.gates()[gi].isVirtual())
-                virt.push_back(gi);
-            else
-                phys.push_back(gi);
-        }
-        if (!virt.empty()) {
-            Layer layer;
-            layer.is_virtual = true;
-            for (int gi : virt) {
-                layer.gates.push_back({native.gates()[gi], false});
-                frontier.markScheduled(gi);
-            }
-            sched.layers.push_back(std::move(layer));
-            continue;
-        }
-        if (phys.empty())
-            continue;
-
-        // Case analysis on the schedulable set.
-        std::vector<int> sg2;
-        for (int gi : phys)
-            if (native.gates()[gi].isTwoQubit())
-                sg2.push_back(gi);
-
-        SuppressionResult cut;
-        std::vector<char> s_mask;
-        if (sg2.empty()) {
-            // Case 1: unconstrained cut; S = side with more gates.
-            if (!have_case1) {
-                case1_cut = solver.solve({}, opt.suppression);
-                have_case1 = true;
-            }
-            cut = case1_cut;
-            int count[2] = {0, 0};
-            for (int gi : phys)
-                ++count[cut.side[native.gates()[gi].qubits[0]]];
-            const int s_value = count[1] >= count[0] ? 1 : 0;
-            s_mask.assign(cut.side.size(), 0);
-            for (size_t v = 0; v < cut.side.size(); ++v)
-                s_mask[v] = cut.side[v] == s_value ? 1 : 0;
-        } else {
-            // Case 2: two-qubit gates present.  S is the partition
-            // holding the chosen group's qubits (the solver
-            // guarantees they share a side, via fallback if needed).
-            TwoQResult two = twoQSchedule(native, sg2, solver, dist, opt);
-            cut = std::move(two.cut);
-            ensure(!two.q.empty(), "twoQSchedule returned no qubits");
-            const int s_value = cut.side[two.q[0]];
-            s_mask.assign(cut.side.size(), 0);
-            for (size_t v = 0; v < cut.side.size(); ++v)
-                s_mask[v] = cut.side[v] == s_value ? 1 : 0;
-        }
-
-        // Procedure Schedule: place every frontier gate fully in S.
-        Layer layer;
-        std::vector<char> used(size_t(sched.num_qubits), 0);
-        for (int gi : phys) {
-            const Gate &g = native.gates()[gi];
-            bool in_s = true;
-            for (int q : g.qubits)
-                in_s = in_s && s_mask[q];
-            if (!in_s)
-                continue;
-            layer.gates.push_back({g, false});
-            layer.duration = std::max(layer.duration, durations.of(g));
-            for (int q : g.qubits)
-                used[q] = 1;
-            frontier.markScheduled(gi);
-        }
-        ensure(!layer.gates.empty(),
-               "zzxSchedule: layer would be empty (cut excluded every "
-               "schedulable gate)");
-
-        // Supplement the rest of S with identity gates so the driven
-        // set equals S exactly.
-        for (int q = 0; q < sched.num_qubits; ++q) {
-            if (s_mask[q] && !used[q]) {
-                layer.gates.push_back({Gate(GateKind::I, {q}), true});
-                layer.duration =
-                    std::max(layer.duration, durations.identity);
-            }
-        }
-
-        std::vector<int> side(size_t(sched.num_qubits), 0);
-        for (int q = 0; q < sched.num_qubits; ++q)
-            side[q] = s_mask[q] ? 1 : 0;
-        layer.metrics = evaluateCut(dev.graph(), side);
-        layer.side = std::move(side);
-        sched.layers.push_back(std::move(layer));
-    }
-    return sched;
+    HeuristicCutOracle oracle(tables.solver, opt.suppression);
+    return scheduleByCuts(native, dev, durations, opt, tables.dist,
+                          oracle);
 }
 
 } // namespace qzz::core

@@ -74,13 +74,16 @@
 
 #include "core/compiler.h"
 #include "core/cut.h"
+#include "core/cycle_sched.h"
 #include "core/dcg.h"
+#include "core/exact_sched.h"
 #include "core/framework.h"
 #include "core/objectives.h"
 #include "core/optimizer.h"
 #include "core/par_sched.h"
 #include "core/pulse_opt.h"
 #include "core/regions.h"
+#include "core/sched_walk.h"
 #include "core/schedule.h"
 #include "core/schedule_io.h"
 #include "core/suppression.h"

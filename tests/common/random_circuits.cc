@@ -1,0 +1,74 @@
+#include "common/random_circuits.h"
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace qzz::testsup {
+
+ckt::QuantumCircuit
+randomLayer(const graph::Topology &topo, uint64_t seed,
+            const RandomCircuitOptions &opt)
+{
+    Rng rng(seed);
+    const graph::Graph &g = topo.g;
+    const int n = g.numVertices();
+    ckt::QuantumCircuit c(n);
+
+    std::vector<int> edge_order(size_t(g.numEdges()));
+    for (int e = 0; e < g.numEdges(); ++e)
+        edge_order[size_t(e)] = e;
+    rng.shuffle(edge_order);
+
+    std::vector<char> used(size_t(n), 0);
+    for (int e : edge_order) {
+        const graph::Edge &edge = g.edge(e);
+        if (used[size_t(edge.u)] || used[size_t(edge.v)])
+            continue;
+        if (rng.uniform() >= opt.two_qubit_fraction)
+            continue;
+        c.rzx(edge.u, edge.v, kPi / 2.0);
+        used[size_t(edge.u)] = 1;
+        used[size_t(edge.v)] = 1;
+    }
+    for (int q = 0; q < n; ++q)
+        if (!used[size_t(q)] && rng.uniform() < opt.gate_density)
+            c.sx(q);
+    if (c.empty())
+        c.sx(0);
+    return c;
+}
+
+ckt::QuantumCircuit
+randomNativeCircuit(const graph::Topology &topo, int layers,
+                    uint64_t seed, const RandomCircuitOptions &opt)
+{
+    Rng rng(seed);
+    const int n = topo.g.numVertices();
+    ckt::QuantumCircuit c(n);
+    for (int l = 0; l < layers; ++l) {
+        const ckt::QuantumCircuit layer = randomLayer(
+            topo, seed * 1000003u + uint64_t(l) + 1u, opt);
+        for (const ckt::Gate &gate : layer.gates()) {
+            c.add(gate);
+            if (rng.uniform() < opt.virtual_fraction)
+                c.rz(gate.qubits[0], rng.uniform(0.0, kPi));
+        }
+    }
+    if (c.empty())
+        c.sx(0);
+    return c;
+}
+
+std::vector<graph::Topology>
+smallSweepTopologies()
+{
+    std::vector<graph::Topology> topos;
+    topos.push_back(graph::gridTopology(2, 3));
+    topos.push_back(graph::triangulatedGridTopology(2, 3));
+    topos.push_back(graph::ringTopology(5));
+    topos.push_back(graph::ringTopology(6));
+    topos.push_back(graph::heavyHexTopology(1, 1));
+    return topos;
+}
+
+} // namespace qzz::testsup

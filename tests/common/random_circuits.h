@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Seed-pinned random native circuits for property tests.
+ *
+ * Every generator takes an explicit seed and owns its Rng, so a test
+ * case's inputs are reproducible from its parameter list alone —
+ * rerunning one failed instance regenerates the exact circuit.  Gates
+ * are drawn from the native set only (SX / I / RZX / virtual RZ) and
+ * two-qubit gates only on topology edges, so the circuits feed the
+ * schedulers directly, with no routing or lowering stage in between.
+ */
+
+#ifndef QZZ_TESTS_COMMON_RANDOM_CIRCUITS_H
+#define QZZ_TESTS_COMMON_RANDOM_CIRCUITS_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "graph/topologies.h"
+
+namespace qzz::testsup {
+
+/** Shape knobs of the random generators. */
+struct RandomCircuitOptions
+{
+    /** Probability that an idle qubit gets an SX in a layer. */
+    double gate_density = 0.7;
+    /** Probability that an available edge hosts an RZX in a layer. */
+    double two_qubit_fraction = 0.4;
+    /** Probability of a virtual RZ being attached to a driven qubit. */
+    double virtual_fraction = 0.2;
+};
+
+/**
+ * One random layer of native gates over @p topo: disjoint RZX gates
+ * on a random subset of edges, SX on a random subset of the remaining
+ * qubits.  Never empty.  Deterministic in (topo, seed, opt).
+ */
+ckt::QuantumCircuit randomLayer(const graph::Topology &topo,
+                                uint64_t seed,
+                                const RandomCircuitOptions &opt = {});
+
+/**
+ * A random native circuit of @p layers stacked random layers with
+ * virtual RZ gates sprinkled between them.  Deterministic in
+ * (topo, layers, seed, opt).
+ */
+ckt::QuantumCircuit
+randomNativeCircuit(const graph::Topology &topo, int layers,
+                    uint64_t seed,
+                    const RandomCircuitOptions &opt = {});
+
+/**
+ * The small-device sweep the exact scheduler stays tractable on:
+ * grid 2x3, triangulated grid 2x3, rings 5 (odd, non-bipartite) and
+ * 6 (even, bipartite), one heavy-hex cell.
+ */
+std::vector<graph::Topology> smallSweepTopologies();
+
+} // namespace qzz::testsup
+
+#endif // QZZ_TESTS_COMMON_RANDOM_CIRCUITS_H

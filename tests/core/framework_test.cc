@@ -27,8 +27,9 @@ TEST(FrameworkTest, PolicyNames)
 
 TEST(FrameworkTest, PolicyNameRoundTrips)
 {
-    for (SchedPolicy p : {SchedPolicy::Par, SchedPolicy::Zzx,
-                          SchedPolicy::ZzxWeighted}) {
+    for (SchedPolicy p :
+         {SchedPolicy::Par, SchedPolicy::Zzx, SchedPolicy::ZzxWeighted,
+          SchedPolicy::Exact, SchedPolicy::CycleAware}) {
         auto parsed = schedPolicyFromName(schedPolicyName(p));
         ASSERT_TRUE(parsed.has_value());
         EXPECT_EQ(*parsed, p);
@@ -40,6 +41,11 @@ TEST(FrameworkTest, PolicyNameRoundTrips)
     EXPECT_EQ(schedPolicyFromName("zzxweighted"),
               SchedPolicy::ZzxWeighted);
     EXPECT_EQ(schedPolicyFromName("weighted"), SchedPolicy::ZzxWeighted);
+    EXPECT_EQ(schedPolicyFromName("exact"), SchedPolicy::Exact);
+    EXPECT_EQ(schedPolicyFromName("exactsched"), SchedPolicy::Exact);
+    EXPECT_EQ(schedPolicyFromName("cycle"), SchedPolicy::CycleAware);
+    EXPECT_EQ(schedPolicyFromName("cycleaware"),
+              SchedPolicy::CycleAware);
     EXPECT_FALSE(schedPolicyFromName("").has_value());
     EXPECT_FALSE(schedPolicyFromName("asap").has_value());
 }
@@ -50,10 +56,12 @@ TEST(FrameworkTest, PolicyNameListingCoversEveryPolicy)
     // compile_server --help text: every enum value must appear, in
     // enum order, and every listed name must parse back to itself.
     const std::vector<std::string> &names = schedPolicyNames();
-    ASSERT_EQ(names.size(), 3u);
+    ASSERT_EQ(names.size(), 5u);
     EXPECT_EQ(names[0], "ParSched");
     EXPECT_EQ(names[1], "ZZXSched");
     EXPECT_EQ(names[2], "ZzxWeighted");
+    EXPECT_EQ(names[3], "ExactSched");
+    EXPECT_EQ(names[4], "CycleAware");
     for (size_t i = 0; i < names.size(); ++i) {
         auto parsed = schedPolicyFromName(names[i]);
         ASSERT_TRUE(parsed.has_value()) << names[i];

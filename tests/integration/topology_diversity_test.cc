@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "circuit/benchmarks.h"
+#include "common/suppression_invariants.h"
 #include "core/compiler.h"
 #include "graph/topologies.h"
 #include "service/artifact.h"
@@ -84,33 +85,13 @@ expectSuppressionInvariants(const dev::Device &device,
               par_result.program.schedule.circuitGateCount());
 
     // Suppression invariants of Algorithm 2 against the resolved
-    // requirement R.  NC never exceeds nc_max; NQ can exceed nq_max
-    // by at most the one spectator qubit an irreducible two-qubit
-    // group absorbs (R is TwoQSchedule's *splitting* criterion, so a
-    // single unsplittable gate pair may carry NQ = nq_max + 1 on
-    // degree-2 topologies).  Single-qubit-only layers on bipartite
-    // devices must reach complete suppression (Sec. 5.1): NC = 0 and
-    // every region a singleton.
+    // requirement R (see tests/common/suppression_invariants.h for
+    // the exact per-layer assertions, shared with the unit and
+    // oracle-fuzz suites).
     const ZzxOptions resolved = resolveZzxOptions({}, device);
-    const bool bipartite = device.graph().twoColor().has_value();
-    for (const Layer &layer : zzx_result.program.schedule.layers) {
-        if (layer.is_virtual)
-            continue;
-        EXPECT_LE(layer.metrics.nc, resolved.nc_max)
-            << circuit.name() << " on " << device.topology().name;
-        bool has_two_qubit = false;
-        for (const ScheduledGate &sg : layer.gates)
-            has_two_qubit = has_two_qubit || sg.gate.isTwoQubit();
-        EXPECT_LE(layer.metrics.nq,
-                  resolved.nq_max + (has_two_qubit ? 1 : 0))
-            << circuit.name() << " on " << device.topology().name;
-        if (!has_two_qubit && bipartite) {
-            EXPECT_EQ(layer.metrics.nc, 0)
-                << circuit.name() << " on " << device.topology().name;
-            EXPECT_EQ(layer.metrics.nq, 1)
-                << circuit.name() << " on " << device.topology().name;
-        }
-    }
+    testsup::expectSuppressionInvariants(
+        zzx_result.program.schedule, device, resolved,
+        circuit.name() + " on " + device.topology().name);
 
     // The co-optimized policy leaves no more residual crosstalk per
     // layer than maximal parallelism.
